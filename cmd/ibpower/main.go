@@ -1,0 +1,329 @@
+// Command ibpower regenerates the paper's tables and figures.
+//
+// Subcommands:
+//
+//	tableI            idle-interval distributions (Table I)
+//	gt                GT sweep for one workload (Figure 10) or all (Table III)
+//	overheads         measured PPA overheads at 16 processes (Table IV)
+//	figures           power savings and execution-time increase (Figures 7–9)
+//	timeline          per-rank link power timeline (Figure 6)
+//	ppa               PPA walkthrough on the Figure 2/3 event stream
+//	energy            Section VI extension: deep modes + fabric energy
+//	dvs               related-work baseline: history-based link DVS vs WRPS
+//	weak              claim check: weak vs strong scaling (Section III)
+//
+// Run "ibpower <subcommand> -h" for flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ibpower/internal/dvs"
+	"ibpower/internal/harness"
+	"ibpower/internal/ngram"
+	"ibpower/internal/power"
+	"ibpower/internal/replay"
+	"ibpower/internal/stats"
+	"ibpower/internal/trace"
+	"ibpower/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "tableI":
+		err = cmdTableI(os.Args[2:])
+	case "gt":
+		err = cmdGT(os.Args[2:])
+	case "overheads":
+		err = cmdOverheads(os.Args[2:])
+	case "figures":
+		err = cmdFigures(os.Args[2:])
+	case "timeline":
+		err = cmdTimeline(os.Args[2:])
+	case "ppa":
+		err = cmdPPA(os.Args[2:])
+	case "energy":
+		err = cmdEnergy(os.Args[2:])
+	case "dvs":
+		err = cmdDVS(os.Args[2:])
+	case "weak":
+		err = cmdWeak(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "ibpower: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibpower:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ibpower <tableI|gt|overheads|figures|timeline|ppa|energy|dvs|weak> [flags]`)
+}
+
+// cmdWeak tests the paper's Section III prediction that the mechanism is
+// more effective under weak scaling.
+func cmdWeak(args []string) error {
+	fs := flag.NewFlagSet("weak", flag.ExitOnError)
+	opt := optFlags(fs)
+	d := fs.Float64("d", 0.01, "displacement factor")
+	fs.Parse(args)
+	rows, err := harness.WeakScaling(*d, *opt, replay.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	return harness.WriteWeakScaling(os.Stdout, rows)
+}
+
+// cmdDVS compares the WRPS on/off mechanism against the history-based link
+// DVS baseline (related work, Section V) on host-link power.
+func cmdDVS(args []string) error {
+	fs := flag.NewFlagSet("dvs", flag.ExitOnError)
+	opt := optFlags(fs)
+	np := fs.Int("np", 16, "process count")
+	d := fs.Float64("d", 0.01, "WRPS displacement factor")
+	fs.Parse(args)
+	t := stats.NewTable("app", "Nproc", "WRPS saving[%]", "DVS saving[%]", "DVS added serial/rank")
+	for _, app := range workloads.Apps() {
+		tr, err := workloads.Generate(app, *np, *opt)
+		if err != nil {
+			return err
+		}
+		gt, _, err := harness.ChooseGT(tr, harness.DefaultGTGrid(), 1.0)
+		if err != nil {
+			return err
+		}
+		wrps, err := replay.Run(tr, replay.DefaultConfig().WithPower(gt, *d))
+		if err != nil {
+			return err
+		}
+		dv, err := dvs.Evaluate(tr, dvs.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		t.Row(app, *np, wrps.AvgSavingPct(), dv.AvgSavingPct(),
+			dv.AvgAddedSerial().Round(time.Microsecond))
+	}
+	return t.Write(os.Stdout)
+}
+
+// cmdEnergy runs the extension experiment: lanes-only vs deep-sleep savings
+// under the whole-switch and decomposed fabric power models.
+func cmdEnergy(args []string) error {
+	fs := flag.NewFlagSet("energy", flag.ExitOnError)
+	opt := optFlags(fs)
+	d := fs.Float64("d", 0.01, "displacement factor")
+	apps := fs.String("apps", "", "comma-separated app filter (default all)")
+	np := fs.Int("np", 16, "process count")
+	deepUS := fs.Int("deepus", 1000, "deep-mode reactivation time [us]")
+	fs.Parse(args)
+	names := workloads.Apps()
+	if *apps != "" {
+		names = strings.Split(*apps, ",")
+	}
+	deep := power.DeepConfig{Treact: time.Duration(*deepUS) * time.Microsecond}
+	fmt.Printf("deep mode: reactivation %v, entry threshold %v (energy breakeven)\n",
+		deep.Treact, deep.BreakevenIdle(power.Treact).Round(time.Microsecond))
+	var rows []*harness.EnergyRow
+	for _, app := range names {
+		row, err := harness.Energy(strings.TrimSpace(app), *np, *d, *opt, deep)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	}
+	return harness.WriteEnergy(os.Stdout, rows)
+}
+
+func optFlags(fs *flag.FlagSet) *workloads.Options {
+	opt := &workloads.Options{}
+	fs.Int64Var(&opt.Seed, "seed", 42, "generation seed")
+	fs.Float64Var(&opt.IterScale, "scale", 1.0, "iteration count multiplier")
+	return opt
+}
+
+func cmdTableI(args []string) error {
+	fs := flag.NewFlagSet("tableI", flag.ExitOnError)
+	opt := optFlags(fs)
+	fs.Parse(args)
+	rows, err := harness.TableI(*opt)
+	if err != nil {
+		return err
+	}
+	return harness.WriteTableI(os.Stdout, rows)
+}
+
+func cmdGT(args []string) error {
+	fs := flag.NewFlagSet("gt", flag.ExitOnError)
+	opt := optFlags(fs)
+	app := fs.String("app", "", "application (empty: Table III over all apps)")
+	np := fs.Int("np", 64, "process count for -app sweeps")
+	fs.Parse(args)
+	if *app == "" {
+		rows, err := harness.TableIII(*opt)
+		if err != nil {
+			return err
+		}
+		return harness.WriteTableIII(os.Stdout, rows)
+	}
+	tr, err := workloads.Generate(*app, *np, *opt)
+	if err != nil {
+		return err
+	}
+	pts, err := harness.GTSweep(tr, harness.DefaultGTGrid())
+	if err != nil {
+		return err
+	}
+	return harness.WriteGTSweep(os.Stdout, *app, *np, pts)
+}
+
+func cmdOverheads(args []string) error {
+	fs := flag.NewFlagSet("overheads", flag.ExitOnError)
+	opt := optFlags(fs)
+	fs.Parse(args)
+	rows, err := harness.TableIV(*opt)
+	if err != nil {
+		return err
+	}
+	return harness.WriteTableIV(os.Stdout, rows)
+}
+
+func cmdFigures(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ExitOnError)
+	opt := optFlags(fs)
+	d := fs.Float64("d", 0, "displacement factor (0: all of 0.10, 0.05, 0.01)")
+	apps := fs.String("apps", "", "comma-separated app filter")
+	fs.Parse(args)
+	ds := harness.Displacements
+	if *d > 0 {
+		ds = []float64{*d}
+	}
+	cfg := replay.DefaultConfig()
+	for _, disp := range ds {
+		rows, err := harness.Figure(disp, *opt, cfg)
+		if err != nil {
+			return err
+		}
+		if *apps != "" {
+			rows = filterRows(rows, *apps)
+		}
+		if err := harness.WriteFigure(os.Stdout, disp, rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func filterRows(rows []harness.FigureRow, apps string) []harness.FigureRow {
+	keep := map[string]bool{}
+	for _, a := range strings.Split(apps, ",") {
+		keep[strings.TrimSpace(a)] = true
+	}
+	var out []harness.FigureRow
+	for _, r := range rows {
+		if keep[r.App] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func cmdTimeline(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	opt := optFlags(fs)
+	app := fs.String("app", "gromacs", "application")
+	np := fs.Int("np", 16, "process count")
+	d := fs.Float64("d", 0.10, "displacement factor")
+	width := fs.Int("width", 100, "rendering width")
+	prv := fs.Bool("prv", false, "emit Paraver-like records instead of ASCII")
+	fs.Parse(args)
+	tr, err := workloads.Generate(*app, *np, *opt)
+	if err != nil {
+		return err
+	}
+	gt, _, err := harness.ChooseGT(tr, harness.DefaultGTGrid(), 1.0)
+	if err != nil {
+		return err
+	}
+	cfg := replay.DefaultConfig().WithPower(gt, *d)
+	cfg.Power.RecordTimelines = true
+	res, err := replay.Run(tr, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s with %d MPI processes, GT=%v, displacement=%.0f%% (Figure 6)\n",
+		*app, *np, gt, *d*100)
+	if *prv {
+		return trace.WriteParaver(os.Stdout, res.Timelines)
+	}
+	return trace.Render(os.Stdout, res.Timelines, *width)
+}
+
+// cmdPPA replays the paper's Figure 2/3 walkthrough: the Alya event stream
+// "41-41-41 10 10" repeated, printing gram formation and the moment the
+// pattern is declared predicted.
+func cmdPPA(args []string) error {
+	fs := flag.NewFlagSet("ppa", flag.ExitOnError)
+	reps := fs.Int("reps", 4, "iterations of the 41-41-41,10,10 stream")
+	fs.Parse(args)
+
+	gt := 20 * time.Microsecond
+	b := ngram.NewBuilder(gt)
+	det := ngram.NewDetector(0)
+	emit := func(n int, id ngram.EventID, idle time.Duration, t time.Duration) time.Duration {
+		if g := b.Add(id, idle, t, t); g != nil {
+			act := "add gram to array"
+			if det.AddGram(g) {
+				act = "gram fed to PPA -> prediction ACTIVE"
+			} else if det.Predicting() {
+				act = "gram matches predicted pattern"
+			}
+			fmt.Printf("  gram %-12s gap=%-8v %s\n", g.Key, g.GapBefore, act)
+		}
+		fmt.Printf("#%-3d MPI id %-3d idle before=%v\n", n, id, idle)
+		return t
+	}
+	var t time.Duration
+	n := 0
+	for it := 0; it < *reps; it++ {
+		for i := 0; i < 3; i++ { // 41-41-41 with sub-GT gaps
+			n++
+			idle := 5 * time.Microsecond
+			if i == 0 {
+				idle = 300 * time.Microsecond
+			}
+			t += idle
+			emit(n, 41, idle, t)
+		}
+		for i := 0; i < 2; i++ { // 10 ___ 10, gaps above GT
+			n++
+			idle := 200 * time.Microsecond
+			t += idle
+			emit(n, 10, idle, t)
+		}
+	}
+	if g := b.Flush(); g != nil {
+		det.AddGram(g)
+	}
+	st := det.Stats()
+	fmt.Printf("\npatterns detected: %d, predicting: %v\n", st.Detections, det.Predicting())
+	if p := det.Active(); p != nil {
+		fmt.Printf("predicted pattern: %s (freq %d, %d MPI calls per appearance)\n",
+			p.Key, p.Freq, p.NumCalls)
+	}
+	return nil
+}

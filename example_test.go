@@ -1,0 +1,82 @@
+package ibpower_test
+
+import (
+	"fmt"
+	"time"
+
+	"ibpower"
+)
+
+// Example demonstrates the core mechanism on a hand-rolled event stream:
+// the Figure 2 ALYA pattern (three MPI_Sendrecv calls, two MPI_Allreduce
+// calls) repeated until the PPA detects it and lane shutdowns begin.
+func Example() {
+	pred, err := ibpower.NewPredictor(ibpower.PredictorConfig{
+		GT:           20 * time.Microsecond, // 2·Treact, the minimum
+		Displacement: 0.01,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ctrl := ibpower.NewLinkController(0) // paper Treact = 10 µs
+
+	type ev struct {
+		id  ibpower.EventID
+		gap time.Duration
+	}
+	iteration := []ev{
+		{41, 400 * time.Microsecond}, // MPI_Sendrecv after computation
+		{41, 4 * time.Microsecond},
+		{41, 4 * time.Microsecond},
+		{10, 300 * time.Microsecond}, // MPI_Allreduce
+		{10, 250 * time.Microsecond},
+	}
+	var now time.Duration
+	for it := 0; it < 10; it++ {
+		for _, e := range iteration {
+			now += e.gap
+			start := ctrl.Acquire(now) // wake lanes if asleep
+			act := pred.OnCall(e.id, start, start)
+			if act.Shutdown {
+				ctrl.Shutdown(start, act.PredictedIdle)
+			}
+			now = start
+		}
+	}
+	ctrl.Finish(now)
+
+	acct := ctrl.Accounting()
+	fmt.Printf("shutdowns issued: %v (all woken by timer: %v)\n",
+		ctrl.Shutdowns > 15, ctrl.DemandWakes == 0)
+	fmt.Printf("saving below ceiling: %v\n", acct.SavingPct() < ibpower.MaxSavingPct)
+	fmt.Printf("hit rate above 60%%: %v\n", pred.Stats().HitRatePct() > 60)
+	// Output:
+	// shutdowns issued: true (all woken by timer: true)
+	// saving below ceiling: true
+	// hit rate above 60%: true
+}
+
+// ExampleReplay runs the paper's full evaluation pipeline on one workload.
+func ExampleReplay() {
+	tr, err := ibpower.GenerateWorkload("nasbt", 9, ibpower.WorkloadOptions{IterScale: 0.2})
+	if err != nil {
+		panic(err)
+	}
+	gt, _, err := ibpower.ChooseGT(tr)
+	if err != nil {
+		panic(err)
+	}
+	base, err := ibpower.Replay(tr, ibpower.DefaultReplayConfig())
+	if err != nil {
+		panic(err)
+	}
+	res, err := ibpower.Replay(tr, ibpower.DefaultReplayConfig().WithPower(gt, 0.01))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("saving in (25%%, 57%%): %v\n", res.AvgSavingPct() > 25 && res.AvgSavingPct() < 57)
+	fmt.Printf("slowdown under 1%%: %v\n", res.TimeIncreasePct(base) < 1)
+	// Output:
+	// saving in (25%, 57%): true
+	// slowdown under 1%: true
+}

@@ -1,0 +1,97 @@
+// Stencil: a real SPMD program — 1-D heat diffusion with halo exchanges and
+// a periodic residual allreduce — running on the in-process mini-MPI runtime
+// with the power saving mechanism installed in the PMPI profiling layer. No
+// line of the solver knows the mechanism exists, which is the paper's
+// deployment model.
+//
+//	go run ./examples/stencil [-np 8] [-steps 400] [-cells 4096]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"ibpower/internal/mpi"
+	"ibpower/internal/pmpi"
+	"ibpower/internal/predictor"
+)
+
+func main() {
+	np := flag.Int("np", 8, "number of MPI ranks")
+	steps := flag.Int("steps", 300, "time steps")
+	// The per-step computation must comfortably exceed the grouping
+	// threshold for lane shutdown to be worthwhile; 256k cells gives a few
+	// hundred microseconds per step on current hardware.
+	cells := flag.Int("cells", 262144, "grid cells per rank")
+	emulate := flag.Bool("emulate-delays", false, "sleep for reactivation penalties")
+	flag.Parse()
+
+	cfg := predictor.Config{GT: 40 * time.Microsecond, Displacement: 0.05}
+	var opts []pmpi.Option
+	if *emulate {
+		opts = append(opts, pmpi.WithDelayEmulation())
+	}
+	layer, err := pmpi.New(cfg, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	t0 := time.Now()
+	err = mpi.Run(*np, func(c *mpi.Comm) error {
+		return solve(c, *steps, *cells)
+	}, mpi.WithProfiler(layer.Factory()))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	rep := layer.Report(time.Since(t0))
+	if err := rep.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// solve integrates u_t = u_xx explicitly on a ring-decomposed 1-D domain.
+func solve(c *mpi.Comm, steps, cells int) error {
+	rank, np := c.Rank(), c.Size()
+	u := make([]float64, cells+2) // one ghost cell each side
+	for i := 1; i <= cells; i++ {
+		x := float64(rank*cells+i) / float64(np*cells)
+		u[i] = math.Sin(2 * math.Pi * x)
+	}
+	next := make([]float64, cells+2)
+	left := (rank - 1 + np) % np
+	right := (rank + 1) % np
+
+	const alpha = 0.25
+	for s := 0; s < steps; s++ {
+		// Halo exchange: ghost cells from both neighbours.
+		u[cells+1] = c.Sendrecv(left, []float64{u[1]}, right)[0]
+		u[0] = c.Sendrecv(right, []float64{u[cells]}, left)[0]
+
+		// Computation phase — the idle interval the mechanism reclaims.
+		for i := 1; i <= cells; i++ {
+			next[i] = u[i] + alpha*(u[i-1]-2*u[i]+u[i+1])
+		}
+		u, next = next, u
+
+		// Periodic residual check, as solvers do.
+		if s%10 == 9 {
+			local := 0.0
+			for i := 1; i <= cells; i++ {
+				local += u[i] * u[i]
+			}
+			norm := c.Allreduce([]float64{local}, mpi.Sum)[0]
+			if math.IsNaN(norm) || math.IsInf(norm, 0) {
+				return fmt.Errorf("rank %d: diverged at step %d", rank, s)
+			}
+		}
+	}
+	c.Barrier()
+	return nil
+}

@@ -1,0 +1,177 @@
+// Package ibpower reproduces "Software-Managed Power Reduction in Infiniband
+// Links" (Dickov, Pericàs, Carpenter, Navarro, Ayguadé; ICPP 2014): a
+// software mechanism that predicts the idle intervals between MPI
+// communication phases with an n-gram pattern prediction algorithm (PPA) and
+// shuts down three of the four lanes of each 4X InfiniBand link for the
+// predicted duration (Mellanox Width Reduction Power Saving), cutting switch
+// power by up to ~33 % at ~1 % execution-time cost.
+//
+// This root package is the public facade over the implementation packages:
+//
+//   - Predictor / PredictorConfig — the per-process mechanism: gram
+//     formation (Algorithm 1), PPA (Algorithm 2) and the displacement-factor
+//     power mode control (Algorithm 3).
+//   - LinkController — the HCA link power controller with the hardware wake
+//     timer (Figure 5) and per-mode energy accounting.
+//   - GenerateWorkload — synthetic stand-ins for the paper's five production
+//     traces (GROMACS, ALYA, WRF, NAS BT, NAS MG).
+//   - Replay — the Dimemas/Venus-style co-simulator: MPI replay over an
+//     XGFT(2;18,14;1,18) fat tree with the Table II parameters.
+//   - RunSPMD / PowerLayer — the mini-MPI runtime with the mechanism
+//     installed in the PMPI profiling layer, the paper's deployment model.
+//
+// The experiment harness behind every table and figure of the paper lives in
+// internal/harness and is exposed through the ibpower command
+// (cmd/ibpower) and the root benchmarks (bench_test.go). See DESIGN.md for
+// the system inventory and EXPERIMENTS.md for paper-vs-measured results.
+package ibpower
+
+import (
+	"io"
+	"time"
+
+	"ibpower/internal/harness"
+	"ibpower/internal/mpi"
+	"ibpower/internal/pmpi"
+	"ibpower/internal/power"
+	"ibpower/internal/predictor"
+	"ibpower/internal/replay"
+	"ibpower/internal/trace"
+	"ibpower/internal/workloads"
+)
+
+// Paper constants (Section II).
+const (
+	// Treact is the lane (de)activation time: up to 10 µs.
+	Treact = power.Treact
+	// GTMin is the smallest admissible grouping threshold, 2·Treact.
+	GTMin = harness.GTMin
+	// LowPowerFraction is the switch power draw in WRPS mode relative to
+	// nominal (Mellanox SX6036: 43 %).
+	LowPowerFraction = power.LowPowerFraction
+	// MaxSavingPct is the physical ceiling on switch power savings.
+	MaxSavingPct = power.MaxSavingFraction * 100
+)
+
+// Core mechanism types.
+type (
+	// PredictorConfig parameterises the mechanism: grouping threshold,
+	// displacement factor, reactivation time and maximum pattern size.
+	PredictorConfig = predictor.Config
+	// Predictor is the per-MPI-process prediction + power-control state
+	// machine. Feed it every intercepted call via OnCall.
+	Predictor = predictor.Predictor
+	// Action is OnCall's verdict: whether to shut lanes down and for how
+	// long.
+	Action = predictor.Action
+	// PredictorStats aggregates hit rates and detector counters.
+	PredictorStats = predictor.Stats
+	// OverheadModel charges the mechanism's software costs (Table IV).
+	OverheadModel = predictor.OverheadModel
+	// LinkController models the link power controller with its wake timer.
+	LinkController = power.Controller
+	// PowerAccounting is per-mode accumulated link time.
+	PowerAccounting = power.Accounting
+	// EventID identifies an MPI call type in the event stream.
+	EventID = predictor.EventID
+)
+
+// Trace and workload types.
+type (
+	// Trace is a per-rank MPI event trace (compute bursts + calls).
+	Trace = trace.Trace
+	// TraceOp is one trace operation.
+	TraceOp = trace.Op
+	// WorkloadOptions seeds and scales trace generation.
+	WorkloadOptions = workloads.Options
+	// IdleDist is the Table I idle-interval distribution.
+	IdleDist = trace.IdleDist
+)
+
+// Simulation types.
+type (
+	// ReplayConfig parameterises the co-simulation (Table II defaults).
+	ReplayConfig = replay.Config
+	// ReplayResult carries execution time, per-link power accounting and
+	// mechanism counters.
+	ReplayResult = replay.Result
+)
+
+// Runtime (deployment path) types.
+type (
+	// Comm is a mini-MPI communicator handle.
+	Comm = mpi.Comm
+	// PowerLayer is the PMPI-style profiling layer with the mechanism.
+	PowerLayer = pmpi.Layer
+	// PowerReport is the aggregated outcome of a profiled run.
+	PowerReport = pmpi.Report
+)
+
+// NewPredictor builds the per-process mechanism instance.
+func NewPredictor(cfg PredictorConfig) (*Predictor, error) { return predictor.New(cfg) }
+
+// NewLinkController builds a link power controller; treact <= 0 selects the
+// paper's 10 µs.
+func NewLinkController(treact time.Duration) *LinkController {
+	return power.NewController(treact)
+}
+
+// DefaultOverheads returns the Table IV-calibrated software costs.
+func DefaultOverheads() OverheadModel { return predictor.DefaultOverheads() }
+
+// Workloads returns the generatable application names.
+func Workloads() []string { return workloads.Apps() }
+
+// WorkloadProcCounts returns the process counts the paper evaluates for app.
+func WorkloadProcCounts(app string) []int { return workloads.ProcCounts(app) }
+
+// GenerateWorkload builds a synthetic trace for one of the paper's five
+// applications at the given process count.
+func GenerateWorkload(app string, np int, opt WorkloadOptions) (*Trace, error) {
+	return workloads.Generate(app, np, opt)
+}
+
+// ReadTrace parses a trace in the text format; WriteTrace serialises one.
+func ReadTrace(r io.Reader) (*Trace, error)   { return trace.Read(r) }
+func WriteTrace(w io.Writer, tr *Trace) error { return tr.Write(w) }
+
+// DefaultReplayConfig returns the paper's Table II simulation parameters
+// with the mechanism disabled (the power-unaware baseline).
+func DefaultReplayConfig() ReplayConfig { return replay.DefaultConfig() }
+
+// Replay re-executes the trace under cfg. Enable the mechanism with
+// cfg.WithPower(gt, displacement).
+func Replay(tr *Trace, cfg ReplayConfig) (*ReplayResult, error) { return replay.Run(tr, cfg) }
+
+// ChooseGT selects the grouping threshold for a trace by sweeping the
+// Figure 10 grid, trading MPI-call hit rate against low-power opportunity
+// (Section IV-C).
+func ChooseGT(tr *Trace) (gt time.Duration, hitRatePct float64, err error) {
+	return harness.ChooseGT(tr, harness.DefaultGTGrid(), 1.0)
+}
+
+// NewPowerLayer builds the PMPI-style power saving layer for RunSPMD.
+func NewPowerLayer(cfg PredictorConfig, opts ...pmpi.Option) (*PowerLayer, error) {
+	return pmpi.New(cfg, opts...)
+}
+
+// RunSPMD executes fn on np concurrent ranks of the mini-MPI runtime with
+// the given power layer installed (pass nil to run unprofiled).
+func RunSPMD(np int, layer *PowerLayer, fn func(c *Comm) error) error {
+	var opts []mpi.Option
+	if layer != nil {
+		opts = append(opts, mpi.WithProfiler(layer.Factory()))
+	}
+	return mpi.Run(np, fn, opts...)
+}
+
+// RecordSPMD executes fn on np ranks while capturing a replayable trace —
+// the instrumented-run half of the paper's trace-driven methodology. The
+// recorded trace can be fed to Replay to sweep mechanism parameters offline.
+func RecordSPMD(app string, np int, fn func(c *Comm) error) (*Trace, error) {
+	rec := mpi.NewTraceRecorder(app, np)
+	if err := mpi.Run(np, fn, mpi.WithRecorder(rec)); err != nil {
+		return nil, err
+	}
+	return rec.Trace(), nil
+}

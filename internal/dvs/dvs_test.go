@@ -1,0 +1,134 @@
+package dvs
+
+import (
+	"testing"
+	"time"
+
+	"ibpower/internal/trace"
+	"ibpower/internal/workloads"
+)
+
+const us = time.Microsecond
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Window = 0 },
+		func(c *Config) { c.Levels = nil },
+		func(c *Config) { c.Levels = []Level{{Freq: 0.5}, {Freq: 0.25}} },
+		func(c *Config) { c.Levels = []Level{{Freq: 0.5, PowerFraction: 0.7}} },
+		func(c *Config) { c.EWMA = 1.5 },
+		func(c *Config) { c.Headroom = 0 },
+		func(c *Config) { c.BandwidthBitsPerSec = 0 },
+	}
+	for i, mut := range bad {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestIdleTraceDropsToLowestLevel(t *testing.T) {
+	tr := trace.New("idle", 2)
+	for r := 0; r < 2; r++ {
+		tr.Append(r, trace.Barrier())
+		tr.Append(r, trace.Compute(10*time.Millisecond))
+		tr.Append(r, trace.Barrier())
+	}
+	res, err := Evaluate(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := res.PerRank[0]
+	// Nearly all windows are empty: the mean power must approach the
+	// quarter-rate floor (0.6625).
+	if rr.MeanPower > 0.70 {
+		t.Errorf("mean power %v on an idle link, want near 0.66", rr.MeanPower)
+	}
+	if rr.SavingPct() < 25 {
+		t.Errorf("saving %.1f%% on idle link", rr.SavingPct())
+	}
+}
+
+func TestBusyTraceStaysFast(t *testing.T) {
+	tr := trace.New("busy", 2)
+	// Saturate: 512 KB every 100 µs window is ~100 % utilization.
+	for i := 0; i < 100; i++ {
+		for r := 0; r < 2; r++ {
+			tr.Append(r, trace.Sendrecv((r+1)%2, (r+1)%2, 512<<10))
+			tr.Append(r, trace.Compute(100*us))
+		}
+	}
+	res, err := Evaluate(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := res.PerRank[0]
+	if rr.MeanPower < 0.95 {
+		t.Errorf("mean power %v on a saturated link, want ~1", rr.MeanPower)
+	}
+	if rr.SavingPct() > 5 {
+		t.Errorf("saving %.1f%% on a saturated link", rr.SavingPct())
+	}
+}
+
+func TestDVSSavesLessThanWRPSCeiling(t *testing.T) {
+	// On every paper workload, the DVS baseline's saving must stay under
+	// the WRPS low-power ceiling (57 %) and indeed under its own floor
+	// bound (1 - 0.6625 = 33.75 %).
+	for _, app := range workloads.Apps() {
+		tr, err := workloads.Generate(app, 8, workloads.Options{IterScale: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Evaluate(tr, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := res.AvgSavingPct(); s < 0 || s > 33.75 {
+			t.Errorf("%s: DVS saving %.2f%% outside [0, 33.75]", app, s)
+		}
+	}
+}
+
+func TestLevelChangesCostRelock(t *testing.T) {
+	tr := trace.New("alt", 2)
+	// Alternate saturated and idle phases to force level changes.
+	for i := 0; i < 50; i++ {
+		for r := 0; r < 2; r++ {
+			tr.Append(r, trace.Sendrecv((r+1)%2, (r+1)%2, 512<<10))
+			tr.Append(r, trace.Compute(2*time.Millisecond))
+		}
+	}
+	res, err := Evaluate(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := res.PerRank[0]
+	if rr.LevelChanges == 0 {
+		t.Error("no level changes on an alternating workload")
+	}
+	if rr.AddedSerial <= 0 {
+		t.Error("no serialization/relock penalty recorded")
+	}
+}
+
+func TestInjectedBytes(t *testing.T) {
+	if got := injectedBytes(trace.Send(1, 100), 8); got != 100 {
+		t.Errorf("send = %d", got)
+	}
+	if got := injectedBytes(trace.Allreduce(100), 8); got != 300 { // 3 rounds
+		t.Errorf("allreduce = %d, want 300", got)
+	}
+	if got := injectedBytes(trace.Alltoall(10), 8); got != 70 {
+		t.Errorf("alltoall = %d, want 70", got)
+	}
+	if got := injectedBytes(trace.Recv(1), 8); got != 0 {
+		t.Errorf("recv = %d, want 0", got)
+	}
+}

@@ -1,0 +1,117 @@
+// Package eventq provides the discrete-event priority queue used by the
+// network and replay simulators. Events are ordered by timestamp with a
+// monotonically increasing sequence number breaking ties, which makes
+// simulation runs deterministic.
+package eventq
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	At  time.Duration // simulated time at which the event fires
+	Fn  func()        // action
+	seq uint64
+	idx int
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Queue is a discrete-event queue with a simulated clock.
+type Queue struct {
+	h   eventHeap
+	now time.Duration
+	seq uint64
+}
+
+// New returns an empty queue at time 0.
+func New() *Queue { return &Queue{} }
+
+// Now returns the current simulated time.
+func (q *Queue) Now() time.Duration { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// At schedules fn at absolute simulated time at. Scheduling in the past is a
+// programming error and panics.
+func (q *Queue) At(at time.Duration, fn func()) *Event {
+	if at < q.now {
+		panic("eventq: scheduling event in the past")
+	}
+	q.seq++
+	e := &Event{At: at, Fn: fn, seq: q.seq}
+	heap.Push(&q.h, e)
+	return e
+}
+
+// After schedules fn after delay d from the current simulated time.
+func (q *Queue) After(d time.Duration, fn func()) *Event {
+	return q.At(q.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or cancelled
+// event is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.idx < 0 || e.idx >= len(q.h) || q.h[e.idx] != e {
+		return
+	}
+	heap.Remove(&q.h, e.idx)
+}
+
+// Step fires the earliest event. It reports false when the queue is empty.
+func (q *Queue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.h).(*Event)
+	q.now = e.At
+	e.Fn()
+	return true
+}
+
+// Run fires events until the queue drains, returning the final time.
+func (q *Queue) Run() time.Duration {
+	for q.Step() {
+	}
+	return q.now
+}
+
+// RunUntil fires events with At <= deadline.
+func (q *Queue) RunUntil(deadline time.Duration) {
+	for len(q.h) > 0 && q.h[0].At <= deadline {
+		q.Step()
+	}
+	if q.now < deadline {
+		q.now = deadline
+	}
+}

@@ -1,0 +1,133 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const us = time.Microsecond
+
+func TestOrdering(t *testing.T) {
+	q := New()
+	var fired []int
+	q.At(30*us, func() { fired = append(fired, 3) })
+	q.At(10*us, func() { fired = append(fired, 1) })
+	q.At(20*us, func() { fired = append(fired, 2) })
+	end := q.Run()
+	if end != 30*us {
+		t.Errorf("final time = %v, want 30µs", end)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if fired[i] != v {
+			t.Fatalf("fired order %v", fired)
+		}
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	q := New()
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(5*us, func() { fired = append(fired, i) })
+	}
+	q.Run()
+	for i := range fired {
+		if fired[i] != i {
+			t.Fatalf("same-time events fired out of insertion order: %v", fired)
+		}
+	}
+}
+
+func TestAfterAndNow(t *testing.T) {
+	q := New()
+	var at time.Duration
+	q.At(10*us, func() {
+		q.After(5*us, func() { at = q.Now() })
+	})
+	q.Run()
+	if at != 15*us {
+		t.Errorf("After fired at %v, want 15µs", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	q := New()
+	fired := false
+	e := q.At(10*us, func() { fired = true })
+	q.Cancel(e)
+	q.Cancel(e) // idempotent
+	q.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if q.Len() != 0 {
+		t.Error("queue not empty")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	q := New()
+	q.Cancel(nil) // must not panic
+}
+
+func TestRunUntil(t *testing.T) {
+	q := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{10 * us, 20 * us, 30 * us} {
+		d := d
+		q.At(d, func() { fired = append(fired, d) })
+	}
+	q.RunUntil(20 * us)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if q.Now() != 20*us {
+		t.Errorf("now = %v, want 20µs", q.Now())
+	}
+	if q.Len() != 1 {
+		t.Errorf("pending = %d, want 1", q.Len())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	q := New()
+	q.At(10*us, func() {})
+	q.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	q.At(5*us, func() {})
+}
+
+// Property: events always fire in non-decreasing timestamp order regardless
+// of insertion order, including events scheduled from callbacks.
+func TestOrderingProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := New()
+		var fired []time.Duration
+		count := int(n%40) + 1
+		for i := 0; i < count; i++ {
+			at := time.Duration(rng.Intn(1000)) * us
+			q.At(at, func() {
+				fired = append(fired, q.Now())
+				if rng.Intn(3) == 0 {
+					q.After(time.Duration(rng.Intn(100))*us, func() {
+						fired = append(fired, q.Now())
+					})
+				}
+			})
+		}
+		q.Run()
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ibpower/internal/power"
+	"ibpower/internal/replay"
+	"ibpower/internal/stats"
+	"ibpower/internal/topology"
+	"ibpower/internal/trace"
+	"ibpower/internal/workloads"
+)
+
+// EnergyRow reports fabric-level energy for one workload: the paper's
+// whole-switch savings metric next to the decomposed link-share model and
+// the Section VI deep-sleep scenario.
+type EnergyRow struct {
+	App string
+	NP  int
+	GT  time.Duration
+
+	// PaperSavingPct uses the paper's model: whole switch at 43 % while the
+	// link is in WRPS mode, averaged over processes.
+	PaperSavingPct float64
+	// FabricSavingPct uses the decomposed switch model (links = 64 % of
+	// switch power; unmanaged uplinks always on).
+	FabricSavingPct float64
+	// DeepSavingPct and DeepTimeIncreasePct evaluate the deep-sleep run.
+	DeepSavingPct       float64
+	DeepTimeIncreasePct float64
+	TimeIncreasePct     float64
+}
+
+// Energy runs the lanes-only and deep-sleep mechanisms for one workload and
+// aggregates switch- and fabric-level power (extension experiment E11).
+// deep configures the Section VI scenario; the zero value selects the 1 ms
+// reactivation with the breakeven entry threshold.
+func Energy(app string, np int, displacement float64, opt workloads.Options, deep power.DeepConfig) (*EnergyRow, error) {
+	tr, err := workloads.Generate(app, np, opt)
+	if err != nil {
+		return nil, err
+	}
+	gt, _, err := ChooseGT(tr, DefaultGTGrid(), 1.0)
+	if err != nil {
+		return nil, err
+	}
+	cfg := replay.DefaultConfig()
+	base, err := replay.Run(tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	lanes, err := replay.Run(tr, cfg.WithPower(gt, displacement))
+	if err != nil {
+		return nil, err
+	}
+	deepRes, err := replay.Run(tr, cfg.WithPower(gt, displacement).WithDeepSleep(deep))
+	if err != nil {
+		return nil, err
+	}
+
+	row := &EnergyRow{
+		App: app, NP: np, GT: gt,
+		PaperSavingPct:      lanes.AvgSavingPct(),
+		TimeIncreasePct:     lanes.TimeIncreasePct(base),
+		DeepSavingPct:       deepRes.AvgSavingPct(),
+		DeepTimeIncreasePct: deepRes.TimeIncreasePct(base),
+	}
+	row.FabricSavingPct = fabricSaving(lanes, np)
+	return row, nil
+}
+
+// fabricSaving groups the per-rank host-link accountings by leaf switch of
+// the paper's XGFT and applies the decomposed switch power model.
+func fabricSaving(res *replay.Result, np int) float64 {
+	topo := topology.Paper()
+	nLeaf := len(topo.Switches[0])
+	groups := make([][]power.Accounting, nLeaf)
+	alwaysOn := make([]int, nLeaf)
+	for s := 0; s < nLeaf; s++ {
+		// Each leaf switch has one always-on uplink per top switch.
+		alwaysOn[s] = len(topo.Switches[0][s].Up)
+	}
+	leafIndex := make(map[int]int, nLeaf)
+	for i, sw := range topo.Switches[0] {
+		leafIndex[sw.ID] = i
+	}
+	for r := 0; r < np && r < len(res.Acct); r++ {
+		leaf := topo.Terminals[r].Up[0].To
+		groups[leafIndex[leaf.ID]] = append(groups[leafIndex[leaf.ID]], res.Acct[r])
+	}
+	// Only switches actually hosting ranks are counted, as the paper's
+	// savings are reported over the used part of the fabric.
+	var used [][]power.Accounting
+	var usedOn []int
+	for s, g := range groups {
+		if len(g) > 0 {
+			used = append(used, g)
+			usedOn = append(usedOn, alwaysOn[s])
+		}
+	}
+	return power.FabricPower(used, usedOn).SavingPct
+}
+
+// WriteEnergy renders energy rows.
+func WriteEnergy(w io.Writer, rows []*EnergyRow) error {
+	t := stats.NewTable("app", "Nproc", "GT[us]",
+		"paper model[%]", "fabric model[%]", "deep[%]",
+		"dT lanes[%]", "dT deep[%]")
+	for _, r := range rows {
+		t.Row(r.App, r.NP, int(r.GT/time.Microsecond),
+			r.PaperSavingPct, r.FabricSavingPct, r.DeepSavingPct,
+			fmt.Sprintf("%.2f", r.TimeIncreasePct),
+			fmt.Sprintf("%.2f", r.DeepTimeIncreasePct))
+	}
+	return t.Write(w)
+}
+
+// Timeline produces the Figure 6 artifact for one workload: per-rank link
+// power state timelines under the mechanism.
+func Timeline(app string, np int, displacement float64, opt workloads.Options) ([]*trace.Timeline, time.Duration, error) {
+	tr, err := workloads.Generate(app, np, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	gt, _, err := ChooseGT(tr, DefaultGTGrid(), 1.0)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg := replay.DefaultConfig().WithPower(gt, displacement)
+	cfg.Power.RecordTimelines = true
+	res, err := replay.Run(tr, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Timelines, gt, nil
+}

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ibpower/internal/power"
+	"ibpower/internal/trace"
+	"ibpower/internal/workloads"
+)
+
+func TestEnergyRow(t *testing.T) {
+	row, err := Energy("gromacs", 8, 0.01, workloads.Options{IterScale: 0.12},
+		power.DeepConfig{Treact: 400 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.PaperSavingPct <= 0 || row.PaperSavingPct > 57 {
+		t.Errorf("paper-model saving = %.2f%%", row.PaperSavingPct)
+	}
+	// The decomposed fabric model manages only host ports, so it must
+	// report strictly less than the whole-switch model.
+	if row.FabricSavingPct <= 0 || row.FabricSavingPct >= row.PaperSavingPct {
+		t.Errorf("fabric saving %.2f%% vs paper %.2f%%", row.FabricSavingPct, row.PaperSavingPct)
+	}
+	// GROMACS-8 idles exceed the 400 µs deep breakeven: deep must win.
+	if row.DeepSavingPct <= row.PaperSavingPct {
+		t.Errorf("deep saving %.2f%% not above lanes-only %.2f%%", row.DeepSavingPct, row.PaperSavingPct)
+	}
+	var sb strings.Builder
+	if err := WriteEnergy(&sb, []*EnergyRow{row}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "gromacs") {
+		t.Error("energy table output incomplete")
+	}
+}
+
+func TestEnergyDeepNeverWorseAtDefault(t *testing.T) {
+	// With the 1 ms default and breakeven entry threshold, deep mode either
+	// engages profitably or abstains: savings must never drop below
+	// lanes-only by more than rounding.
+	for _, app := range []string{"alya", "nasbt"} {
+		row, err := Energy(app, 8, 0.01, workloads.Options{IterScale: 0.1}, power.DeepConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.DeepSavingPct < row.PaperSavingPct-0.1 {
+			t.Errorf("%s: deep %.2f%% below lanes-only %.2f%% despite breakeven guard",
+				app, row.DeepSavingPct, row.PaperSavingPct)
+		}
+	}
+}
+
+func TestTimelineHarness(t *testing.T) {
+	tls, gt, err := Timeline("gromacs", 4, 0.10, workloads.Options{IterScale: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt < GTMin {
+		t.Errorf("GT = %v", gt)
+	}
+	if len(tls) != 4 {
+		t.Fatalf("timelines = %d, want 4", len(tls))
+	}
+	for _, tl := range tls {
+		if tl.TimeIn(trace.StateLow) <= 0 {
+			t.Errorf("%s: no low-power intervals", tl.Label)
+		}
+	}
+}

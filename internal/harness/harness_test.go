@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ibpower/internal/replay"
+	"ibpower/internal/workloads"
+)
+
+var fastOpt = workloads.Options{IterScale: 0.12}
+
+func TestTableI(t *testing.T) {
+	rows, err := TableI(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 25 { // 5 apps × 5 process counts
+		t.Fatalf("rows = %d, want 25", len(rows))
+	}
+	for _, r := range rows {
+		if r.Dist.TotalCount() == 0 {
+			t.Errorf("%s/%d: no idle intervals", r.App, r.NP)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteTableI(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "gromacs") {
+		t.Error("table output incomplete")
+	}
+}
+
+func TestGTSweepAndChoice(t *testing.T) {
+	tr, err := workloads.Generate("alya", 8, fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := []time.Duration{20 * time.Microsecond, 100 * time.Microsecond, 300 * time.Microsecond}
+	pts, err := GTSweep(tr, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	gt, hit, err := ChooseGT(tr, grid, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt < GTMin {
+		t.Errorf("chosen GT %v below minimum", gt)
+	}
+	if hit <= 0 {
+		t.Errorf("hit rate %v at chosen GT", hit)
+	}
+}
+
+func TestGTSweepRejectsBelowMinimum(t *testing.T) {
+	tr, _ := workloads.Generate("alya", 8, fastOpt)
+	if _, err := GTSweep(tr, []time.Duration{10 * time.Microsecond}); err == nil {
+		t.Error("GT below 2*Treact accepted")
+	}
+	if _, _, err := ChooseGT(tr, []time.Duration{time.Microsecond}, 1); err == nil {
+		t.Error("ChooseGT accepted sub-minimum grid")
+	}
+}
+
+func TestDefaultGTGrid(t *testing.T) {
+	g := DefaultGTGrid()
+	if g[0] != GTMin {
+		t.Errorf("grid starts at %v, want %v", g[0], GTMin)
+	}
+	if g[len(g)-1] != 400*time.Microsecond {
+		t.Errorf("grid ends at %v, want 400µs (Figure 10 range)", g[len(g)-1])
+	}
+}
+
+func TestFigurePoint(t *testing.T) {
+	tr, err := workloads.Generate("nasbt", 9, fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := FigurePoint(tr, 20*time.Microsecond, 0.01, replay.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.SavingPct <= 0 || row.SavingPct > 57 {
+		t.Errorf("saving = %.2f%%", row.SavingPct)
+	}
+	if row.BaseExec <= 0 || row.Exec < row.BaseExec {
+		t.Errorf("exec times: base %v, with mechanism %v", row.BaseExec, row.Exec)
+	}
+}
+
+func TestColumnMapping(t *testing.T) {
+	cases := map[int]int{8: 0, 9: 0, 16: 1, 32: 2, 36: 2, 64: 3, 100: 4, 128: 4}
+	for np, want := range cases {
+		if got := columnOf(np); got != want {
+			t.Errorf("columnOf(%d) = %d, want %d", np, got, want)
+		}
+	}
+	if columnLabel(0) != "8/9" || columnLabel(4) != "128/100" {
+		t.Error("column labels wrong")
+	}
+}
+
+func TestTableIVFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	rows, err := TableIV(workloads.Options{IterScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Report.Calls == 0 {
+			t.Errorf("%s: no calls measured", r.App)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteTableIV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "average") {
+		t.Error("Table IV output missing average row")
+	}
+}
+
+func TestWriteFigure(t *testing.T) {
+	rows := []FigureRow{
+		{App: "alya", NP: 8, GT: 20 * time.Microsecond, SavingPct: 14, TimeIncreasePct: 0.1},
+		{App: "alya", NP: 128, GT: 20 * time.Microsecond, SavingPct: 2, TimeIncreasePct: 0.3},
+	}
+	var sb strings.Builder
+	if err := WriteFigure(&sb, 0.01, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "displacement factor = 1%") || !strings.Contains(out, "128/100") {
+		t.Errorf("figure output:\n%s", out)
+	}
+}

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ibpower/internal/predictor"
+	"ibpower/internal/stats"
+	"ibpower/internal/workloads"
+)
+
+// TableIVRow reports the measured mechanism overheads for one application at
+// 16 MPI processes, as in the paper's Table IV.
+type TableIVRow struct {
+	App    string
+	Report predictor.OverheadReport
+}
+
+// TableIV measures real wall-clock PPA overheads at 16 processes (NAS BT
+// uses its square count, also 16), experiment E8.
+func TableIV(opt workloads.Options) ([]TableIVRow, error) {
+	var rows []TableIVRow
+	grid := DefaultGTGrid()
+	for _, app := range workloads.Apps() {
+		tr, err := workloads.Generate(app, 16, opt)
+		if err != nil {
+			return nil, err
+		}
+		gt, _, err := ChooseGT(tr, grid, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := predictor.MeasureOverheads(tr, predictor.Config{GT: gt, Displacement: 0.01})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TableIVRow{App: app, Report: rep})
+	}
+	return rows, nil
+}
+
+// WriteTableIV renders Table IV.
+func WriteTableIV(w io.Writer, rows []TableIVRow) error {
+	t := stats.NewTable("app", "calls w/ PPA[%]", "per invoked call[us]", "per call amortized[us]")
+	var pctSum, invSum, amortSum float64
+	for _, r := range rows {
+		t.Row(r.App, r.Report.PPAInvokedPct,
+			us(r.Report.PerInvokedCall), us(r.Report.PerCallAmortized))
+		pctSum += r.Report.PPAInvokedPct
+		invSum += us(r.Report.PerInvokedCall)
+		amortSum += us(r.Report.PerCallAmortized)
+	}
+	n := float64(len(rows))
+	if n > 0 {
+		t.Row("average", pctSum/n, invSum/n, amortSum/n)
+	}
+	return t.Write(w)
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteGTSweep renders Figure 10 points as a text series.
+func WriteGTSweep(w io.Writer, app string, np int, pts []GTSweepPoint) error {
+	fmt.Fprintf(w, "GT sweep for %s, %d processes (Figure 10)\n", app, np)
+	t := stats.NewTable("GT[us]", "correctly predicted MPI calls[%]")
+	for _, p := range pts {
+		t.Row(int(p.GT/time.Microsecond), p.HitRatePct)
+	}
+	return t.Write(w)
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"ibpower/internal/replay"
+	"ibpower/internal/stats"
+	"ibpower/internal/workloads"
+)
+
+// WeakScalingRow compares strong- and weak-scaling savings at one point.
+type WeakScalingRow struct {
+	App    string
+	NP     int
+	Strong FigureRow
+	Weak   FigureRow
+}
+
+// WeakScaling tests the paper's prediction that the mechanism "would be
+// more effective for weak scaling than for strong scaling runs"
+// (Section III): the same applications are generated with per-rank work held
+// constant and replayed at the given displacement factor (experiment E13).
+func WeakScaling(displacement float64, opt workloads.Options, cfg replay.Config) ([]WeakScalingRow, error) {
+	var rows []WeakScalingRow
+	grid := DefaultGTGrid()
+	for _, app := range workloads.Apps() {
+		counts := workloads.ProcCounts(app)
+		for _, np := range []int{counts[0], counts[2], counts[4]} {
+			var pair [2]FigureRow
+			for i, weak := range []bool{false, true} {
+				o := opt
+				o.Weak = weak
+				tr, err := workloads.Generate(app, np, o)
+				if err != nil {
+					return nil, err
+				}
+				gt, _, err := ChooseGT(tr, grid, 1.0)
+				if err != nil {
+					return nil, err
+				}
+				row, err := FigurePoint(tr, gt, displacement, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s np=%d weak=%v: %w", app, np, weak, err)
+				}
+				pair[i] = *row
+			}
+			rows = append(rows, WeakScalingRow{App: app, NP: np, Strong: pair[0], Weak: pair[1]})
+		}
+	}
+	return rows, nil
+}
+
+// WriteWeakScaling renders the comparison.
+func WriteWeakScaling(w io.Writer, rows []WeakScalingRow) error {
+	t := stats.NewTable("app", "Nproc",
+		"strong saving[%]", "weak saving[%]", "strong dT[%]", "weak dT[%]")
+	for _, r := range rows {
+		t.Row(r.App, r.NP, r.Strong.SavingPct, r.Weak.SavingPct,
+			fmt.Sprintf("%.2f", r.Strong.TimeIncreasePct),
+			fmt.Sprintf("%.2f", r.Weak.TimeIncreasePct))
+	}
+	return t.Write(w)
+}

@@ -1,0 +1,191 @@
+package mpi
+
+import "ibpower/internal/trace"
+
+// ReduceOp combines two values during reductions.
+type ReduceOp func(a, b float64) float64
+
+// Built-in reduction operators.
+var (
+	Sum ReduceOp = func(a, b float64) float64 { return a + b }
+	Max ReduceOp = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	Min ReduceOp = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+func combine(dst, src []float64, op ReduceOp) {
+	for i := range dst {
+		dst[i] = op(dst[i], src[i])
+	}
+}
+
+// Allreduce combines data element-wise across all ranks and returns the
+// result on every rank. It uses recursive doubling with the standard
+// non-power-of-two pre/post phases, the same decomposition the replay
+// simulator charges for.
+func (c *Comm) Allreduce(data []float64, op ReduceOp) []float64 {
+	s := c.enter(trace.CallAllreduce)
+	defer func() {
+		e := c.exit(trace.CallAllreduce, s)
+		c.recordOp(trace.Allreduce(bytesOf(data)), s, e)
+	}()
+
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	np, r := c.Size(), c.Rank()
+	if np == 1 {
+		return acc
+	}
+	pof2 := 1
+	for pof2*2 <= np {
+		pof2 *= 2
+	}
+	rem := np - pof2
+
+	newRank := -1
+	switch {
+	case r < 2*rem && r%2 == 0:
+		c.send(r+1, acc)
+		res := c.recv(r + 1)
+		copy(acc, res)
+		return acc
+	case r < 2*rem:
+		combine(acc, c.recv(r-1), op)
+		newRank = r / 2
+	default:
+		newRank = r - rem
+	}
+	oldRank := func(nr int) int {
+		if nr < rem {
+			return nr*2 + 1
+		}
+		return nr + rem
+	}
+	for mask := 1; mask < pof2; mask <<= 1 {
+		partner := oldRank(newRank ^ mask)
+		c.send(partner, acc)
+		combine(acc, c.recv(partner), op)
+	}
+	if r < 2*rem {
+		c.send(r-1, acc)
+	}
+	return acc
+}
+
+// Barrier blocks until every rank has entered it (dissemination algorithm).
+func (c *Comm) Barrier() {
+	s := c.enter(trace.CallBarrier)
+	defer func() {
+		e := c.exit(trace.CallBarrier, s)
+		c.recordOp(trace.Barrier(), s, e)
+	}()
+	np, r := c.Size(), c.Rank()
+	for off := 1; off < np; off *= 2 {
+		c.send((r+off)%np, nil)
+		c.recv((r - off%np + np) % np)
+	}
+}
+
+// Bcast distributes root's data to every rank (binomial tree) and returns it.
+func (c *Comm) Bcast(root int, data []float64) []float64 {
+	s := c.enter(trace.CallBcast)
+	defer func() {
+		e := c.exit(trace.CallBcast, s)
+		c.recordOp(trace.Bcast(root, bytesOf(data)), s, e)
+	}()
+	np, r := c.Size(), c.Rank()
+	buf := make([]float64, len(data))
+	if r == root {
+		copy(buf, data)
+	}
+	if np == 1 {
+		return buf
+	}
+	vrank := (r - root + np) % np
+	mask := 1
+	for mask < np {
+		if vrank&mask != 0 {
+			src := (vrank - mask + root) % np
+			buf = c.recv(src)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < np {
+			dst := (vrank + mask + root) % np
+			c.send(dst, buf)
+		}
+		mask >>= 1
+	}
+	return buf
+}
+
+// Reduce combines data element-wise onto root (binomial tree); non-root
+// ranks receive nil.
+func (c *Comm) Reduce(root int, data []float64, op ReduceOp) []float64 {
+	s := c.enter(trace.CallReduce)
+	defer func() {
+		e := c.exit(trace.CallReduce, s)
+		c.recordOp(trace.Reduce(root, bytesOf(data)), s, e)
+	}()
+	np, r := c.Size(), c.Rank()
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	if np == 1 {
+		return acc
+	}
+	vrank := (r - root + np) % np
+	for mask := 1; mask < np; mask <<= 1 {
+		if vrank&mask == 0 {
+			if vrank+mask < np {
+				src := (vrank + mask + root) % np
+				combine(acc, c.recv(src), op)
+			}
+		} else {
+			dst := (vrank - mask + root) % np
+			c.send(dst, acc)
+			return nil
+		}
+	}
+	return acc
+}
+
+// Alltoall exchanges data[i*k:(i+1)*k] with every rank i, where k =
+// len(data)/Size(). The result holds the block received from each rank in
+// rank order.
+func (c *Comm) Alltoall(data []float64) []float64 {
+	s := c.enter(trace.CallAlltoall)
+	defer func() {
+		e := c.exit(trace.CallAlltoall, s)
+		perPair := 0
+		if c.Size() > 0 {
+			perPair = bytesOf(data) / c.Size()
+		}
+		c.recordOp(trace.Alltoall(perPair), s, e)
+	}()
+	np, r := c.Size(), c.Rank()
+	if len(data)%np != 0 {
+		panic("mpi: Alltoall data length not divisible by communicator size")
+	}
+	k := len(data) / np
+	out := make([]float64, len(data))
+	copy(out[r*k:(r+1)*k], data[r*k:(r+1)*k])
+	for i := 1; i < np; i++ {
+		to := (r + i) % np
+		from := (r - i + np) % np
+		c.send(to, data[to*k:(to+1)*k])
+		copy(out[from*k:(from+1)*k], c.recv(from))
+	}
+	return out
+}

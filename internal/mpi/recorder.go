@@ -1,0 +1,59 @@
+package mpi
+
+import (
+	"time"
+
+	"ibpower/internal/trace"
+)
+
+// TraceRecorder captures the execution of an SPMD program on the runtime as
+// a replayable trace: wall-clock gaps between MPI calls become computation
+// bursts, calls become trace operations with their real peers and sizes.
+// This is how Dimemas traces are produced from instrumented runs, so a
+// recorded program can be fed straight into the replay co-simulator —
+// capture once, sweep mechanism parameters offline.
+type TraceRecorder struct {
+	tr      *trace.Trace
+	prevEnd []time.Duration
+	started []bool
+}
+
+// NewTraceRecorder prepares a recorder for np ranks.
+func NewTraceRecorder(app string, np int) *TraceRecorder {
+	return &TraceRecorder{
+		tr:      trace.New(app, np),
+		prevEnd: make([]time.Duration, np),
+		started: make([]bool, np),
+	}
+}
+
+// Trace returns the recorded trace. Call only after the runtime has
+// finished.
+func (r *TraceRecorder) Trace() *trace.Trace { return r.tr }
+
+// record appends the inter-call computation gap and the operation for one
+// rank. Each rank touches only its own stream, so no locking is needed.
+func (r *TraceRecorder) record(rank int, op trace.Op, start, end time.Duration) {
+	if r.started[rank] && start > r.prevEnd[rank] {
+		r.tr.Append(rank, trace.Compute(start-r.prevEnd[rank]))
+	}
+	r.started[rank] = true
+	r.prevEnd[rank] = end
+	r.tr.Append(rank, op)
+}
+
+// WithRecorder attaches a trace recorder to the runtime. It can be combined
+// with WithProfiler; recording happens regardless of the profiler chain.
+func WithRecorder(rec *TraceRecorder) Option {
+	return func(rt *Runtime) { rt.recorder = rec }
+}
+
+// recordOp is invoked from the Comm wrappers with full call metadata.
+func (c *Comm) recordOp(op trace.Op, start, end time.Duration) {
+	if c.rt.recorder != nil {
+		c.rt.recorder.record(c.rank, op, start, end)
+	}
+}
+
+// bytesOf converts a payload length to wire bytes (float64 elements).
+func bytesOf(data []float64) int { return 8 * len(data) }

@@ -1,0 +1,231 @@
+// Package network is the Venus-like network model: it times message
+// transfers over an XGFT InfiniBand fabric with per-link serialization and
+// contention, 2 KB segmentation and the paper's Table II parameters
+// (40 Gb/s links, 1 µs MPI latency, random routing).
+//
+// Two fidelity modes are provided. MessageLevel reserves each link of the
+// path for the whole message with cut-through head advancement (the
+// Dimemas-style fast path used for the large parameter sweeps).
+// SegmentLevel performs store-and-forward per 2 KB segment, modelling
+// pipelining explicitly; it is slower and used for fidelity ablation.
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ibpower/internal/topology"
+)
+
+// Fidelity selects the transfer timing model.
+type Fidelity uint8
+
+// Fidelity modes.
+const (
+	MessageLevel Fidelity = iota
+	SegmentLevel
+)
+
+// Config holds network parameters (defaults are the paper's Table II).
+type Config struct {
+	BandwidthBitsPerSec float64       // link rate; 40e9 (4X QDR)
+	SegmentSize         int           // segmentation unit; 2048 bytes
+	MPILatency          time.Duration // per-message software latency; 1 µs
+	WireLatency         time.Duration // per-hop propagation/switching delay
+	Mode                Fidelity
+	Seed                int64 // seed for random routing
+}
+
+// DefaultConfig returns the paper's simulation parameters.
+func DefaultConfig() Config {
+	return Config{
+		BandwidthBitsPerSec: 40e9,
+		SegmentSize:         2048,
+		MPILatency:          time.Microsecond,
+		WireLatency:         100 * time.Nanosecond,
+		Mode:                MessageLevel,
+		Seed:                1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.BandwidthBitsPerSec <= 0 {
+		return fmt.Errorf("network: non-positive bandwidth")
+	}
+	if c.SegmentSize <= 0 {
+		return fmt.Errorf("network: non-positive segment size")
+	}
+	if c.MPILatency < 0 || c.WireLatency < 0 {
+		return fmt.Errorf("network: negative latency")
+	}
+	return nil
+}
+
+// Network times transfers over a topology.
+type Network struct {
+	topo *topology.XGFT
+	cfg  Config
+	rng  *rand.Rand
+
+	nextFree []time.Duration // per directed link: earliest next use
+	busy     []time.Duration // per directed link: accumulated busy time
+
+	// Optional per-link busy interval recording (host links, Table I from
+	// the network's perspective and the Figure 6 timeline).
+	record    bool
+	intervals map[int][][2]time.Duration
+
+	transfers int
+	bytes     int64
+}
+
+// New returns a network over topo.
+func New(topo *topology.XGFT, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		topo:      topo,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		nextFree:  make([]time.Duration, len(topo.Links)),
+		busy:      make([]time.Duration, len(topo.Links)),
+		intervals: make(map[int][][2]time.Duration),
+	}, nil
+}
+
+// Topology returns the underlying fabric.
+func (n *Network) Topology() *topology.XGFT { return n.topo }
+
+// Config returns the active configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// RecordIntervals enables per-link busy interval recording.
+func (n *Network) RecordIntervals(on bool) { n.record = on }
+
+// SerTime returns the serialization time of b bytes on one link at full
+// width (used for sender-side injection completion).
+func (n *Network) SerTime(b int) time.Duration { return n.serTime(b) }
+
+// serTime returns the serialization time of b bytes on one link.
+func (n *Network) serTime(b int) time.Duration {
+	if b <= 0 {
+		return 0
+	}
+	return time.Duration(float64(b) * 8 / n.cfg.BandwidthBitsPerSec * 1e9)
+}
+
+// Transfer times a message of b bytes from terminal src to terminal dst
+// injected at time start. It returns the arrival time at dst. Transfers
+// between a node and itself only pay the MPI latency.
+func (n *Network) Transfer(src, dst, b int, start time.Duration) time.Duration {
+	n.transfers++
+	n.bytes += int64(b)
+	head := start + n.cfg.MPILatency
+	if src == dst {
+		return head
+	}
+	path := n.topo.Route(src, dst, n.rng)
+	if n.cfg.Mode == SegmentLevel {
+		return n.transferSegments(path, b, head)
+	}
+	return n.transferMessage(path, b, head)
+}
+
+// transferMessage advances the message head hop by hop; every link is
+// reserved for the full serialization time, so later messages queue behind
+// it, while the head advances after only one segment (cut-through).
+func (n *Network) transferMessage(path []*topology.Link, b int, head time.Duration) time.Duration {
+	seg := b
+	if seg > n.cfg.SegmentSize {
+		seg = n.cfg.SegmentSize
+	}
+	segT := n.serTime(seg)
+	full := n.serTime(b)
+	var lastStart time.Duration
+	for _, l := range path {
+		txStart := head
+		if n.nextFree[l.ID] > txStart {
+			txStart = n.nextFree[l.ID]
+		}
+		n.reserve(l.ID, txStart, full)
+		head = txStart + segT + n.cfg.WireLatency
+		lastStart = txStart
+	}
+	return lastStart + full + n.cfg.WireLatency
+}
+
+// transferSegments times each 2 KB segment store-and-forward.
+func (n *Network) transferSegments(path []*topology.Link, b int, head time.Duration) time.Duration {
+	if b <= 0 {
+		// Pure control message: head advances through the path.
+		for _, l := range path {
+			txStart := head
+			if n.nextFree[l.ID] > txStart {
+				txStart = n.nextFree[l.ID]
+			}
+			head = txStart + n.cfg.WireLatency
+		}
+		return head
+	}
+	nseg := (b + n.cfg.SegmentSize - 1) / n.cfg.SegmentSize
+	// ready[i] = time the segment is fully received at hop i's tail.
+	arrival := head
+	ready := make([]time.Duration, len(path)+1)
+	for s := 0; s < nseg; s++ {
+		size := n.cfg.SegmentSize
+		if s == nseg-1 {
+			size = b - (nseg-1)*n.cfg.SegmentSize
+		}
+		segT := n.serTime(size)
+		t := head
+		for i, l := range path {
+			if ready[i] > t {
+				t = ready[i]
+			}
+			if n.nextFree[l.ID] > t {
+				t = n.nextFree[l.ID]
+			}
+			n.reserve(l.ID, t, segT)
+			t += segT + n.cfg.WireLatency
+			ready[i+1] = t
+		}
+		arrival = ready[len(path)]
+	}
+	return arrival
+}
+
+func (n *Network) reserve(link int, start, dur time.Duration) {
+	n.nextFree[link] = start + dur
+	n.busy[link] += dur
+	if n.record && dur > 0 {
+		n.intervals[link] = append(n.intervals[link], [2]time.Duration{start, start + dur})
+	}
+}
+
+// LinkBusy returns the accumulated busy time of a directed link.
+func (n *Network) LinkBusy(link int) time.Duration { return n.busy[link] }
+
+// BusyIntervals returns recorded busy intervals for a directed link (only
+// populated when RecordIntervals(true)).
+func (n *Network) BusyIntervals(link int) [][2]time.Duration { return n.intervals[link] }
+
+// HostUpLink returns the directed link from terminal t into its leaf switch.
+func (n *Network) HostUpLink(t int) *topology.Link { return n.topo.Terminals[t].Up[0] }
+
+// Stats returns transfer counters.
+func (n *Network) Stats() (transfers int, bytes int64) { return n.transfers, n.bytes }
+
+// Reset clears link occupancy and counters (topology is preserved).
+func (n *Network) Reset() {
+	for i := range n.nextFree {
+		n.nextFree[i] = 0
+		n.busy[i] = 0
+	}
+	n.intervals = make(map[int][][2]time.Duration)
+	n.transfers = 0
+	n.bytes = 0
+	n.rng = rand.New(rand.NewSource(n.cfg.Seed))
+}

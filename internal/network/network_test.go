@@ -1,0 +1,205 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ibpower/internal/topology"
+)
+
+const us = time.Microsecond
+
+func newNet(t *testing.T, mode Fidelity) *Network {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Mode = mode
+	n, err := New(topology.Paper(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestDefaultConfigIsTableII(t *testing.T) {
+	c := DefaultConfig()
+	if c.BandwidthBitsPerSec != 40e9 {
+		t.Errorf("bandwidth = %v, want 40 Gb/s", c.BandwidthBitsPerSec)
+	}
+	if c.SegmentSize != 2048 {
+		t.Errorf("segment = %d, want 2 KB", c.SegmentSize)
+	}
+	if c.MPILatency != time.Microsecond {
+		t.Errorf("MPI latency = %v, want 1µs", c.MPILatency)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, bad := range []Config{
+		{BandwidthBitsPerSec: 0, SegmentSize: 1},
+		{BandwidthBitsPerSec: 1, SegmentSize: 0},
+		{BandwidthBitsPerSec: 1, SegmentSize: 1, MPILatency: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+}
+
+func TestSerTime(t *testing.T) {
+	n := newNet(t, MessageLevel)
+	// 40 Gb/s = 5 bytes/ns: 2048 bytes -> 409.6 ns.
+	got := n.SerTime(2048)
+	if got < 409*time.Nanosecond || got > 410*time.Nanosecond {
+		t.Errorf("SerTime(2048) = %v, want ~409.6ns", got)
+	}
+	if n.SerTime(0) != 0 {
+		t.Error("SerTime(0) must be 0")
+	}
+}
+
+func TestTransferSelf(t *testing.T) {
+	n := newNet(t, MessageLevel)
+	if got := n.Transfer(3, 3, 4096, 0); got != time.Microsecond {
+		t.Errorf("self transfer = %v, want the MPI latency only", got)
+	}
+}
+
+func TestTransferLatencyFloor(t *testing.T) {
+	n := newNet(t, MessageLevel)
+	// Zero-byte cross-leaf message: MPI latency + per-hop wire latency.
+	got := n.Transfer(0, 251, 0, 0)
+	want := time.Microsecond + 4*100*time.Nanosecond
+	if got != want {
+		t.Errorf("control message arrival = %v, want %v", got, want)
+	}
+}
+
+func TestTransferBandwidthTerm(t *testing.T) {
+	n := newNet(t, MessageLevel)
+	small := n.Transfer(0, 1, 2048, 0)
+	n2 := newNet(t, MessageLevel)
+	big := n2.Transfer(0, 1, 1<<20, 0)
+	if big <= small {
+		t.Errorf("1 MB (%v) must arrive later than 2 KB (%v)", big, small)
+	}
+	// 1 MB at 5 B/ns is ~210 µs of serialization.
+	if big < 200*us {
+		t.Errorf("1 MB arrival %v implausibly fast", big)
+	}
+}
+
+func TestContentionSerializes(t *testing.T) {
+	n := newNet(t, MessageLevel)
+	// Two 512 KB messages from the same source at the same instant share
+	// the host uplink: the second must arrive roughly one serialization
+	// time later.
+	a1 := n.Transfer(0, 1, 512<<10, 0)
+	a2 := n.Transfer(0, 2, 512<<10, 0)
+	if a2 <= a1 {
+		t.Errorf("contended transfer (%v) not delayed past first (%v)", a2, a1)
+	}
+	gap := a2 - a1
+	ser := n.SerTime(512 << 10)
+	if gap < ser/2 {
+		t.Errorf("contention gap %v too small vs serialization %v", gap, ser)
+	}
+}
+
+func TestSegmentLevelClose(t *testing.T) {
+	// Segment-level and message-level timings agree within the pipelining
+	// error (one segment per hop) on an uncontended path.
+	msg := newNet(t, MessageLevel)
+	seg := newNet(t, SegmentLevel)
+	const bytes = 64 << 10
+	am := msg.Transfer(0, 250, bytes, 0)
+	as := seg.Transfer(0, 250, bytes, 0)
+	diff := as - am
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 3*us {
+		t.Errorf("segment (%v) and message (%v) timing diverge by %v", as, am, diff)
+	}
+}
+
+func TestSegmentLevelZeroBytes(t *testing.T) {
+	n := newNet(t, SegmentLevel)
+	got := n.Transfer(0, 251, 0, 0)
+	if got <= time.Microsecond {
+		t.Errorf("control message arrival = %v", got)
+	}
+}
+
+func TestBusyAccounting(t *testing.T) {
+	n := newNet(t, MessageLevel)
+	up := n.HostUpLink(0)
+	n.Transfer(0, 1, 1<<20, 0)
+	if n.LinkBusy(up.ID) != n.SerTime(1<<20) {
+		t.Errorf("uplink busy = %v, want %v", n.LinkBusy(up.ID), n.SerTime(1<<20))
+	}
+}
+
+func TestRecordIntervals(t *testing.T) {
+	n := newNet(t, MessageLevel)
+	n.RecordIntervals(true)
+	n.Transfer(0, 1, 4096, 0)
+	up := n.HostUpLink(0)
+	ivs := n.BusyIntervals(up.ID)
+	if len(ivs) != 1 {
+		t.Fatalf("got %d busy intervals, want 1", len(ivs))
+	}
+	if ivs[0][1] <= ivs[0][0] {
+		t.Error("empty busy interval recorded")
+	}
+}
+
+func TestReset(t *testing.T) {
+	n := newNet(t, MessageLevel)
+	n.Transfer(0, 1, 4096, 0)
+	n.Reset()
+	tr, by := n.Stats()
+	if tr != 0 || by != 0 {
+		t.Error("stats not cleared by Reset")
+	}
+	if n.LinkBusy(n.HostUpLink(0).ID) != 0 {
+		t.Error("busy not cleared by Reset")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		n := newNet(t, MessageLevel)
+		var out []time.Duration
+		for i := 0; i < 20; i++ {
+			out = append(out, n.Transfer(i%8, (i+5)%8, 10000+i, time.Duration(i)*us))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("transfer %d differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: arrival is never before start + MPI latency, and bytes moved
+// accumulate exactly.
+func TestArrivalLowerBoundProperty(t *testing.T) {
+	n := newNet(t, MessageLevel)
+	var moved int64
+	f := func(src, dst uint8, kb uint8, startUS uint16) bool {
+		s := int(src) % 252
+		d := int(dst) % 252
+		b := int(kb) * 1024
+		start := time.Duration(startUS) * us
+		arr := n.Transfer(s, d, b, start)
+		moved += int64(b)
+		_, gotMoved := n.Stats()
+		return arr >= start+time.Microsecond && gotMoved == moved
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

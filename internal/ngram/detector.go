@@ -1,0 +1,307 @@
+package ngram
+
+import "time"
+
+// DefaultMaxPatternSize bounds pattern growth before a pattern is detected.
+// Once a pattern is detected, maxPatternSize is frozen to the detected size
+// so that later iterations are predicted from recent timings rather than
+// merging many iterations into one huge pattern (Algorithm 2, line 32).
+const DefaultMaxPatternSize = 16
+
+// DetectorStats aggregates PPA bookkeeping used by Table IV and Table III.
+type DetectorStats struct {
+	GramsFormed      int // grams fed to the detector
+	Invocations      int // grams processed with full PPA active (prediction off)
+	Detections       int // patterns declared detected (fresh)
+	Reactivations    int // immediate re-predictions of a known pattern
+	Mispredictions   int // pattern mispredictions (gram mismatch)
+	WildcardGrams    int // mismatched grams absorbed as one-off substitutions
+	PredictedGrams   int // grams matched while predicting
+	PredictedCalls   int // MPI calls inside matched grams
+	TotalCalls       int // MPI calls inside all grams fed
+	PatternListSize  int // live entries in the pattern list
+	MaxPatternFrozen int // frozen maxPatternSize (0 if never detected)
+}
+
+// Detector implements the pattern prediction algorithm over a stream of
+// finalized grams.
+type Detector struct {
+	maxSize  int
+	frozen   bool
+	grams    []string        // gram keys, in arrival order
+	gaps     []time.Duration // gaps[i] = idle time before gram i
+	ncalls   []int
+	runLen   []int // runLen[s] = trailing length of matches gram[i]==gram[i-s]
+	pl       map[string]*Pattern
+	detected []*Pattern // patterns with Detected=true, for fast re-prediction
+	gramDefs map[string][]EventID
+
+	active   *Pattern
+	phase    int  // index in active of the next expected gram
+	wildcard bool // the last gram was accepted as a one-off substitution
+
+	knownGram map[string]bool // grams appearing in any detected pattern
+
+	stats DetectorStats
+}
+
+// NewDetector returns a detector with the given maximum pattern size (grams
+// per pattern). maxSize <= 0 selects DefaultMaxPatternSize.
+func NewDetector(maxSize int) *Detector {
+	if maxSize <= 0 {
+		maxSize = DefaultMaxPatternSize
+	}
+	return &Detector{
+		maxSize:   maxSize,
+		runLen:    make([]int, maxSize+1),
+		pl:        make(map[string]*Pattern),
+		gramDefs:  make(map[string][]EventID),
+		knownGram: make(map[string]bool),
+	}
+}
+
+// Predicting reports whether a detected pattern is currently driving
+// predictions (the power mode control component is active).
+func (d *Detector) Predicting() bool { return d.active != nil }
+
+// Active returns the pattern currently driving predictions, or nil.
+func (d *Detector) Active() *Pattern { return d.active }
+
+// Phase returns the index within the active pattern of the next expected
+// gram.
+func (d *Detector) Phase() int { return d.phase }
+
+// Expected returns the event IDs of the next expected gram while predicting.
+func (d *Detector) Expected() ([]EventID, bool) {
+	if d.active == nil {
+		return nil, false
+	}
+	ids, ok := d.gramDefs[d.active.Grams[d.phase]]
+	return ids, ok
+}
+
+// PredictedGapAfterExpected returns the conservative idle estimate that
+// follows the currently expected gram (the gap before the pattern's next
+// gram): the minimum over the recent observation window. Zero means no
+// estimate is available.
+func (d *Detector) PredictedGapAfterExpected() time.Duration {
+	if d.active == nil {
+		return 0
+	}
+	next := (d.phase + 1) % d.active.Size()
+	return d.active.SafeGap(next)
+}
+
+// Stats returns a snapshot of detector statistics.
+func (d *Detector) Stats() DetectorStats {
+	s := d.stats
+	s.PatternListSize = len(d.pl)
+	if d.frozen {
+		s.MaxPatternFrozen = d.maxSize
+	}
+	return s
+}
+
+// Patterns returns the pattern list (live view; callers must not mutate).
+func (d *Detector) Patterns() map[string]*Pattern { return d.pl }
+
+// AddGram feeds one finalized gram. It returns true when this gram switched
+// the detector into (or kept it in) prediction mode.
+func (d *Detector) AddGram(g *Gram) bool {
+	d.stats.GramsFormed++
+	d.stats.TotalCalls += g.NumCalls()
+	if _, ok := d.gramDefs[g.Key]; !ok {
+		ids := make([]EventID, len(g.IDs))
+		copy(ids, g.IDs)
+		d.gramDefs[g.Key] = ids
+	}
+	d.grams = append(d.grams, g.Key)
+	d.gaps = append(d.gaps, g.GapBefore)
+	d.ncalls = append(d.ncalls, g.NumCalls())
+	i := len(d.grams) - 1
+
+	// Maintain periodicity run lengths. While the power mode control
+	// component is active the core of the prediction part is disabled
+	// (Section III); we still keep runLen consistent so that a later
+	// misprediction can restart detection without a cold start.
+	for s := 1; s <= d.maxSize; s++ {
+		if i >= s && d.grams[i] == d.grams[i-s] {
+			d.runLen[s]++
+		} else {
+			d.runLen[s] = 0
+		}
+	}
+
+	if d.active != nil {
+		exp := d.active.Grams[d.phase]
+		if g.Key == exp {
+			// Correct prediction: refresh the timing estimate for this gap
+			// and advance to the next gram of the pattern.
+			d.active.ObserveGap(d.phase, g.GapBefore)
+			if d.phase == 0 {
+				d.active.Freq++
+			}
+			d.phase = (d.phase + 1) % d.active.Size()
+			d.wildcard = false
+			d.stats.PredictedGrams++
+			d.stats.PredictedCalls += g.NumCalls()
+			return true
+		}
+		d.stats.Mispredictions++
+		// One-off substitution: a mismatched gram that belongs to no
+		// detected pattern (e.g. an alternative communication variant of
+		// the same iteration slot) advances the phase instead of dropping
+		// prediction, so the regular grams around it stay predicted. A
+		// second consecutive mismatch deactivates. This is the timing-style
+		// misprediction of Section III-B that does not force a PPA restart.
+		if !d.wildcard && !d.knownGram[g.Key] {
+			d.wildcard = true
+			d.phase = (d.phase + 1) % d.active.Size()
+			d.stats.WildcardGrams++
+			return true
+		}
+		// Pattern misprediction: relaunch the pattern prediction part
+		// (Section III-B: "the patternPrediction variable is set to False
+		// and the pattern prediction part is relaunched again").
+		d.active = nil
+		d.phase = 0
+		d.wildcard = false
+	}
+
+	// Full PPA runs on this gram.
+	d.stats.Invocations++
+
+	// Immediate re-prediction: a previously detected pattern that appears
+	// again is declared repeatable on its first new appearance — without
+	// waiting for three consecutive repeats (Section III-A policy). The
+	// current gram is aligned against every detected pattern; ambiguity is
+	// resolved by looking further back in the gram stream and finally by
+	// pattern frequency.
+	if d.reanchor(i) {
+		return true
+	}
+
+	// Fresh detection: smallest period s whose pattern occupies the tail
+	// three consecutive times (runLen >= 2s means grams[i-2s+1..i] repeat
+	// the s-gram twice after its first appearance).
+	for s := 2; s <= d.maxSize; s++ {
+		if i+1 < 3*s || d.runLen[s] < 2*s {
+			continue
+		}
+		d.detect(s, i)
+		return true
+	}
+	return false
+}
+
+// reanchor tries to resume prediction at the gram ending at index i by
+// locating it inside a previously detected pattern. It returns true when a
+// pattern was (re)activated with the phase advanced past the matched gram.
+func (d *Detector) reanchor(i int) bool {
+	type cand struct {
+		p *Pattern
+		q int // phase of the matched gram inside p
+	}
+	g := d.grams[i]
+	var cands []cand
+	for _, p := range d.detected {
+		for q, k := range p.Grams {
+			if k == g {
+				cands = append(cands, cand{p, q})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	// Disambiguate by walking backwards through the gram stream.
+	for depth := 1; len(cands) > 1 && depth <= d.maxSize && i-depth >= 0; depth++ {
+		prev := d.grams[i-depth]
+		filtered := cands[:0:0]
+		for _, c := range cands {
+			s := c.p.Size()
+			idx := ((c.q-depth)%s + s) % s
+			if c.p.Grams[idx] == prev {
+				filtered = append(filtered, c)
+			}
+		}
+		if len(filtered) == 0 {
+			break // history diverges from every candidate; keep all, use frequency
+		}
+		cands = filtered
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.p.Freq > best.p.Freq {
+			best = c
+		}
+	}
+	d.active = best.p
+	d.phase = (best.q + 1) % best.p.Size()
+	d.wildcard = false
+	d.stats.Reactivations++
+	return true
+}
+
+// detect declares the s-gram ending at index i as the predicted pattern.
+func (d *Detector) detect(s, i int) {
+	keys := make([]string, s)
+	copy(keys, d.grams[i-s+1:i+1])
+	key := PatternKey(keys)
+	p, ok := d.pl[key]
+	if !ok {
+		nc := 0
+		for _, k := range keys {
+			nc += len(d.gramDefs[k])
+		}
+		p = &Pattern{Key: key, Grams: keys, NumCalls: nc}
+		d.pl[key] = p
+	}
+	if !p.Detected {
+		p.Detected = true
+		d.detected = append(d.detected, p)
+		d.stats.Detections++
+		for _, k := range keys {
+			d.knownGram[k] = true
+		}
+	}
+	// Freeze the maximum pattern size to the natural iteration size so the
+	// algorithm does not keep merging iterations into ever larger patterns.
+	if !d.frozen || s < d.maxSize {
+		d.maxSize = s
+		d.frozen = true
+		if len(d.runLen) <= d.maxSize {
+			d.runLen = d.runLen[:d.maxSize+1]
+		}
+	}
+	// Seed gap averages from the three observed occurrences. Occurrence o
+	// starts at i-(3-o)*s+1 for o in 1..3; gram j of occurrence o sits at
+	// start+j. The gap before the first gram of the first occurrence may
+	// predate the periodic region, so it is skipped.
+	p.Freq += 3
+	for o := 0; o < 3; o++ {
+		start := i - (3-o)*s + 1
+		if start < 0 {
+			continue
+		}
+		for j := 0; j < s; j++ {
+			if o == 0 && j == 0 {
+				continue
+			}
+			p.ObserveGap(j, d.gaps[start+j])
+		}
+		if len(p.Positions) < 16 {
+			p.Positions = append(p.Positions, start)
+		}
+	}
+	d.activate(p, i)
+}
+
+// activate switches to prediction mode with p; the gram at index i is the
+// last gram of an appearance of p, so the next expected gram is p.Grams[0].
+func (d *Detector) activate(p *Pattern, i int) {
+	d.active = p
+	d.phase = 0
+	d.wildcard = false
+	_ = i
+}

@@ -1,0 +1,126 @@
+// Package ngram implements the paper's Pattern Prediction Algorithm (PPA):
+// on-the-fly detection of repeating patterns in a per-process stream of MPI
+// events using n-gram extraction (Section III-A, Algorithms 1 and 2).
+//
+// MPI events are first grouped into grams: consecutive events whose
+// separating idle time is below the grouping threshold GT belong to the same
+// gram (Algorithm 1). The gram stream is then scanned for the shortest
+// pattern (sequence of grams) that repeats consecutively; after three
+// consecutive appearances the pattern is declared detected and subsequent
+// occurrences are predicted. A pattern that was detected once is re-predicted
+// immediately when it reappears after a misprediction (Section III-A policy).
+package ngram
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EventID identifies an event type in the stream (an MPI call ID).
+type EventID uint8
+
+// Gram is a maximal group of consecutive events whose inter-event idle times
+// are all below the grouping threshold.
+type Gram struct {
+	IDs       []EventID     // event types, in order
+	Key       string        // canonical representation, e.g. "41-41-41"
+	GapBefore time.Duration // idle time preceding the gram's first event
+	Start     time.Duration // timestamp of the first event
+	End       time.Duration // completion timestamp of the last event
+}
+
+// NumCalls returns the number of MPI events in the gram.
+func (g *Gram) NumCalls() int { return len(g.IDs) }
+
+// GramKey renders a gram identity string from event IDs, matching the
+// paper's notation ("41-41-41").
+func GramKey(ids []EventID) string {
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte('-')
+		}
+		b.WriteString(strconv.Itoa(int(id)))
+	}
+	return b.String()
+}
+
+// Builder forms grams from an event stream per Algorithm 1. Events are fed
+// with the idle time that preceded them; a gram is finalized when an event
+// arrives after an idle period of at least GT (the grouping threshold).
+type Builder struct {
+	gt      time.Duration
+	cur     []EventID
+	curGap  time.Duration
+	start   time.Duration
+	end     time.Duration
+	started bool
+}
+
+// NewBuilder returns a gram builder with grouping threshold gt. GT must be
+// at least 2·Treact for lane power management to be profitable (Section
+// IV-C); the builder does not enforce that policy, callers do.
+func NewBuilder(gt time.Duration) *Builder {
+	if gt <= 0 {
+		panic(fmt.Sprintf("ngram: non-positive grouping threshold %v", gt))
+	}
+	return &Builder{gt: gt}
+}
+
+// GT returns the grouping threshold.
+func (b *Builder) GT() time.Duration { return b.gt }
+
+// Add feeds one event occupying [start, end]. idleBefore is the idle time
+// since the previous event ended. When the event begins a new gram, the
+// previous (now finalized) gram is returned; otherwise Add returns nil.
+func (b *Builder) Add(id EventID, idleBefore time.Duration, start, end time.Duration) *Gram {
+	var done *Gram
+	if b.started && idleBefore >= b.gt {
+		done = b.take()
+		done.GapBefore = b.curGap
+		b.curGap = idleBefore
+	}
+	if !b.started {
+		b.started = true
+		b.curGap = idleBefore
+		b.start = start
+	}
+	if len(b.cur) == 0 {
+		b.start = start
+	}
+	b.cur = append(b.cur, id)
+	b.end = end
+	return done
+}
+
+// Flush finalizes and returns the gram under construction, or nil when
+// empty. The builder can keep accepting events afterwards.
+func (b *Builder) Flush() *Gram {
+	if len(b.cur) == 0 {
+		return nil
+	}
+	g := b.take()
+	g.GapBefore = b.curGap
+	return g
+}
+
+// take closes the current gram without assigning its gap.
+func (b *Builder) take() *Gram {
+	ids := make([]EventID, len(b.cur))
+	copy(ids, b.cur)
+	g := &Gram{IDs: ids, Key: GramKey(ids), Start: b.start, End: b.end}
+	b.cur = b.cur[:0]
+	return g
+}
+
+// CurrentLen returns the number of events in the gram under construction.
+func (b *Builder) CurrentLen() int { return len(b.cur) }
+
+// CurrentIDs returns a copy of the event IDs in the gram under construction.
+func (b *Builder) CurrentIDs() []EventID {
+	out := make([]EventID, len(b.cur))
+	copy(out, b.cur)
+	return out
+}

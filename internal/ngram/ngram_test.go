@@ -1,0 +1,410 @@
+package ngram
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const us = time.Microsecond
+
+// feed pushes a synthetic event stream through a builder/detector pair. Each
+// element of ids is one event; gaps[i] is the idle time before event i.
+func feed(t *testing.T, b *Builder, d *Detector, ids []EventID, gaps []time.Duration) {
+	if t != nil {
+		t.Helper()
+	}
+	var now time.Duration
+	for i, id := range ids {
+		now += gaps[i]
+		if g := b.Add(id, gaps[i], now, now); g != nil {
+			d.AddGram(g)
+		}
+	}
+	if g := b.Flush(); g != nil {
+		d.AddGram(g)
+	}
+}
+
+func TestGramKey(t *testing.T) {
+	if k := GramKey([]EventID{41, 41, 41}); k != "41-41-41" {
+		t.Errorf("GramKey = %q, want 41-41-41", k)
+	}
+	if k := GramKey(nil); k != "" {
+		t.Errorf("GramKey(nil) = %q, want empty", k)
+	}
+}
+
+func TestBuilderGroupsByGT(t *testing.T) {
+	b := NewBuilder(20 * us)
+	var grams []*Gram
+	add := func(id EventID, idle time.Duration) {
+		if g := b.Add(id, idle, 0, 0); g != nil {
+			grams = append(grams, g)
+		}
+	}
+	// 41,41,41 close together; then 10 after a long gap; then 10 again after
+	// a long gap — the paper's Figure 2 stream shape.
+	add(41, 0)
+	add(41, 5*us)
+	add(41, 5*us)
+	add(10, 300*us)
+	add(10, 250*us)
+	if g := b.Flush(); g != nil {
+		grams = append(grams, g)
+	}
+	if len(grams) != 3 {
+		t.Fatalf("got %d grams, want 3", len(grams))
+	}
+	if grams[0].Key != "41-41-41" || grams[1].Key != "10" || grams[2].Key != "10" {
+		t.Errorf("gram keys = %q %q %q", grams[0].Key, grams[1].Key, grams[2].Key)
+	}
+	if grams[1].GapBefore != 300*us {
+		t.Errorf("gram 1 gap = %v, want 300µs", grams[1].GapBefore)
+	}
+	if grams[0].NumCalls() != 3 || grams[1].NumCalls() != 1 {
+		t.Errorf("NumCalls = %d, %d; want 3, 1", grams[0].NumCalls(), grams[1].NumCalls())
+	}
+}
+
+func TestBuilderBoundaryExactlyGT(t *testing.T) {
+	// An idle time exactly equal to GT starts a new gram (Algorithm 1 groups
+	// only when previousIdleTime < groupingThreshold).
+	b := NewBuilder(20 * us)
+	if g := b.Add(1, 0, 0, 0); g != nil {
+		t.Fatal("first event must not finalize a gram")
+	}
+	g := b.Add(2, 20*us, 0, 0)
+	if g == nil || g.Key != "1" {
+		t.Fatalf("idle == GT must close the gram, got %v", g)
+	}
+}
+
+func TestBuilderPanicsOnBadGT(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBuilder(0) must panic")
+		}
+	}()
+	NewBuilder(0)
+}
+
+// periodicStream builds a stream repeating the given iteration of
+// (id, gap) pairs n times.
+func periodicStream(iter []EventID, gapLong time.Duration, n int) ([]EventID, []time.Duration) {
+	var ids []EventID
+	var gaps []time.Duration
+	for i := 0; i < n; i++ {
+		for j, id := range iter {
+			ids = append(ids, id)
+			if j == 0 {
+				gaps = append(gaps, gapLong)
+			} else {
+				gaps = append(gaps, gapLong+time.Duration(j)*us)
+			}
+		}
+	}
+	return ids, gaps
+}
+
+func TestDetectorFindsPeriodicPattern(t *testing.T) {
+	for _, period := range []int{2, 3, 4, 5} {
+		iter := make([]EventID, period)
+		for i := range iter {
+			iter[i] = EventID(10 + i)
+		}
+		b := NewBuilder(20 * us)
+		d := NewDetector(0)
+		ids, gaps := periodicStream(iter, 100*us, 8)
+		feed(t, b, d, ids, gaps)
+		st := d.Stats()
+		if st.Detections == 0 {
+			t.Errorf("period %d: no pattern detected", period)
+		}
+		if !d.Predicting() {
+			t.Errorf("period %d: not predicting at end", period)
+		}
+		if d.Active() != nil && d.Active().Size() != period {
+			t.Errorf("period %d: detected size %d", period, d.Active().Size())
+		}
+	}
+}
+
+func TestDetectorRequiresThreeAppearances(t *testing.T) {
+	// Two appearances of a pattern must NOT trigger prediction.
+	b := NewBuilder(20 * us)
+	d := NewDetector(0)
+	ids, gaps := periodicStream([]EventID{1, 2}, 100*us, 2)
+	feed(t, b, d, ids, gaps)
+	if d.Predicting() {
+		t.Fatal("predicting after only two appearances")
+	}
+	// The third appearance flips it.
+	b2 := NewBuilder(20 * us)
+	d2 := NewDetector(0)
+	ids, gaps = periodicStream([]EventID{1, 2}, 100*us, 4)
+	feed(t, b2, d2, ids, gaps)
+	if !d2.Predicting() {
+		t.Fatal("not predicting after three appearances")
+	}
+}
+
+func TestDetectorFigure3Walkthrough(t *testing.T) {
+	// The paper's Figure 3: stream 41-41-41, 10, 10 repeating; the pattern
+	// "41-41-41_10_10" must be detected and predicted.
+	b := NewBuilder(20 * us)
+	d := NewDetector(0)
+	var ids []EventID
+	var gaps []time.Duration
+	for it := 0; it < 4; it++ {
+		ids = append(ids, 41, 41, 41, 10, 10)
+		gaps = append(gaps, 300*us, 5*us, 5*us, 200*us, 200*us)
+	}
+	feed(t, b, d, ids, gaps)
+	if !d.Predicting() {
+		t.Fatal("not predicting")
+	}
+	p := d.Active()
+	if p.Key != "41-41-41_10_10" && p.Key != "10_41-41-41_10" && p.Key != "10_10_41-41-41" {
+		t.Fatalf("active pattern %q is not a rotation of 41-41-41_10_10", p.Key)
+	}
+	if p.Size() != 3 {
+		t.Errorf("pattern size = %d, want 3", p.Size())
+	}
+	if p.NumCalls != 5 {
+		t.Errorf("pattern NumCalls = %d, want 5", p.NumCalls)
+	}
+}
+
+func TestDetectorImmediateReactivation(t *testing.T) {
+	b := NewBuilder(20 * us)
+	d := NewDetector(0)
+	ids, gaps := periodicStream([]EventID{1, 2}, 100*us, 5)
+	// Disturb with two foreign grams (the second kills the wildcard), then
+	// resume the pattern.
+	ids = append(ids, 7, 8)
+	gaps = append(gaps, 500*us, 500*us)
+	moreIDs, moreGaps := periodicStream([]EventID{1, 2}, 100*us, 1)
+	ids = append(ids, moreIDs...)
+	gaps = append(gaps, moreGaps...)
+	feed(t, b, d, ids, gaps)
+	if !d.Predicting() {
+		t.Fatal("pattern not re-activated on first reappearance")
+	}
+	if d.Stats().Reactivations == 0 {
+		t.Error("no reactivation recorded")
+	}
+}
+
+func TestDetectorWildcardSubstitution(t *testing.T) {
+	b := NewBuilder(20 * us)
+	d := NewDetector(0)
+	ids, gaps := periodicStream([]EventID{1, 2}, 100*us, 4)
+	// One unknown gram in place of "2", then the pattern continues.
+	ids = append(ids, 1, 9, 1, 2)
+	gaps = append(gaps, 100*us, 101*us, 100*us, 101*us)
+	feed(t, b, d, ids, gaps)
+	st := d.Stats()
+	if st.WildcardGrams == 0 {
+		t.Error("expected a wildcard substitution")
+	}
+	if !d.Predicting() {
+		t.Error("prediction should survive a single substitution")
+	}
+}
+
+func TestDetectorMaxPatternSizeFreeze(t *testing.T) {
+	b := NewBuilder(20 * us)
+	d := NewDetector(0)
+	ids, gaps := periodicStream([]EventID{1, 2, 3}, 100*us, 10)
+	feed(t, b, d, ids, gaps)
+	st := d.Stats()
+	if st.MaxPatternFrozen != 3 {
+		t.Errorf("frozen max pattern size = %d, want 3", st.MaxPatternFrozen)
+	}
+}
+
+func TestPatternGapEstimates(t *testing.T) {
+	p := &Pattern{Key: "a_b", Grams: []string{"a", "b"}}
+	p.ObserveGap(0, 100*us)
+	p.ObserveGap(0, 200*us)
+	p.ObserveGap(0, 150*us)
+	if m := p.MeanGap(0); m != 150*us {
+		t.Errorf("MeanGap = %v, want 150µs", m)
+	}
+	if s := p.SafeGap(0); s != 100*us {
+		t.Errorf("SafeGap = %v, want 100µs", s)
+	}
+	if p.MeanGap(5) != 0 || p.SafeGap(5) != 0 {
+		t.Error("out-of-range gap estimates must be zero")
+	}
+	// The window holds gapWindow entries: old minima age out.
+	for i := 0; i < gapWindow; i++ {
+		p.ObserveGap(0, 300*us)
+	}
+	if s := p.SafeGap(0); s != 300*us {
+		t.Errorf("SafeGap after window turnover = %v, want 300µs", s)
+	}
+}
+
+func TestDetectorPredictedGap(t *testing.T) {
+	b := NewBuilder(20 * us)
+	d := NewDetector(0)
+	ids, gaps := periodicStream([]EventID{1, 2}, 100*us, 6)
+	feed(t, b, d, ids, gaps)
+	if !d.Predicting() {
+		t.Fatal("not predicting")
+	}
+	g := d.PredictedGapAfterExpected()
+	if g < 90*us || g > 120*us {
+		t.Errorf("predicted gap %v outside the stream's gap range", g)
+	}
+}
+
+// TestDetectorSteadyStateHitRate checks that on a perfectly periodic stream
+// the detector eventually predicts every gram.
+func TestDetectorSteadyStateHitRate(t *testing.T) {
+	b := NewBuilder(20 * us)
+	d := NewDetector(0)
+	const reps = 50
+	ids, gaps := periodicStream([]EventID{1, 2, 3}, 100*us, reps)
+	feed(t, b, d, ids, gaps)
+	st := d.Stats()
+	// 3 grams per rep; detection completes within the first few reps.
+	if st.PredictedGrams < (reps-5)*3 {
+		t.Errorf("predicted %d grams of %d", st.PredictedGrams, st.GramsFormed)
+	}
+	if st.Mispredictions != 0 {
+		t.Errorf("mispredictions on a periodic stream: %d", st.Mispredictions)
+	}
+}
+
+// Property: the detector never predicts before three appearances of any
+// pattern have been seen, for random periodic shapes.
+func TestDetectorThreeAppearancePolicyProperty(t *testing.T) {
+	f := func(seed int64, periodRaw uint8) bool {
+		period := int(periodRaw%4) + 2 // 2..5
+		rng := rand.New(rand.NewSource(seed))
+		iter := make([]EventID, period)
+		for i := range iter {
+			iter[i] = EventID(rng.Intn(5) + 1)
+		}
+		// Streams with repeated IDs inside the iteration can legitimately
+		// form shorter periods; restrict to distinct IDs.
+		seen := map[EventID]bool{}
+		for i := range iter {
+			for seen[iter[i]] {
+				iter[i] = EventID(rng.Intn(200) + 1)
+			}
+			seen[iter[i]] = true
+		}
+		b := NewBuilder(20 * us)
+		d := NewDetector(0)
+		ids, gaps := periodicStream(iter, 100*us, 2)
+		// Two appearances: never predicting.
+		feed(nil, b, d, ids, gaps)
+		return !d.Predicting()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on a periodic stream, once predicting, the predicted gap equals
+// one of the observed gaps (conservative minimum of the window).
+func TestDetectorGapPredictionProperty(t *testing.T) {
+	f := func(gapsRaw [3]uint16) bool {
+		g1 := time.Duration(gapsRaw[0]%400+50) * us
+		b := NewBuilder(20 * us)
+		d := NewDetector(0)
+		ids, gaps := periodicStream([]EventID{1, 2}, g1, 10)
+		feed(nil, b, d, ids, gaps)
+		if !d.Predicting() {
+			return false
+		}
+		got := d.PredictedGapAfterExpected()
+		return got >= g1 && got <= g1+2*us
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetectorStatsPatternList(t *testing.T) {
+	b := NewBuilder(20 * us)
+	d := NewDetector(0)
+	ids, gaps := periodicStream([]EventID{1, 2}, 100*us, 6)
+	feed(t, b, d, ids, gaps)
+	if n := len(d.Patterns()); n == 0 {
+		t.Error("pattern list empty after detection")
+	}
+	for k, p := range d.Patterns() {
+		if p.Key != k {
+			t.Errorf("pattern map key %q != pattern key %q", k, p.Key)
+		}
+	}
+}
+
+func TestExpectedGramIDs(t *testing.T) {
+	b := NewBuilder(20 * us)
+	d := NewDetector(0)
+	var ids []EventID
+	var gaps []time.Duration
+	for it := 0; it < 5; it++ {
+		ids = append(ids, 41, 41, 10)
+		gaps = append(gaps, 300*us, 5*us, 200*us)
+	}
+	feed(t, b, d, ids, gaps)
+	if !d.Predicting() {
+		t.Fatal("not predicting")
+	}
+	exp, ok := d.Expected()
+	if !ok {
+		t.Fatal("no expected gram")
+	}
+	key := GramKey(exp)
+	if key != "41-41" && key != "10" {
+		t.Errorf("expected gram %q is not part of the pattern", key)
+	}
+}
+
+// Property: arbitrary (non-periodic) random streams never crash the
+// detector, keep counters consistent, and bound the pattern list by the
+// number of distinct tails seen.
+func TestDetectorRandomStreamRobustness(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(20 * us)
+		d := NewDetector(0)
+		var now time.Duration
+		count := int(n%500) + 10
+		for i := 0; i < count; i++ {
+			gap := time.Duration(rng.Intn(400)) * us
+			now += gap
+			if g := b.Add(EventID(rng.Intn(6)+1), gap, now, now); g != nil {
+				d.AddGram(g)
+			}
+		}
+		if g := b.Flush(); g != nil {
+			d.AddGram(g)
+		}
+		st := d.Stats()
+		if st.PredictedGrams+st.Invocations > st.GramsFormed+st.WildcardGrams {
+			return false
+		}
+		return st.PredictedCalls <= st.TotalCalls
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func ExampleGramKey() {
+	fmt.Println(GramKey([]EventID{41, 41, 41}))
+	fmt.Println(GramKey([]EventID{10}))
+	// Output:
+	// 41-41-41
+	// 10
+}

@@ -1,0 +1,87 @@
+package ngram
+
+import (
+	"strings"
+	"time"
+)
+
+// Pattern is a repeating sequence of grams, stored in the pattern list hash
+// table (the paper uses uthash keyed by the pattern string; we use a Go map).
+type Pattern struct {
+	Key      string   // gram keys joined by "_", e.g. "41-41-41_10_10"
+	Grams    []string // gram keys in order
+	Freq     int      // number of observed appearances
+	Detected bool     // declared predictable (3 consecutive appearances)
+	NumCalls int      // MPI calls per appearance
+
+	// Positions of appearances in the gram array (for diagnostics, matching
+	// the paper's Figure 3 "Insertions into Pattern List" table).
+	Positions []int
+
+	// gapSum/gapCnt accumulate the idle time preceding each gram of the
+	// pattern so that predictions use the average over previous appearances
+	// (Section III-B: "these times are averaged over previous appearances").
+	gapSum []time.Duration
+	gapCnt []int
+	// gapWin holds the most recent observations per position; predictions
+	// use the window minimum so that the link is back up before even the
+	// fastest recent occurrence of the gap — the paper's "better to power up
+	// a link little bit earlier than needed" policy taken to its safe side.
+	gapWin [][]time.Duration
+}
+
+// gapWindow is the number of recent observations kept per gap position.
+const gapWindow = 8
+
+// PatternKey joins gram keys into a pattern identity.
+func PatternKey(grams []string) string { return strings.Join(grams, "_") }
+
+// MeanGap returns the average idle time observed before gram index i of the
+// pattern (i == 0 is the gap separating consecutive pattern appearances).
+func (p *Pattern) MeanGap(i int) time.Duration {
+	if i < 0 || i >= len(p.gapSum) || p.gapCnt[i] == 0 {
+		return 0
+	}
+	return p.gapSum[i] / time.Duration(p.gapCnt[i])
+}
+
+// ObserveGap folds a newly observed idle time before gram index i into the
+// running average. Inter-communication intervals keep being updated while
+// the power mode control component is active (Section III: "Just
+// inter-communication intervals continue to be updated with the new values
+// allowing more accurate transition between power modes").
+func (p *Pattern) ObserveGap(i int, gap time.Duration) {
+	if i < 0 {
+		return
+	}
+	for len(p.gapSum) <= i {
+		p.gapSum = append(p.gapSum, 0)
+		p.gapCnt = append(p.gapCnt, 0)
+		p.gapWin = append(p.gapWin, nil)
+	}
+	p.gapSum[i] += gap
+	p.gapCnt[i]++
+	w := append(p.gapWin[i], gap)
+	if len(w) > gapWindow {
+		w = w[1:]
+	}
+	p.gapWin[i] = w
+}
+
+// SafeGap returns the conservative idle estimate for position i: the minimum
+// over the recent observation window (0 when no estimate is available).
+func (p *Pattern) SafeGap(i int) time.Duration {
+	if i < 0 || i >= len(p.gapWin) || len(p.gapWin[i]) == 0 {
+		return 0
+	}
+	m := p.gapWin[i][0]
+	for _, g := range p.gapWin[i][1:] {
+		if g < m {
+			m = g
+		}
+	}
+	return m
+}
+
+// Size returns the pattern length in grams.
+func (p *Pattern) Size() int { return len(p.Grams) }

@@ -1,0 +1,105 @@
+package pmpi
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ibpower/internal/mpi"
+	"ibpower/internal/predictor"
+)
+
+func cfg() predictor.Config {
+	return predictor.Config{GT: 20 * time.Microsecond, Displacement: 0.05}
+}
+
+func TestLayerValidation(t *testing.T) {
+	if _, err := New(predictor.Config{GT: time.Microsecond}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// spin busy-waits so the inter-call gap comfortably exceeds GT.
+func spin(d time.Duration) {
+	t0 := time.Now()
+	for time.Since(t0) < d {
+	}
+}
+
+func runIterative(t *testing.T, l *Layer, np, iters int) *Report {
+	t.Helper()
+	t0 := time.Now()
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		right := (c.Rank() + 1) % np
+		left := (c.Rank() - 1 + np) % np
+		for i := 0; i < iters; i++ {
+			c.Sendrecv(right, []float64{1}, left)
+			spin(300 * time.Microsecond)
+			c.Allreduce([]float64{1}, mpi.Sum)
+			spin(150 * time.Microsecond)
+		}
+		return nil
+	}, mpi.WithProfiler(l.Factory()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l.Report(time.Since(t0))
+}
+
+func TestLayerSavesPower(t *testing.T) {
+	l, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runIterative(t, l, 4, 60)
+	if len(rep.PerRank) != 4 {
+		t.Fatalf("per-rank reports = %d", len(rep.PerRank))
+	}
+	if rep.AvgSaving <= 0 {
+		t.Errorf("no savings on an iterative program (%.2f%%)", rep.AvgSaving)
+	}
+	if rep.AvgSaving > 57 {
+		t.Errorf("savings %.2f%% above the physical bound", rep.AvgSaving)
+	}
+	if rep.AvgHitPct < 50 {
+		t.Errorf("hit rate %.1f%% on a regular program", rep.AvgHitPct)
+	}
+	for _, rr := range rep.PerRank {
+		if rr.Acct.Total() <= 0 {
+			t.Errorf("rank %d has no accounted time", rr.Rank)
+		}
+		if rr.Stats.Calls != 120 {
+			t.Errorf("rank %d observed %d calls, want 120", rr.Rank, rr.Stats.Calls)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	l, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runIterative(t, l, 2, 20)
+	var sb strings.Builder
+	if err := rep.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "power saving") || !strings.Contains(out, "rank") {
+		t.Errorf("report output:\n%s", out)
+	}
+}
+
+func TestDelayEmulation(t *testing.T) {
+	l, err := New(cfg(), WithDelayEmulation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runIterative(t, l, 2, 40)
+	// With emulation on, any demand wake must have slept.
+	for _, rr := range rep.PerRank {
+		if rr.DemandWakes > 0 && rr.Slept == 0 {
+			t.Errorf("rank %d: %d demand wakes but no sleep", rr.Rank, rr.DemandWakes)
+		}
+	}
+}

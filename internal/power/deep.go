@@ -1,0 +1,82 @@
+package power
+
+import "time"
+
+// Deep low-power mode — the paper's future-work scenario (Section VI):
+// besides the link lanes, other switch elements (input buffers, crossbars)
+// can be powered down during long predicted idle intervals. Their
+// reactivation is much longer — "can take up to a millisecond" — so an
+// accurate predictor is what makes the mode usable at all: a demand wake
+// from deep mode stalls communication for up to DeepTreact.
+const (
+	// DeepTreact is the reactivation time of the deeper switch elements.
+	DeepTreact = 1 * time.Millisecond
+
+	// DeepPowerFraction is the switch draw in deep mode relative to nominal.
+	// The paper quantifies only the WRPS figure (43 %); for the deep mode we
+	// assume the links' WRPS floor plus most of the buffer/crossbar share
+	// also removed: 25 % of nominal. Documented as an assumption in
+	// DESIGN.md.
+	DeepPowerFraction = 0.25
+)
+
+// DeepConfig enables the deep mode on a Controller.
+type DeepConfig struct {
+	Treact time.Duration // deep reactivation time; <= 0 selects DeepTreact
+	// MinIdle is the smallest predicted idle for which deep mode is
+	// entered; <= 0 selects the energy breakeven point against plain WRPS
+	// (see BreakevenIdle), since entering deep mode below it wastes energy:
+	// the long reactivation shift is charged at full power.
+	MinIdle time.Duration
+	// PowerFraction is the deep-mode draw; <= 0 selects DeepPowerFraction.
+	PowerFraction float64
+}
+
+func (d DeepConfig) treact() time.Duration {
+	if d.Treact <= 0 {
+		return DeepTreact
+	}
+	return d.Treact
+}
+
+// BreakevenIdle returns the predicted idle length above which deep mode
+// saves more energy than plain WRPS: solve
+//
+//	(P − deepTreact)·(1 − deepFraction) > (P − Treact)·(1 − LowPowerFraction)
+//
+// for P (both sides relative to nominal power; the reactivation shifts are
+// charged at full power per the paper's model).
+func (d DeepConfig) BreakevenIdle(laneTreact time.Duration) time.Duration {
+	deepGain := 1 - d.fraction()
+	laneGain := 1 - LowPowerFraction
+	num := deepGain*float64(d.treact()) - laneGain*float64(laneTreact)
+	den := deepGain - laneGain
+	if den <= 0 {
+		return 1 << 62 // deep mode never pays off
+	}
+	return time.Duration(num / den)
+}
+
+func (d DeepConfig) minIdle(laneTreact time.Duration) time.Duration {
+	if d.MinIdle <= 0 {
+		return d.BreakevenIdle(laneTreact)
+	}
+	return d.MinIdle
+}
+
+func (d DeepConfig) fraction() float64 {
+	if d.PowerFraction <= 0 {
+		return DeepPowerFraction
+	}
+	return d.PowerFraction
+}
+
+// EnableDeep switches the controller to the two-level policy: predicted
+// idles above cfg.MinIdle enter deep mode (lanes and switch elements down),
+// shorter ones use plain WRPS.
+func (c *Controller) EnableDeep(cfg DeepConfig) {
+	c.deep = true
+	c.deepTreact = cfg.treact()
+	c.deepMinIdle = cfg.minIdle(c.treact)
+	c.deepFraction = cfg.fraction()
+}

@@ -1,0 +1,159 @@
+package power
+
+import (
+	"testing"
+	"time"
+
+	"ibpower/internal/trace"
+)
+
+const ms = time.Millisecond
+
+func deepCtl(deepTreact, minIdle time.Duration) *Controller {
+	c := NewController(Treact)
+	c.EnableDeep(DeepConfig{Treact: deepTreact, MinIdle: minIdle})
+	return c
+}
+
+func TestDeepCycleTimerWake(t *testing.T) {
+	c := deepCtl(1*ms, 2*ms)
+	// 10 ms predicted idle: deep engages.
+	if !c.Shutdown(0, 10*ms) {
+		t.Fatal("shutdown rejected")
+	}
+	if m := c.Mode(5 * us); m != ModeDown {
+		t.Errorf("mode at 5µs = %v", m)
+	}
+	if m := c.Mode(5 * ms); m != ModeDeep {
+		t.Errorf("mode at 5ms = %v, want deep", m)
+	}
+	// Wake starts at P + Treact - deepTreact = 9.01 ms, completes 10.01 ms.
+	if m := c.Mode(9*ms + 500*us); m != ModeUp {
+		t.Errorf("mode at 9.5ms = %v, want shift-up", m)
+	}
+	if m := c.Mode(10*ms + 20*us); m != ModeFull {
+		t.Errorf("mode at 10.02ms = %v, want full", m)
+	}
+	c.Finish(11 * ms)
+	a := c.Accounting()
+	if a.Deep <= 0 {
+		t.Fatal("no deep time accounted")
+	}
+	if a.Low != 0 {
+		t.Errorf("low time %v in a pure deep cycle", a.Low)
+	}
+	if a.Total() != 11*ms {
+		t.Errorf("total = %v", a.Total())
+	}
+	// Deep at 25 % beats WRPS at 43 % for the same window.
+	if a.SavingPct() <= 0 {
+		t.Error("no saving")
+	}
+}
+
+func TestDeepBelowThresholdUsesWRPS(t *testing.T) {
+	c := deepCtl(1*ms, 2*ms)
+	c.Shutdown(0, 500*us) // below MinIdle: plain lanes-off
+	c.Finish(1 * ms)
+	a := c.Accounting()
+	if a.Deep != 0 {
+		t.Errorf("deep time %v for a short idle", a.Deep)
+	}
+	if a.Low <= 0 {
+		t.Error("no low-power time")
+	}
+}
+
+func TestDeepDemandWakePaysDeepTreact(t *testing.T) {
+	c := deepCtl(1*ms, 2*ms)
+	c.Shutdown(0, 10*ms)
+	// Early communication at 3 ms: full millisecond reactivation — the
+	// delay the paper warns about in Section VI.
+	ready := c.Acquire(3 * ms)
+	if ready != 4*ms {
+		t.Errorf("ready = %v, want 4ms", ready)
+	}
+	if c.DemandWakes != 1 {
+		t.Errorf("demand wakes = %d", c.DemandWakes)
+	}
+}
+
+func TestBreakevenIdle(t *testing.T) {
+	cfg := DeepConfig{} // 1 ms deep Treact, 25 % draw
+	be := cfg.BreakevenIdle(Treact)
+	// Analytic: (0.75*1ms - 0.57*10µs) / 0.18 ≈ 4.135 ms.
+	if be < 4*ms || be > 4300*us {
+		t.Errorf("breakeven = %v, want ~4.13ms", be)
+	}
+	// A deep mode with no gain never pays off.
+	worse := DeepConfig{PowerFraction: 0.6}
+	if worse.BreakevenIdle(Treact) < (1<<62)-1 {
+		t.Error("deep mode drawing more than WRPS must never engage")
+	}
+}
+
+func TestDeepEnergyBeatsWRPSAboveBreakeven(t *testing.T) {
+	// Same long idle, lanes-only vs deep: deep must consume less energy.
+	idle := 20 * ms
+	lanes := NewController(Treact)
+	lanes.Shutdown(0, idle)
+	lanes.Finish(idle + Treact)
+
+	deep := deepCtl(1*ms, 0) // breakeven threshold (~4.1 ms) < 20 ms
+	deep.Shutdown(0, idle)
+	deep.Finish(idle + Treact)
+
+	if deep.Accounting().MeanPowerFraction() >= lanes.Accounting().MeanPowerFraction() {
+		t.Errorf("deep %.4f >= lanes %.4f above breakeven",
+			deep.Accounting().MeanPowerFraction(), lanes.Accounting().MeanPowerFraction())
+	}
+}
+
+func TestDeepTimelineState(t *testing.T) {
+	c := deepCtl(1*ms, 2*ms)
+	tl := c.RecordTimeline("link")
+	c.Shutdown(0, 10*ms)
+	c.Finish(12 * ms)
+	if tl.TimeIn(trace.StateDeep) <= 0 {
+		t.Error("timeline shows no deep state")
+	}
+}
+
+func TestSwitchPowerModel(t *testing.T) {
+	// A switch whose single managed port idles at 43 % half the time.
+	a := Accounting{Full: 50 * us, Low: 50 * us}
+	rep := SwitchPower([]Accounting{a}, 0)
+	wantPort := 0.5 + 0.5*LowPowerFraction
+	if diff := rep.MeanPortPowerFraction - wantPort; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("port fraction = %v, want %v", rep.MeanPortPowerFraction, wantPort)
+	}
+	// Only the link share is reduced; the rest of the switch stays on.
+	want := LinkShareOfSwitch*wantPort + (1 - LinkShareOfSwitch)
+	if diff := rep.PowerFraction - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("switch fraction = %v, want %v", rep.PowerFraction, want)
+	}
+	// Always-on ports dilute the saving.
+	diluted := SwitchPower([]Accounting{a}, 3)
+	if diluted.SavingPct >= rep.SavingPct {
+		t.Error("always-on ports must dilute the saving")
+	}
+	// Empty switch: nominal power.
+	if SwitchPower(nil, 4).PowerFraction != 1 {
+		t.Error("portless switch must draw nominal")
+	}
+}
+
+func TestFabricPower(t *testing.T) {
+	a := Accounting{Full: 50 * us, Low: 50 * us}
+	b := Accounting{Full: 100 * us}
+	rep := FabricPower([][]Accounting{{a}, {b}}, []int{0, 0})
+	if len(rep.Switches) != 2 {
+		t.Fatalf("switches = %d", len(rep.Switches))
+	}
+	if rep.Switches[1].SavingPct != 0 {
+		t.Errorf("always-full switch saving = %v", rep.Switches[1].SavingPct)
+	}
+	if rep.SavingPct <= 0 || rep.SavingPct >= rep.Switches[0].SavingPct {
+		t.Errorf("fabric saving = %v", rep.SavingPct)
+	}
+}

@@ -1,0 +1,68 @@
+package predictor
+
+import (
+	"time"
+
+	"ibpower/internal/power"
+	"ibpower/internal/trace"
+)
+
+// RunOfflineOracle computes the upper bound on the mechanism: an oracle that
+// knows every future inter-communication interval exactly. For each idle
+// interval above GT it programs the wake timer with the true gap less the
+// Algorithm 3 safety limit, so no demand wake ever happens and every
+// eligible microsecond (minus displacement and shift time) is reclaimed.
+// Comparing PPA against this bound quantifies what prediction errors cost
+// (the BenchmarkOracleVsPPA ablation).
+func RunOfflineOracle(tr *trace.Trace, cfg Config) (*OfflineResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	treact := cfg.Treact
+	if treact <= 0 {
+		treact = power.Treact
+	}
+	out := &OfflineResult{
+		Stats: make([]Stats, tr.NP),
+		Acct:  make([]power.Accounting, tr.NP),
+	}
+	for r := 0; r < tr.NP; r++ {
+		ctrl := power.NewController(treact)
+		var t time.Duration
+		var pending time.Duration // accumulated idle since the last call
+		seenCall := false
+		shutAt := time.Duration(-1)
+		var st Stats
+		for _, op := range tr.Ranks[r] {
+			switch op.Kind {
+			case trace.OpCompute:
+				pending += op.Duration
+			case trace.OpCall:
+				if seenCall && pending >= cfg.GT && shutAt >= 0 {
+					// The oracle knew this gap at the previous call's end.
+					safety := time.Duration(float64(pending)*cfg.Displacement) + treact
+					predicted := pending - safety
+					if predicted > 0 && ctrl.Shutdown(shutAt, predicted) {
+						st.Shutdowns++
+						st.PredictedIdle += predicted
+					}
+				}
+				t += pending
+				pending = 0
+				t = ctrl.Acquire(t)
+				seenCall = true
+				st.Calls++
+				shutAt = t // calls are instantaneous in the offline model
+			}
+		}
+		t += pending
+		ctrl.Finish(t)
+		out.Stats[r] = st
+		out.Acct[r] = ctrl.Accounting()
+		out.Delay += ctrl.TotalDelay
+		if t > out.Exec {
+			out.Exec = t
+		}
+	}
+	return out, nil
+}

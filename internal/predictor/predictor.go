@@ -1,0 +1,226 @@
+// Package predictor assembles the paper's power saving mechanism for one MPI
+// process: the pattern prediction component (gram formation + PPA,
+// internal/ngram) and the power mode control component (Algorithm 3), which
+// converts a predicted idle interval into a WRPS turn-off-lanes command with
+// a displacement-factor safety margin.
+//
+// The predictor is driven from the PMPI layer (or the replay simulator): it
+// observes every MPI call of its process and, when the call completes the
+// gram expected by the detected pattern, emits a shutdown action:
+//
+//	safetyLimit       = idleTime*displacement + Treact
+//	predictedIdleTime = idleTime - safetyLimit
+//
+// so that the lanes are back up idleTime*displacement before the next
+// communication is expected (Figure 4).
+package predictor
+
+import (
+	"fmt"
+	"time"
+
+	"ibpower/internal/ngram"
+	"ibpower/internal/power"
+)
+
+// EventID aliases the detector's event identifier (an MPI call ID).
+type EventID = ngram.EventID
+
+// Config parameterises the mechanism.
+type Config struct {
+	// GT is the grouping threshold for gram formation; it must be at least
+	// 2·Treact (Section IV-C).
+	GT time.Duration
+	// Displacement is the displacement factor (0.01, 0.05, 0.10 in the
+	// paper's evaluation).
+	Displacement float64
+	// Treact is the lane (de)activation time; <= 0 selects power.Treact.
+	Treact time.Duration
+	// MaxPatternSize caps pattern growth before detection freezes it;
+	// <= 0 selects ngram.DefaultMaxPatternSize.
+	MaxPatternSize int
+}
+
+// Validate checks the configuration against the paper's constraints.
+func (c Config) Validate() error {
+	treact := c.Treact
+	if treact <= 0 {
+		treact = power.Treact
+	}
+	if c.GT < 2*treact {
+		return fmt.Errorf("predictor: GT %v below minimum 2*Treact = %v", c.GT, 2*treact)
+	}
+	if c.Displacement < 0 || c.Displacement >= 1 {
+		return fmt.Errorf("predictor: displacement factor %v outside [0,1)", c.Displacement)
+	}
+	return nil
+}
+
+func (c Config) treact() time.Duration {
+	if c.Treact <= 0 {
+		return power.Treact
+	}
+	return c.Treact
+}
+
+// Action is the outcome of observing one MPI call.
+type Action struct {
+	// Shutdown directs the caller to issue a turn-off-lanes command when the
+	// call completes.
+	Shutdown bool
+	// PredictedIdle is the duration to program into the link power
+	// controller's wake timer (already reduced by the safety limit).
+	PredictedIdle time.Duration
+	// RawIdle is the averaged idle estimate before the safety limit was
+	// applied (for diagnostics).
+	RawIdle time.Duration
+	// PPAInvoked reports that the full pattern prediction algorithm ran on
+	// this call (used for the Table IV overhead accounting).
+	PPAInvoked bool
+}
+
+// Stats aggregates mechanism behaviour over a process lifetime.
+type Stats struct {
+	Calls          int           // MPI calls observed
+	PPAInvocations int           // calls on which the full PPA ran
+	Shutdowns      int           // shutdown actions emitted
+	PredictedIdle  time.Duration // total low-power time programmed into wake timers
+	Detector       ngram.DetectorStats
+}
+
+// HitRatePct returns the percentage of MPI calls that belonged to correctly
+// predicted grams (Table III's "MPI call hit rate").
+func (s Stats) HitRatePct() float64 {
+	if s.Detector.TotalCalls == 0 {
+		return 0
+	}
+	return 100 * float64(s.Detector.PredictedCalls) / float64(s.Detector.TotalCalls)
+}
+
+// Predictor is the per-process mechanism instance.
+type Predictor struct {
+	cfg      Config
+	builder  *ngram.Builder
+	detector *ngram.Detector
+
+	prevEnd  time.Duration
+	haveCall bool
+	calls    int
+	ppaCalls int
+	shuts    int
+	predIdle time.Duration
+}
+
+// New returns a predictor for one MPI process.
+func New(cfg Config) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Predictor{
+		cfg:      cfg,
+		builder:  ngram.NewBuilder(cfg.GT),
+		detector: ngram.NewDetector(cfg.MaxPatternSize),
+	}, nil
+}
+
+// MustNew is New, panicking on configuration errors (for tests/benchmarks).
+func MustNew(cfg Config) *Predictor {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Config returns the active configuration.
+func (p *Predictor) Config() Config { return p.cfg }
+
+// Predicting reports whether the power mode control component is active.
+func (p *Predictor) Predicting() bool { return p.detector.Predicting() }
+
+// Stats returns a snapshot of mechanism statistics.
+func (p *Predictor) Stats() Stats {
+	return Stats{
+		Calls:          p.calls,
+		PPAInvocations: p.ppaCalls,
+		Shutdowns:      p.shuts,
+		PredictedIdle:  p.predIdle,
+		Detector:       p.detector.Stats(),
+	}
+}
+
+// OnCall observes one intercepted MPI call occupying [start, end] and
+// returns the action to take when the call returns. Calls must be fed in
+// non-decreasing start order.
+func (p *Predictor) OnCall(id ngram.EventID, start, end time.Duration) Action {
+	var act Action
+	p.calls++
+
+	idle := time.Duration(0)
+	if p.haveCall {
+		idle = start - p.prevEnd
+		if idle < 0 {
+			idle = 0
+		}
+	}
+	p.haveCall = true
+	p.prevEnd = end
+
+	// Pattern prediction component: form grams (Algorithm 1); each
+	// finalized gram feeds the PPA (Algorithm 2). While a pattern is being
+	// predicted the PPA core is mostly disabled and only the timing
+	// estimates are refreshed, which AddGram handles internally.
+	wasPredicting := p.detector.Predicting()
+	if g := p.builder.Add(id, idle, start, end); g != nil {
+		p.detector.AddGram(g)
+		if !wasPredicting || !p.detector.Predicting() {
+			// Full PPA work happened on this call.
+			act.PPAInvoked = true
+			p.ppaCalls++
+		}
+	}
+
+	// Power mode control component (Algorithm 3): if prediction is enabled
+	// and the group of current MPI calls matches the predicted gram in size
+	// and content, shift the link to low-power mode for the predicted
+	// interval less the safety limit.
+	if exp, ok := p.detector.Expected(); ok {
+		cur := p.builder.CurrentIDs()
+		if len(cur) == len(exp) && equalIDs(cur, exp) {
+			idleTime := p.detector.PredictedGapAfterExpected()
+			if idleTime > 0 {
+				safety := time.Duration(float64(idleTime)*p.cfg.Displacement) + p.cfg.treact()
+				predicted := idleTime - safety
+				if predicted > 0 {
+					act.Shutdown = true
+					act.PredictedIdle = predicted
+					act.RawIdle = idleTime
+					p.shuts++
+					p.predIdle += predicted
+				}
+			}
+		}
+	}
+	return act
+}
+
+// Flush finalizes the gram under construction at end of run, feeding it to
+// the detector so the counters include the trailing gram. (No action
+// results.)
+func (p *Predictor) Flush() {
+	if g := p.builder.Flush(); g != nil {
+		p.detector.AddGram(g)
+	}
+}
+
+func equalIDs(a, b []ngram.EventID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,257 @@
+package predictor
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ibpower/internal/power"
+	"ibpower/internal/trace"
+)
+
+const us = time.Microsecond
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{GT: 10 * us, Displacement: 0.01},  // GT below 2·Treact
+		{GT: 100 * us, Displacement: -0.1}, // negative displacement
+		{GT: 100 * us, Displacement: 1.0},  // displacement >= 1
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	good := Config{GT: 20 * us, Displacement: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	// Custom Treact relaxes the GT floor.
+	custom := Config{GT: 10 * us, Displacement: 0, Treact: 5 * us}
+	if err := custom.Validate(); err != nil {
+		t.Errorf("custom Treact config rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew must panic on invalid config")
+		}
+	}()
+	MustNew(Config{GT: time.Microsecond})
+}
+
+// runIterations pushes n iterations of a fixed two-gram pattern through a
+// predictor: gram A (two calls, id 41) [gap short], then a long gap, then
+// gram B (one call, id 10), then a medium gap.
+func runIterations(p *Predictor, n int, longGap, medGap time.Duration) []Action {
+	var acts []Action
+	var now time.Duration
+	for i := 0; i < n; i++ {
+		now += longGap
+		acts = append(acts, p.OnCall(41, now, now+2*us))
+		now += 2*us + 4*us
+		acts = append(acts, p.OnCall(41, now, now+2*us))
+		now += 2 * us
+		now += medGap
+		acts = append(acts, p.OnCall(10, now, now+3*us))
+		now += 3 * us
+	}
+	return acts
+}
+
+func TestPredictorShutdownAction(t *testing.T) {
+	p := MustNew(Config{GT: 20 * us, Displacement: 0.10})
+	acts := runIterations(p, 12, 500*us, 300*us)
+	var shutdowns int
+	for _, a := range acts {
+		if a.Shutdown {
+			shutdowns++
+			if a.PredictedIdle <= 0 || a.PredictedIdle >= a.RawIdle {
+				t.Errorf("predicted idle %v not within (0, raw %v)", a.PredictedIdle, a.RawIdle)
+			}
+		}
+	}
+	if shutdowns == 0 {
+		t.Fatal("no shutdown actions on a perfectly periodic stream")
+	}
+	st := p.Stats()
+	if st.Shutdowns != shutdowns {
+		t.Errorf("Stats.Shutdowns = %d, want %d", st.Shutdowns, shutdowns)
+	}
+	if st.PredictedIdle <= 0 {
+		t.Error("no predicted idle accumulated")
+	}
+}
+
+func TestAlgorithm3SafetyFormula(t *testing.T) {
+	// With displacement d and reactivation Treact, the programmed idle must
+	// equal idleTime - (idleTime*d + Treact) for the stable gap estimate.
+	const d = 0.10
+	p := MustNew(Config{GT: 20 * us, Displacement: d})
+	acts := runIterations(p, 20, 500*us, 300*us)
+	var last Action
+	for _, a := range acts {
+		if a.Shutdown {
+			last = a
+		}
+	}
+	if !last.Shutdown {
+		t.Fatal("no shutdown action")
+	}
+	want := last.RawIdle - time.Duration(float64(last.RawIdle)*d) - power.Treact
+	if last.PredictedIdle != want {
+		t.Errorf("predicted = %v, want %v (raw %v)", last.PredictedIdle, want, last.RawIdle)
+	}
+}
+
+func TestDisplacementMonotonicity(t *testing.T) {
+	// Larger displacement factors must never program longer idle times.
+	idle := func(d float64) time.Duration {
+		p := MustNew(Config{GT: 20 * us, Displacement: d})
+		acts := runIterations(p, 15, 500*us, 300*us)
+		var sum time.Duration
+		for _, a := range acts {
+			if a.Shutdown {
+				sum += a.PredictedIdle
+			}
+		}
+		return sum
+	}
+	i1, i5, i10 := idle(0.01), idle(0.05), idle(0.10)
+	if !(i1 >= i5 && i5 >= i10) {
+		t.Errorf("predicted idle not monotone in displacement: 1%%=%v 5%%=%v 10%%=%v", i1, i5, i10)
+	}
+	if i1 == 0 {
+		t.Fatal("no idle predicted at 1% displacement")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	p := MustNew(Config{GT: 20 * us, Displacement: 0.01})
+	runIterations(p, 40, 500*us, 300*us)
+	p.Flush()
+	st := p.Stats()
+	if st.HitRatePct() < 80 {
+		t.Errorf("hit rate %.1f%% on a periodic stream", st.HitRatePct())
+	}
+	if st.Calls != 120 {
+		t.Errorf("calls = %d, want 120", st.Calls)
+	}
+}
+
+func TestNoShutdownBeforeDetection(t *testing.T) {
+	p := MustNew(Config{GT: 20 * us, Displacement: 0.01})
+	acts := runIterations(p, 2, 500*us, 300*us)
+	for i, a := range acts {
+		if a.Shutdown {
+			t.Errorf("shutdown at call %d before three pattern appearances", i)
+		}
+	}
+}
+
+func TestOfflineRunner(t *testing.T) {
+	tr := trace.New("t", 2)
+	for r := 0; r < 2; r++ {
+		for i := 0; i < 30; i++ {
+			tr.Append(r, trace.Compute(400*us))
+			tr.Append(r, trace.Sendrecv((r+1)%2, (r+1)%2, 1024))
+			tr.Append(r, trace.Compute(250*us))
+			tr.Append(r, trace.Allreduce(8))
+		}
+	}
+	res, err := RunOffline(tr, Config{GT: 20 * us, Displacement: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 2 || len(res.Acct) != 2 {
+		t.Fatalf("per-rank results missing: %d/%d", len(res.Stats), len(res.Acct))
+	}
+	if res.AvgHitRatePct() < 70 {
+		t.Errorf("offline hit rate %.1f%%", res.AvgHitRatePct())
+	}
+	if res.TotalLow() <= 0 {
+		t.Error("no realized low-power time")
+	}
+	if res.Exec <= 0 {
+		t.Error("no exec time")
+	}
+	// Accounting conservation per rank.
+	for r, a := range res.Acct {
+		if a.Total() <= 0 {
+			t.Errorf("rank %d accounting empty", r)
+		}
+	}
+}
+
+func TestMeasureOverheads(t *testing.T) {
+	tr := trace.New("t", 1)
+	for i := 0; i < 200; i++ {
+		tr.Append(0, trace.Compute(100*us))
+		tr.Append(0, trace.Barrier())
+		tr.Append(0, trace.Compute(60*us))
+		tr.Append(0, trace.Allreduce(8))
+	}
+	rep, err := MeasureOverheads(tr, Config{GT: 20 * us, Displacement: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Calls != 400 {
+		t.Errorf("calls = %d, want 400", rep.Calls)
+	}
+	if rep.PPAInvoked == 0 || rep.PPAInvokedPct <= 0 {
+		t.Error("no PPA invocations measured")
+	}
+	// Prediction succeeds on this stream, so PPA runs on a small share of
+	// calls (the paper's Table IV averages 2.1 %).
+	if rep.PPAInvokedPct > 50 {
+		t.Errorf("PPA invoked on %.1f%% of calls; prediction is not kicking in", rep.PPAInvokedPct)
+	}
+	if rep.PerCallAmortized <= 0 || rep.Total <= 0 {
+		t.Error("missing timing measurements")
+	}
+}
+
+func TestOverheadModel(t *testing.T) {
+	m := DefaultOverheads()
+	if m.Interception != time.Microsecond {
+		t.Errorf("interception = %v, want 1µs (Table IV)", m.Interception)
+	}
+	c2 := m.PPACost(2, 0)
+	c8 := m.PPACost(8, 0)
+	if c8 <= c2 {
+		t.Error("PPA cost must grow with pattern size")
+	}
+	// CallCost without PPA is just the interception.
+	if m.CallCost(false, 4, 10) != m.Interception {
+		t.Error("CallCost(false) must be interception only")
+	}
+	if m.CallCost(true, 0, 0) <= m.Interception {
+		t.Error("CallCost(true) must include PPA cost")
+	}
+}
+
+// Property: for any valid displacement and gap scale, shutdown actions are
+// consistent: 0 < predicted < raw, and stats counters match the actions.
+func TestActionConsistencyProperty(t *testing.T) {
+	f := func(dRaw uint8, gapRaw uint16) bool {
+		d := float64(dRaw%20) / 100
+		gap := time.Duration(gapRaw%2000+100) * us
+		p := MustNew(Config{GT: 20 * us, Displacement: d})
+		acts := runIterations(p, 10, gap, gap/2+60*us)
+		n := 0
+		for _, a := range acts {
+			if a.Shutdown {
+				n++
+				if a.PredictedIdle <= 0 || a.PredictedIdle >= a.RawIdle {
+					return false
+				}
+			}
+		}
+		return p.Stats().Shutdowns == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

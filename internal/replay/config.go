@@ -1,0 +1,88 @@
+// Package replay is the Dimemas-like trace replay engine: it re-executes the
+// MPI activity recorded in a trace, representing computation by its recorded
+// duration and timing communication through the network model, optionally
+// with the paper's power saving mechanism interposed at every MPI call
+// (Section IV-A methodology).
+package replay
+
+import (
+	"fmt"
+	"time"
+
+	"ibpower/internal/network"
+	"ibpower/internal/power"
+	"ibpower/internal/predictor"
+	"ibpower/internal/topology"
+)
+
+// OverheadModel aliases the predictor's overhead model (Table IV costs); see
+// predictor.OverheadModel.
+type OverheadModel = predictor.OverheadModel
+
+// DefaultOverheads returns the Table IV-calibrated costs.
+func DefaultOverheads() OverheadModel { return predictor.DefaultOverheads() }
+
+// PowerConfig enables the power saving mechanism during replay.
+type PowerConfig struct {
+	Enabled         bool
+	Predictor       predictor.Config
+	Overheads       OverheadModel
+	RecordTimelines bool // record per-rank link state timelines (Figure 6)
+
+	// DeepSleep enables the paper's Section VI scenario: long predicted
+	// idles also power down switch buffers/crossbars (millisecond
+	// reactivation).
+	DeepSleep bool
+	Deep      power.DeepConfig
+}
+
+// Config parameterises a replay run.
+type Config struct {
+	Net   network.Config
+	Topo  *topology.XGFT // nil selects the paper's XGFT(2;18,14;1,18)
+	Power PowerConfig
+}
+
+// DefaultConfig returns the paper's Table II simulation parameters with the
+// mechanism disabled (the power-unaware baseline).
+func DefaultConfig() Config {
+	return Config{Net: network.DefaultConfig()}
+}
+
+// WithPower returns cfg with the mechanism enabled at the given grouping
+// threshold and displacement factor.
+func (c Config) WithPower(gt time.Duration, displacement float64) Config {
+	c.Power = PowerConfig{
+		Enabled: true,
+		Predictor: predictor.Config{
+			GT:           gt,
+			Displacement: displacement,
+			Treact:       power.Treact,
+		},
+		Overheads: DefaultOverheads(),
+	}
+	return c
+}
+
+// WithDeepSleep returns cfg with the Section VI deep mode enabled on top of
+// the lane mechanism (WithPower must be applied first).
+func (c Config) WithDeepSleep(deep power.DeepConfig) Config {
+	c.Power.DeepSleep = true
+	c.Power.Deep = deep
+	return c
+}
+
+func (c Config) validate(np int) error {
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	if c.Power.Enabled {
+		if err := c.Power.Predictor.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Topo != nil && c.Topo.NumTerminals() < np {
+		return fmt.Errorf("replay: topology has %d terminals, need %d", c.Topo.NumTerminals(), np)
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+package replay
+
+import (
+	"fmt"
+	"time"
+
+	"ibpower/internal/network"
+	"ibpower/internal/ngram"
+	"ibpower/internal/power"
+	"ibpower/internal/predictor"
+	"ibpower/internal/topology"
+	"ibpower/internal/trace"
+)
+
+// rankState is one MPI process during replay.
+type rankState struct {
+	r    int
+	ops  []trace.Op
+	pc   int
+	clk  time.Duration
+	done bool
+
+	// Current MPI call.
+	inCall    bool
+	callStart time.Duration
+	micro     []microOp
+	mi        int
+	issued    bool
+	needSend  bool
+	needRecv  bool
+	sendDone  time.Duration
+	recvDone  time.Duration
+	haveSend  bool
+	haveRecv  bool
+
+	pred *predictor.Predictor
+	ctrl *power.Controller
+}
+
+// pendingPt is one side of an unmatched point-to-point operation.
+type pendingPt struct {
+	rank  int
+	ready time.Duration
+	bytes int
+}
+
+type pairKey struct{ src, dst int }
+
+// engine holds global replay state.
+type engine struct {
+	tr     *trace.Trace
+	cfg    Config
+	net    *network.Network
+	rk     []*rankState
+	sendQ  map[pairKey][]pendingPt
+	recvQ  map[pairKey][]pendingPt
+	work   []int
+	inWork []bool
+}
+
+// Run replays the trace under cfg and returns the measured result.
+func Run(tr *trace.Trace, cfg Config) (*Result, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(tr.NP); err != nil {
+		return nil, err
+	}
+	topo := cfg.Topo
+	if topo == nil {
+		topo = topology.Paper()
+	}
+	if topo.NumTerminals() < tr.NP {
+		return nil, fmt.Errorf("replay: topology has %d terminals, need %d", topo.NumTerminals(), tr.NP)
+	}
+	net, err := network.New(topo, cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		tr:     tr,
+		cfg:    cfg,
+		net:    net,
+		rk:     make([]*rankState, tr.NP),
+		sendQ:  make(map[pairKey][]pendingPt),
+		recvQ:  make(map[pairKey][]pendingPt),
+		inWork: make([]bool, tr.NP),
+	}
+	for r := 0; r < tr.NP; r++ {
+		rs := &rankState{r: r, ops: tr.Ranks[r]}
+		if cfg.Power.Enabled {
+			p, err := predictor.New(cfg.Power.Predictor)
+			if err != nil {
+				return nil, err
+			}
+			rs.pred = p
+			rs.ctrl = power.NewController(cfg.Power.Predictor.Treact)
+			if cfg.Power.DeepSleep {
+				rs.ctrl.EnableDeep(cfg.Power.Deep)
+			}
+			if cfg.Power.RecordTimelines {
+				rs.ctrl.RecordTimeline(fmt.Sprintf("rank %d", r))
+			}
+		}
+		e.rk[r] = rs
+		e.push(r)
+	}
+	for len(e.work) > 0 {
+		r := e.work[0]
+		e.work = e.work[1:]
+		e.inWork[r] = false
+		e.advance(e.rk[r])
+	}
+	for _, rs := range e.rk {
+		if !rs.done {
+			return nil, fmt.Errorf("replay: deadlock: rank %d blocked at op %d/%d (micro %d/%d)",
+				rs.r, rs.pc, len(rs.ops), rs.mi, len(rs.micro))
+		}
+	}
+	return e.collect(), nil
+}
+
+func (e *engine) push(r int) {
+	if !e.inWork[r] {
+		e.inWork[r] = true
+		e.work = append(e.work, r)
+	}
+}
+
+// advance executes rank rs until it blocks or finishes.
+func (e *engine) advance(rs *rankState) {
+	for {
+		if rs.done {
+			return
+		}
+		if rs.inCall {
+			if !e.stepMicro(rs) {
+				return // blocked
+			}
+			continue
+		}
+		if rs.pc >= len(rs.ops) {
+			rs.done = true
+			if rs.pred != nil {
+				rs.pred.Flush()
+			}
+			return
+		}
+		op := rs.ops[rs.pc]
+		switch op.Kind {
+		case trace.OpCompute:
+			rs.clk += op.Duration
+			rs.pc++
+		case trace.OpCall:
+			if rs.pred != nil {
+				rs.clk += e.cfg.Power.Overheads.Interception
+			}
+			rs.callStart = rs.clk
+			rs.micro = expand(op, rs.r, e.tr.NP)
+			rs.mi = 0
+			rs.issued = false
+			rs.inCall = true
+			if len(rs.micro) == 0 {
+				e.finishCall(rs)
+			}
+		}
+	}
+}
+
+// stepMicro progresses the current micro op; it returns false when blocked.
+func (e *engine) stepMicro(rs *rankState) bool {
+	if rs.mi >= len(rs.micro) {
+		e.finishCall(rs)
+		return true
+	}
+	m := rs.micro[rs.mi]
+	if !rs.issued {
+		rs.issued = true
+		rs.needSend = m.sendPeer >= 0
+		rs.needRecv = m.recvPeer >= 0
+		rs.haveSend = !rs.needSend
+		rs.haveRecv = !rs.needRecv
+		if rs.needSend {
+			e.postSend(rs.r, m.sendPeer, m.bytes, rs.clk)
+		}
+		if rs.needRecv {
+			e.postRecv(rs.r, m.recvPeer, rs.clk)
+		}
+	}
+	if !rs.haveSend || !rs.haveRecv {
+		return false
+	}
+	t := rs.sendDone
+	if rs.recvDone > t {
+		t = rs.recvDone
+	}
+	if t > rs.clk {
+		rs.clk = t
+	}
+	rs.mi++
+	rs.issued = false
+	if rs.mi >= len(rs.micro) {
+		e.finishCall(rs)
+	}
+	return true
+}
+
+// finishCall closes the current MPI call: the predictor observes it and may
+// direct the link power controller to shut lanes down for the predicted
+// idle interval (Algorithm 3).
+func (e *engine) finishCall(rs *rankState) {
+	rs.inCall = false
+	op := rs.ops[rs.pc]
+	rs.pc++
+	if rs.pred == nil {
+		return
+	}
+	act := rs.pred.OnCall(ngram.EventID(op.Call), rs.callStart, rs.clk)
+	if act.PPAInvoked {
+		st := rs.pred.Stats().Detector
+		rs.clk += e.cfg.Power.Overheads.PPACost(max(st.MaxPatternFrozen, 2), st.PatternListSize)
+	}
+	if act.Shutdown {
+		rs.ctrl.Shutdown(rs.clk, act.PredictedIdle)
+	}
+}
+
+// postSend registers the send side of a point-to-point exchange and resolves
+// it if the matching receive is already posted.
+func (e *engine) postSend(src, dst, bytes int, ready time.Duration) {
+	k := pairKey{src, dst}
+	if q := e.recvQ[k]; len(q) > 0 {
+		rv := q[0]
+		e.recvQ[k] = q[1:]
+		e.resolve(src, dst, bytes, ready, rv.ready)
+		return
+	}
+	e.sendQ[k] = append(e.sendQ[k], pendingPt{rank: src, ready: ready, bytes: bytes})
+}
+
+// postRecv registers the receive side.
+func (e *engine) postRecv(dst, src int, ready time.Duration) {
+	k := pairKey{src, dst}
+	if q := e.sendQ[k]; len(q) > 0 {
+		sd := q[0]
+		e.sendQ[k] = q[1:]
+		e.resolve(src, dst, sd.bytes, sd.ready, ready)
+		return
+	}
+	e.recvQ[k] = append(e.recvQ[k], pendingPt{rank: dst, ready: ready})
+}
+
+// resolve times the matched transfer and unblocks both ranks.
+func (e *engine) resolve(src, dst, bytes int, sendReady, recvReady time.Duration) {
+	s, d := e.rk[src], e.rk[dst]
+	s0, r0 := sendReady, recvReady
+	// Lanes of both host links must be active; waking them on demand incurs
+	// up to Treact of delay each (the reactivation penalty).
+	if s.ctrl != nil {
+		s0 = s.ctrl.Acquire(s0)
+	}
+	if d.ctrl != nil {
+		r0 = d.ctrl.Acquire(r0)
+	}
+	t0 := s0
+	if r0 > t0 {
+		t0 = r0
+	}
+	arrival := e.net.Transfer(src, dst, bytes, t0)
+	sendDone := t0 + e.net.SerTime(bytes)
+	s.sendDone, s.haveSend = sendDone, true
+	d.recvDone, d.haveRecv = arrival, true
+	if s.haveRecv || !s.needRecv {
+		e.push(src)
+	}
+	if d.haveSend || !d.needSend {
+		e.push(dst)
+	}
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestMeanDuration(t *testing.T) {
+	if MeanDuration(nil) != 0 {
+		t.Error("MeanDuration(nil) != 0")
+	}
+	got := MeanDuration([]time.Duration{time.Second, 3 * time.Second})
+	if got != 2*time.Second {
+		t.Errorf("MeanDuration = %v", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev([]float64{5}) != 0 {
+		t.Error("stddev of singleton != 0")
+	}
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("Stddev = %v, want 2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := map[float64]float64{0: 1, 50: 5, 100: 10, 90: 9}
+	for p, want := range cases {
+		if got := Percentile(xs, p); got != want {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("percentile of empty != 0")
+	}
+	// Input must not be mutated (sorted copy).
+	orig := []float64{3, 1, 2}
+	Percentile(orig, 50)
+	if orig[0] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(20*time.Microsecond, 200*time.Microsecond)
+	h.Add(5 * time.Microsecond)
+	h.Add(50 * time.Microsecond)
+	h.Add(500 * time.Microsecond)
+	h.Add(20 * time.Microsecond) // boundary goes to the second bin
+	if h.Counts[0] != 1 || h.Counts[1] != 2 || h.Counts[2] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Total() != 4 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-ascending bounds")
+		}
+	}()
+	NewHistogram(2*time.Second, time.Second)
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("alpha", 3.14159)
+	tb.Row("b", 42)
+	var sb strings.Builder
+	if err := tb.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "3.14") {
+		t.Errorf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Errorf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+}
+
+// Property: Mean is bounded by min and max.
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return Mean(xs) == 0
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // skip pathological inputs
+			}
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		m := Mean(xs)
+		return m >= lo-1e-6 && m <= hi+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,295 @@
+// Package topology builds Extended Generalized Fat Trees (XGFT), the
+// interconnect used in the paper's simulations: XGFT(2;18,14;1,18) — a
+// two-level fat tree with 252 terminal nodes (Table II).
+//
+// XGFT(h; m1..mh; w1..wh) has h switch levels above the terminal level 0.
+// Every level-l node (l < h) has w_{l+1} parents and every level-l node
+// (l >= 1) has m_l children. Terminals are compute nodes; the paper
+// allocates one MPI process per node.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NodeKind discriminates terminals from switches.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	KindTerminal NodeKind = iota
+	KindSwitch
+)
+
+// Node is a terminal or switch in the tree.
+type Node struct {
+	ID    int
+	Kind  NodeKind
+	Level int // 0 for terminals, 1..h for switches
+
+	// Up[i] is the link to the i-th parent; Down[i] to the i-th child.
+	Up   []*Link
+	Down []*Link
+
+	x []int // down-digits (x_h..x_{level+1}) — identifies the subtree
+	y []int // up-digits (y_level..y_1)
+}
+
+// Link is a directed channel between adjacent nodes. Every physical cable is
+// represented by two directed links that share a Cable index.
+type Link struct {
+	ID    int
+	From  *Node
+	To    *Node
+	Cable int  // physical cable index (shared by both directions)
+	IsUp  bool // true when To is the higher level
+}
+
+// XGFT is a built fat tree.
+type XGFT struct {
+	H         int   // number of switch levels
+	M, W      []int // child counts m_1..m_h and parent counts w_1..w_h
+	Terminals []*Node
+	Switches  [][]*Node // Switches[l-1] holds level-l switches
+	Links     []*Link
+	Cables    int
+}
+
+// New builds XGFT(h; m...; w...). len(m) and len(w) must equal h and all
+// entries must be positive.
+func New(h int, m, w []int) (*XGFT, error) {
+	if h < 1 {
+		return nil, fmt.Errorf("topology: height %d < 1", h)
+	}
+	if len(m) != h || len(w) != h {
+		return nil, fmt.Errorf("topology: need %d m and w entries, got %d and %d", h, len(m), len(w))
+	}
+	for i := 0; i < h; i++ {
+		if m[i] <= 0 || w[i] <= 0 {
+			return nil, fmt.Errorf("topology: non-positive arity m[%d]=%d w[%d]=%d", i, m[i], i, w[i])
+		}
+	}
+	t := &XGFT{H: h, M: append([]int(nil), m...), W: append([]int(nil), w...)}
+
+	nextID := 0
+	mkNode := func(kind NodeKind, level int, x, y []int) *Node {
+		n := &Node{ID: nextID, Kind: kind, Level: level,
+			x: append([]int(nil), x...), y: append([]int(nil), y...)}
+		nextID++
+		return n
+	}
+
+	// Terminals: all digit tuples (x_h..x_1).
+	for _, x := range tuples(m, h) {
+		t.Terminals = append(t.Terminals, mkNode(KindTerminal, 0, x, nil))
+	}
+	// Switches per level l: x over (m_h..m_{l+1}), y over (w_l..w_1).
+	t.Switches = make([][]*Node, h)
+	for l := 1; l <= h; l++ {
+		xs := tuples(m, h-l)  // digits x_h..x_{l+1}
+		ys := tuplesLow(w, l) // digits y_l..y_1
+		for _, x := range xs {
+			for _, y := range ys {
+				t.Switches[l-1] = append(t.Switches[l-1], mkNode(KindSwitch, l, x, y))
+			}
+		}
+	}
+
+	// Wire level l-1 to level l: a level-(l-1) node with digits
+	// (x_h..x_l | y_{l-1}..y_1) connects to the level-l switch
+	// (x_h..x_{l+1} | y_l..y_1) for every y_l in [0, w_l).
+	index := make(map[string]*Node)
+	for l := 1; l <= h; l++ {
+		for _, sw := range t.Switches[l-1] {
+			index[key(l, sw.x, sw.y)] = sw
+		}
+	}
+	connect := func(child *Node, l int) error {
+		// child is at level l-1; its x = (x_h..x_l), y = (y_{l-1}..y_1).
+		px := child.x
+		if len(px) > 0 {
+			px = px[:len(px)-1] // drop x_l
+		}
+		for yl := 0; yl < t.W[l-1]; yl++ {
+			py := append([]int{yl}, child.y...)
+			parent, ok := index[key(l, px, py)]
+			if !ok {
+				return fmt.Errorf("topology: missing parent for node %d at level %d", child.ID, l)
+			}
+			cable := t.Cables
+			t.Cables++
+			up := &Link{ID: len(t.Links), From: child, To: parent, Cable: cable, IsUp: true}
+			t.Links = append(t.Links, up)
+			down := &Link{ID: len(t.Links), From: parent, To: child, Cable: cable, IsUp: false}
+			t.Links = append(t.Links, down)
+			child.Up = append(child.Up, up)
+			parent.Down = append(parent.Down, down)
+		}
+		return nil
+	}
+	for _, n := range t.Terminals {
+		if err := connect(n, 1); err != nil {
+			return nil, err
+		}
+	}
+	for l := 2; l <= h; l++ {
+		for _, sw := range t.Switches[l-2] {
+			if err := connect(sw, l); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// Paper builds the paper's XGFT(2;18,14;1,18).
+func Paper() *XGFT {
+	t, err := New(2, []int{18, 14}, []int{1, 18})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumTerminals returns the terminal count.
+func (t *XGFT) NumTerminals() int { return len(t.Terminals) }
+
+// NumSwitches returns the total switch count.
+func (t *XGFT) NumSwitches() int {
+	n := 0
+	for _, lvl := range t.Switches {
+		n += len(lvl)
+	}
+	return n
+}
+
+// divergeLevel returns the smallest level L such that the down-digits of the
+// two terminals agree above L; terminals in the same leaf subtree diverge at
+// level 1, identical terminals at level 0.
+func (t *XGFT) divergeLevel(a, b *Node) int {
+	// Terminal x digits are (x_h..x_1): x[0] is the top digit x_h.
+	for l := t.H; l >= 1; l-- {
+		// digit x_l sits at index h-l.
+		if a.x[t.H-l] != b.x[t.H-l] {
+			return l
+		}
+	}
+	return 0
+}
+
+// Route returns the directed links of a path from terminal src to terminal
+// dst: up to the lowest common ancestor level with a random choice among the
+// parallel up-links (the paper's "random routing", Table II), then
+// deterministically down. src == dst yields an empty path.
+func (t *XGFT) Route(src, dst int, rng *rand.Rand) []*Link {
+	a, b := t.Terminals[src], t.Terminals[dst]
+	top := t.divergeLevel(a, b)
+	if top == 0 {
+		return nil
+	}
+	var path []*Link
+	cur := a
+	for cur.Level < top {
+		var up *Link
+		if len(cur.Up) == 1 || rng == nil {
+			up = cur.Up[0]
+		} else {
+			up = cur.Up[rng.Intn(len(cur.Up))]
+		}
+		path = append(path, up)
+		cur = up.To
+	}
+	for cur.Level > 0 {
+		// Choose the child whose subtree contains dst: digit x_l of dst
+		// selects among the m_l children, combined with matching y digits.
+		next := t.childToward(cur, b)
+		path = append(path, next)
+		cur = next.To
+	}
+	return path
+}
+
+// childToward returns cur's down-link leading toward terminal dst.
+func (t *XGFT) childToward(cur *Node, dst *Node) *Link {
+	l := cur.Level
+	want := dst.x[t.H-l] // digit x_l of dst
+	for _, dn := range cur.Down {
+		child := dn.To
+		var digit int
+		if child.Kind == KindTerminal {
+			digit = child.x[t.H-l]
+		} else {
+			digit = child.x[t.H-l]
+		}
+		if digit != want {
+			continue
+		}
+		// y digits of the child must be a suffix of cur's y digits.
+		if suffixMatch(cur.y, child.y) {
+			return dn
+		}
+	}
+	panic(fmt.Sprintf("topology: no child of switch %d toward terminal %d", cur.ID, dst.ID))
+}
+
+// suffixMatch reports whether child y-digits equal the tail of parent
+// y-digits (parent has one extra leading digit).
+func suffixMatch(parent, child []int) bool {
+	if len(parent) != len(child)+1 {
+		return false
+	}
+	for i := range child {
+		if parent[i+1] != child[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func key(level int, x, y []int) string {
+	b := make([]byte, 0, 2+2*len(x)+2*len(y))
+	b = append(b, byte(level), '|')
+	for _, v := range x {
+		b = append(b, byte(v), ',')
+	}
+	b = append(b, '|')
+	for _, v := range y {
+		b = append(b, byte(v), ',')
+	}
+	return string(b)
+}
+
+// tuples enumerates digit tuples (x_h..x_{h-n+1}) over arities m (indexed
+// m[i] = m_{i+1}), i.e. the top n digits.
+func tuples(m []int, n int) [][]int {
+	h := len(m)
+	out := [][]int{{}}
+	for d := 0; d < n; d++ {
+		arity := m[h-1-d] // digit x_{h-d}
+		var next [][]int
+		for _, pre := range out {
+			for v := 0; v < arity; v++ {
+				next = append(next, append(append([]int(nil), pre...), v))
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// tuplesLow enumerates (y_l..y_1) over arities w (w[i] = w_{i+1}).
+func tuplesLow(w []int, l int) [][]int {
+	out := [][]int{{}}
+	for d := l - 1; d >= 0; d-- {
+		arity := w[d]
+		var next [][]int
+		for _, pre := range out {
+			for v := 0; v < arity; v++ {
+				next = append(next, append(append([]int(nil), pre...), v))
+			}
+		}
+		out = next
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperTopologyShape(t *testing.T) {
+	x := Paper() // XGFT(2;18,14;1,18)
+	if got := x.NumTerminals(); got != 252 {
+		t.Errorf("terminals = %d, want 252 (18*14)", got)
+	}
+	if got := len(x.Switches[0]); got != 14 {
+		t.Errorf("leaf switches = %d, want 14", got)
+	}
+	if got := len(x.Switches[1]); got != 18 {
+		t.Errorf("top switches = %d, want 18", got)
+	}
+	// Cables: 252 node-leaf + 14*18 leaf-top.
+	if got := x.Cables; got != 252+14*18 {
+		t.Errorf("cables = %d, want %d", got, 252+14*18)
+	}
+	if got := len(x.Links); got != 2*x.Cables {
+		t.Errorf("directed links = %d, want %d", got, 2*x.Cables)
+	}
+	// Every terminal has exactly one uplink (w1 = 1).
+	for _, n := range x.Terminals {
+		if len(n.Up) != 1 {
+			t.Fatalf("terminal %d has %d uplinks, want 1", n.ID, len(n.Up))
+		}
+	}
+	// Every leaf switch has 18 children and 18 parents.
+	for _, sw := range x.Switches[0] {
+		if len(sw.Down) != 18 || len(sw.Up) != 18 {
+			t.Fatalf("leaf switch %d: %d down, %d up; want 18/18", sw.ID, len(sw.Down), len(sw.Up))
+		}
+	}
+	// Every top switch has 14 children and no parents.
+	for _, sw := range x.Switches[1] {
+		if len(sw.Down) != 14 || len(sw.Up) != 0 {
+			t.Fatalf("top switch %d: %d down, %d up; want 14/0", sw.ID, len(sw.Down), len(sw.Up))
+		}
+	}
+	if x.NumSwitches() != 32 {
+		t.Errorf("switches = %d, want 32", x.NumSwitches())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, nil, nil); err == nil {
+		t.Error("height 0 accepted")
+	}
+	if _, err := New(2, []int{3}, []int{1, 1}); err == nil {
+		t.Error("wrong arity count accepted")
+	}
+	if _, err := New(1, []int{0}, []int{1}); err == nil {
+		t.Error("zero arity accepted")
+	}
+}
+
+func TestRouteSameLeaf(t *testing.T) {
+	x := Paper()
+	// Terminals 0 and 1 share the leaf switch: 2-hop route.
+	path := x.Route(0, 1, nil)
+	if len(path) != 2 {
+		t.Fatalf("path length = %d, want 2", len(path))
+	}
+	if !path[0].IsUp || path[1].IsUp {
+		t.Error("path must go up then down")
+	}
+	if path[0].From != x.Terminals[0] || path[1].To != x.Terminals[1] {
+		t.Error("path endpoints wrong")
+	}
+}
+
+func TestRouteCrossLeaf(t *testing.T) {
+	x := Paper()
+	// Terminals 0 and 250 are in different leaf subtrees: 4-hop route.
+	path := x.Route(0, 250, rand.New(rand.NewSource(1)))
+	if len(path) != 4 {
+		t.Fatalf("path length = %d, want 4", len(path))
+	}
+	if path[0].From != x.Terminals[0] || path[3].To != x.Terminals[250] {
+		t.Error("path endpoints wrong")
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	x := Paper()
+	if p := x.Route(7, 7, nil); len(p) != 0 {
+		t.Errorf("self route length = %d, want 0", len(p))
+	}
+}
+
+// Property: every route is a valid contiguous path from src to dst that
+// first ascends then descends, over random pairs and random routing choices.
+func TestRouteValidityProperty(t *testing.T) {
+	x := Paper()
+	rng := rand.New(rand.NewSource(7))
+	f := func(a, b uint16, seed int64) bool {
+		src := int(a) % x.NumTerminals()
+		dst := int(b) % x.NumTerminals()
+		if src == dst {
+			return len(x.Route(src, dst, rng)) == 0
+		}
+		path := x.Route(src, dst, rand.New(rand.NewSource(seed)))
+		if len(path) == 0 {
+			return false
+		}
+		if path[0].From != x.Terminals[src] || path[len(path)-1].To != x.Terminals[dst] {
+			return false
+		}
+		descending := false
+		cur := path[0].From
+		for _, l := range path {
+			if l.From != cur {
+				return false // discontiguous
+			}
+			if l.IsUp && descending {
+				return false // up after down: not a fat-tree route
+			}
+			if !l.IsUp {
+				descending = true
+			}
+			cur = l.To
+		}
+		return cur == x.Terminals[dst]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random routing spreads cross-leaf traffic over all 18 top
+// switches.
+func TestRandomRoutingSpread(t *testing.T) {
+	x := Paper()
+	rng := rand.New(rand.NewSource(42))
+	tops := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		path := x.Route(0, 250, rng)
+		tops[path[1].To.ID] = true
+	}
+	if len(tops) < 15 {
+		t.Errorf("random routing used only %d top switches over 500 routes", len(tops))
+	}
+}
+
+func TestRouteDeterministicWithoutRNG(t *testing.T) {
+	x := Paper()
+	p1 := x.Route(3, 200, nil)
+	p2 := x.Route(3, 200, nil)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("nil-rng routing must be deterministic")
+		}
+	}
+}
+
+func TestThreeLevelXGFT(t *testing.T) {
+	// XGFT(3; 2,2,2; 1,2,2): 8 terminals, verify connectivity end to end.
+	x, err := New(3, []int{2, 2, 2}, []int{1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NumTerminals() != 8 {
+		t.Fatalf("terminals = %d, want 8", x.NumTerminals())
+	}
+	rng := rand.New(rand.NewSource(3))
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if s == d {
+				continue
+			}
+			path := x.Route(s, d, rng)
+			if len(path) == 0 || path[len(path)-1].To != x.Terminals[d] {
+				t.Fatalf("no valid route %d->%d", s, d)
+			}
+		}
+	}
+}
+
+func TestCablePairing(t *testing.T) {
+	x := Paper()
+	byCable := map[int][]*Link{}
+	for _, l := range x.Links {
+		byCable[l.Cable] = append(byCable[l.Cable], l)
+	}
+	for c, ls := range byCable {
+		if len(ls) != 2 {
+			t.Fatalf("cable %d has %d directed links, want 2", c, len(ls))
+		}
+		if ls[0].From != ls[1].To || ls[0].To != ls[1].From {
+			t.Fatalf("cable %d directions are not mirrored", c)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package trace
+
+import "time"
+
+// The paper's Table I classifies link idle intervals into three buckets
+// around the reactivation time Treact = 10 µs: intervals shorter than
+// 2·Treact cannot amortise a lane transition at all; intervals above 200 µs
+// are where "significant power can be saved".
+const (
+	// BucketShort is the upper bound of the adverse bucket (< 20 µs).
+	BucketShort = 20 * time.Microsecond
+	// BucketLong is the lower bound of the highly profitable bucket (> 200 µs).
+	BucketLong = 200 * time.Microsecond
+)
+
+// IdleDist is the distribution of idle intervals in the three Table I
+// buckets.
+type IdleDist struct {
+	// Count[i] is the number of intervals in bucket i
+	// (0: <20 µs, 1: 20–200 µs, 2: >200 µs).
+	Count [3]int
+	// Time[i] is the accumulated idle time in bucket i.
+	Time [3]time.Duration
+}
+
+// TotalCount returns the total number of idle intervals.
+func (d IdleDist) TotalCount() int { return d.Count[0] + d.Count[1] + d.Count[2] }
+
+// TotalTime returns the accumulated idle time over all buckets.
+func (d IdleDist) TotalTime() time.Duration { return d.Time[0] + d.Time[1] + d.Time[2] }
+
+// CountPct returns bucket i's share of the interval count, in percent.
+func (d IdleDist) CountPct(i int) float64 {
+	tot := d.TotalCount()
+	if tot == 0 {
+		return 0
+	}
+	return 100 * float64(d.Count[i]) / float64(tot)
+}
+
+// TimePct returns bucket i's share of the accumulated idle time, in percent.
+func (d IdleDist) TimePct(i int) float64 {
+	tot := d.TotalTime()
+	if tot == 0 {
+		return 0
+	}
+	return 100 * float64(d.Time[i]) / float64(tot)
+}
+
+// Add classifies one idle interval into the distribution.
+func (d *IdleDist) Add(idle time.Duration) {
+	switch {
+	case idle < BucketShort:
+		d.Count[0]++
+		d.Time[0] += idle
+	case idle <= BucketLong:
+		d.Count[1]++
+		d.Time[1] += idle
+	default:
+		d.Count[2]++
+		d.Time[2] += idle
+	}
+}
+
+// Merge accumulates other into d.
+func (d *IdleDist) Merge(other IdleDist) {
+	for i := 0; i < 3; i++ {
+		d.Count[i] += other.Count[i]
+		d.Time[i] += other.Time[i]
+	}
+}
+
+// RankIdleIntervals returns the inter-communication intervals of rank r: the
+// accumulated computation time between consecutive MPI calls. These are the
+// periods during which the rank's host link carries no traffic from this
+// rank, i.e. the candidates for lane shutdown.
+func (t *Trace) RankIdleIntervals(r int) []time.Duration {
+	var out []time.Duration
+	var cur time.Duration
+	seenCall := false
+	for _, op := range t.Ranks[r] {
+		switch op.Kind {
+		case OpCompute:
+			cur += op.Duration
+		case OpCall:
+			if seenCall && cur > 0 {
+				out = append(out, cur)
+			}
+			seenCall = true
+			cur = 0
+		}
+	}
+	return out
+}
+
+// IdleDistribution aggregates the idle-interval distribution over every rank
+// of the trace, as in the paper's Table I.
+func (t *Trace) IdleDistribution() IdleDist {
+	var d IdleDist
+	for r := 0; r < t.NP; r++ {
+		for _, idle := range t.RankIdleIntervals(r) {
+			d.Add(idle)
+		}
+	}
+	return d
+}

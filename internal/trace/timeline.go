@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// LinkState is a Paraver-like state value for a link timeline (Figure 6 of
+// the paper shows low-power vs full-power states of IB links over time).
+type LinkState uint8
+
+// Link power states as rendered on a timeline.
+const (
+	StateFull  LinkState = iota // full-power, power-unaware consumption
+	StateLow                    // low-power (WRPS, one lane active)
+	StateShift                  // transitioning between modes
+	StateDeep                   // deep mode: lanes and switch elements down
+)
+
+// String returns a short label for the state.
+func (s LinkState) String() string {
+	switch s {
+	case StateFull:
+		return "FULL"
+	case StateLow:
+		return "LOW"
+	case StateShift:
+		return "SHIFT"
+	case StateDeep:
+		return "DEEP"
+	}
+	return "?"
+}
+
+// StateInterval is one segment of a timeline.
+type StateInterval struct {
+	Start, End time.Duration // simulated time since t=0
+	State      LinkState
+}
+
+// Timeline is a per-object (link or rank) sequence of state intervals.
+type Timeline struct {
+	Label     string
+	Intervals []StateInterval
+}
+
+// Add appends an interval, merging with the previous one when contiguous and
+// equal-state.
+func (tl *Timeline) Add(start, end time.Duration, s LinkState) {
+	if end <= start {
+		return
+	}
+	n := len(tl.Intervals)
+	if n > 0 && tl.Intervals[n-1].State == s && tl.Intervals[n-1].End == start {
+		tl.Intervals[n-1].End = end
+		return
+	}
+	tl.Intervals = append(tl.Intervals, StateInterval{Start: start, End: end, State: s})
+}
+
+// TimeIn returns the accumulated time spent in state s.
+func (tl *Timeline) TimeIn(s LinkState) time.Duration {
+	var d time.Duration
+	for _, iv := range tl.Intervals {
+		if iv.State == s {
+			d += iv.End - iv.Start
+		}
+	}
+	return d
+}
+
+// End returns the end time of the last interval.
+func (tl *Timeline) End() time.Duration {
+	if len(tl.Intervals) == 0 {
+		return 0
+	}
+	return tl.Intervals[len(tl.Intervals)-1].End
+}
+
+// Render writes an ASCII rendering of the timelines: one row per timeline,
+// width columns, '#' for full power, '.' for low power, '+' for shifting.
+// It is the textual analogue of the paper's Figure 6 Paraver screenshot.
+func Render(w io.Writer, tls []*Timeline, width int) error {
+	if width <= 0 {
+		width = 80
+	}
+	var horizon time.Duration
+	for _, tl := range tls {
+		if e := tl.End(); e > horizon {
+			horizon = e
+		}
+	}
+	if horizon == 0 {
+		_, err := fmt.Fprintln(w, "(empty timeline)")
+		return err
+	}
+	glyph := map[LinkState]byte{StateFull: '#', StateLow: '.', StateShift: '+', StateDeep: '~'}
+	for _, tl := range tls {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, iv := range tl.Intervals {
+			a := int(int64(iv.Start) * int64(width) / int64(horizon))
+			b := int(int64(iv.End) * int64(width) / int64(horizon))
+			if b == a {
+				b = a + 1
+			}
+			for i := a; i < b && i < width; i++ {
+				row[i] = glyph[iv.State]
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-12s |%s|\n", tl.Label, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-12s  legend: '#'=full power  '.'=low power  '~'=deep  '+'=mode shift  horizon=%v\n", "", horizon)
+	return err
+}
+
+// WriteParaver emits the timelines in a minimal Paraver .prv-like record
+// format: "2:<object>:<start_ns>:<end_ns>:<state>" sorted by start time, so
+// external tooling can consume it.
+func WriteParaver(w io.Writer, tls []*Timeline) error {
+	type rec struct {
+		obj int
+		iv  StateInterval
+	}
+	var recs []rec
+	for i, tl := range tls {
+		for _, iv := range tl.Intervals {
+			recs = append(recs, rec{obj: i, iv: iv})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].iv.Start != recs[j].iv.Start {
+			return recs[i].iv.Start < recs[j].iv.Start
+		}
+		return recs[i].obj < recs[j].obj
+	})
+	for _, rc := range recs {
+		if _, err := fmt.Fprintf(w, "2:%d:%d:%d:%d\n", rc.obj, rc.iv.Start.Nanoseconds(), rc.iv.End.Nanoseconds(), rc.iv.State); err != nil {
+			return err
+		}
+	}
+	return nil
+}
