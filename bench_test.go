@@ -28,21 +28,35 @@ import (
 // full scale.
 var benchOpt = workloads.Options{IterScale: 0.15}
 
+// parallelisms enumerates the worker-pool settings the sweep benches
+// compare: the serial path (Parallelism: 1) against the GOMAXPROCS pool.
+// Output is bit-identical between the two; only wall-clock time differs.
+var parallelisms = []struct {
+	name string
+	par  int
+}{{"serial", 1}, {"parallel", 0}}
+
 // --- Table I: distribution of link idle intervals ---
 
 func BenchmarkTableI(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := harness.TableI(benchOpt)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			var long float64
-			for _, r := range rows {
-				long += r.Dist.TimePct(2)
+	for _, bc := range parallelisms {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := replay.DefaultConfig()
+			cfg.Parallelism = bc.par
+			for i := 0; i < b.N; i++ {
+				rows, err := harness.NewRunner(benchOpt, cfg).TableI()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					var long float64
+					for _, r := range rows {
+						long += r.Dist.TimePct(2)
+					}
+					b.ReportMetric(long/float64(len(rows)), "avg_long_idle_time_%")
+				}
 			}
-			b.ReportMetric(long/float64(len(rows)), "avg_long_idle_time_%")
-		}
+		})
 	}
 }
 
@@ -74,21 +88,24 @@ func BenchmarkFig10_GTSweepGromacs(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				pts, err := harness.GTSweep(tr, harness.DefaultGTGrid())
-				if err != nil {
-					b.Fatal(err)
-				}
-				if i == 0 {
-					best := 0.0
-					for _, p := range pts {
-						if p.HitRatePct > best {
-							best = p.HitRatePct
+			for _, bc := range parallelisms {
+				b.Run(bc.name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						pts, err := harness.GTSweepParallel(tr, harness.DefaultGTGrid(), bc.par)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if i == 0 {
+							best := 0.0
+							for _, p := range pts {
+								if p.HitRatePct > best {
+									best = p.HitRatePct
+								}
+							}
+							b.ReportMetric(best, "best_hit_%")
 						}
 					}
-					b.ReportMetric(best, "best_hit_%")
-				}
+				})
 			}
 		})
 	}
@@ -116,21 +133,28 @@ func BenchmarkTableIV_Overheads(b *testing.B) {
 
 func benchFigure(b *testing.B, displacement float64) {
 	b.Helper()
-	cfg := replay.DefaultConfig()
-	for i := 0; i < b.N; i++ {
-		rows, err := harness.Figure(displacement, benchOpt, cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			var save, inc float64
-			for _, r := range rows {
-				save += r.SavingPct
-				inc += r.TimeIncreasePct
+	for _, bc := range parallelisms {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := replay.DefaultConfig()
+			cfg.Parallelism = bc.par
+			for i := 0; i < b.N; i++ {
+				// A fresh Runner per iteration so every iteration pays the
+				// full generate + choose-GT + replay pipeline.
+				rows, err := harness.NewRunner(benchOpt, cfg).Figure(displacement)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					var save, inc float64
+					for _, r := range rows {
+						save += r.SavingPct
+						inc += r.TimeIncreasePct
+					}
+					b.ReportMetric(save/float64(len(rows)), "avg_saving_%")
+					b.ReportMetric(inc/float64(len(rows)), "avg_time_incr_%")
+				}
 			}
-			b.ReportMetric(save/float64(len(rows)), "avg_saving_%")
-			b.ReportMetric(inc/float64(len(rows)), "avg_time_incr_%")
-		}
+		})
 	}
 }
 

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"ibpower/internal/power"
 	"ibpower/internal/replay"
 	"ibpower/internal/stats"
+	"ibpower/internal/sweep"
 	"ibpower/internal/trace"
 	"ibpower/internal/workloads"
 )
@@ -79,9 +81,10 @@ func usage() {
 func cmdWeak(args []string) error {
 	fs := flag.NewFlagSet("weak", flag.ExitOnError)
 	opt := optFlags(fs)
+	par := parFlag(fs)
 	d := fs.Float64("d", 0.01, "displacement factor")
 	fs.Parse(args)
-	rows, err := harness.WeakScaling(*d, *opt, replay.DefaultConfig())
+	rows, err := harness.NewRunner(*opt, configWith(*par)).WeakScaling(*d)
 	if err != nil {
 		return err
 	}
@@ -93,29 +96,42 @@ func cmdWeak(args []string) error {
 func cmdDVS(args []string) error {
 	fs := flag.NewFlagSet("dvs", flag.ExitOnError)
 	opt := optFlags(fs)
+	par := parFlag(fs)
 	np := fs.Int("np", 16, "process count")
 	d := fs.Float64("d", 0.01, "WRPS displacement factor")
 	fs.Parse(args)
+	type row struct {
+		wrps *replay.Result
+		dv   *dvs.Result
+	}
+	apps := workloads.Apps()
+	rows, err := sweep.Map(context.Background(), *par, apps,
+		func(_ context.Context, _ int, app string) (row, error) {
+			tr, err := workloads.Generate(app, *np, *opt)
+			if err != nil {
+				return row{}, err
+			}
+			gt, _, err := harness.ChooseGT(tr, harness.DefaultGTGrid(), 1.0)
+			if err != nil {
+				return row{}, err
+			}
+			wrps, err := replay.Run(tr, replay.DefaultConfig().WithPower(gt, *d))
+			if err != nil {
+				return row{}, err
+			}
+			dv, err := dvs.Evaluate(tr, dvs.DefaultConfig())
+			if err != nil {
+				return row{}, err
+			}
+			return row{wrps: wrps, dv: dv}, nil
+		})
+	if err != nil {
+		return err
+	}
 	t := stats.NewTable("app", "Nproc", "WRPS saving[%]", "DVS saving[%]", "DVS added serial/rank")
-	for _, app := range workloads.Apps() {
-		tr, err := workloads.Generate(app, *np, *opt)
-		if err != nil {
-			return err
-		}
-		gt, _, err := harness.ChooseGT(tr, harness.DefaultGTGrid(), 1.0)
-		if err != nil {
-			return err
-		}
-		wrps, err := replay.Run(tr, replay.DefaultConfig().WithPower(gt, *d))
-		if err != nil {
-			return err
-		}
-		dv, err := dvs.Evaluate(tr, dvs.DefaultConfig())
-		if err != nil {
-			return err
-		}
-		t.Row(app, *np, wrps.AvgSavingPct(), dv.AvgSavingPct(),
-			dv.AvgAddedSerial().Round(time.Microsecond))
+	for i, app := range apps {
+		t.Row(app, *np, rows[i].wrps.AvgSavingPct(), rows[i].dv.AvgSavingPct(),
+			rows[i].dv.AvgAddedSerial().Round(time.Microsecond))
 	}
 	return t.Write(os.Stdout)
 }
@@ -125,6 +141,7 @@ func cmdDVS(args []string) error {
 func cmdEnergy(args []string) error {
 	fs := flag.NewFlagSet("energy", flag.ExitOnError)
 	opt := optFlags(fs)
+	par := parFlag(fs)
 	d := fs.Float64("d", 0.01, "displacement factor")
 	apps := fs.String("apps", "", "comma-separated app filter (default all)")
 	np := fs.Int("np", 16, "process count")
@@ -137,13 +154,12 @@ func cmdEnergy(args []string) error {
 	deep := power.DeepConfig{Treact: time.Duration(*deepUS) * time.Microsecond}
 	fmt.Printf("deep mode: reactivation %v, entry threshold %v (energy breakeven)\n",
 		deep.Treact, deep.BreakevenIdle(power.Treact).Round(time.Microsecond))
-	var rows []*harness.EnergyRow
-	for _, app := range names {
-		row, err := harness.Energy(strings.TrimSpace(app), *np, *d, *opt, deep)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, row)
+	rows, err := sweep.Map(context.Background(), *par, names,
+		func(_ context.Context, _ int, app string) (*harness.EnergyRow, error) {
+			return harness.Energy(strings.TrimSpace(app), *np, *d, *opt, deep)
+		})
+	if err != nil {
+		return err
 	}
 	return harness.WriteEnergy(os.Stdout, rows)
 }
@@ -155,11 +171,25 @@ func optFlags(fs *flag.FlagSet) *workloads.Options {
 	return opt
 }
 
+// parFlag registers the worker-pool size shared by every subcommand.
+// Results are bit-identical at any setting; only wall-clock time changes.
+func parFlag(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", 0, "max concurrent experiment points (0 = GOMAXPROCS, 1 = serial)")
+}
+
+// configWith returns the default replay config bounded to par workers.
+func configWith(par int) replay.Config {
+	cfg := replay.DefaultConfig()
+	cfg.Parallelism = par
+	return cfg
+}
+
 func cmdTableI(args []string) error {
 	fs := flag.NewFlagSet("tableI", flag.ExitOnError)
 	opt := optFlags(fs)
+	par := parFlag(fs)
 	fs.Parse(args)
-	rows, err := harness.TableI(*opt)
+	rows, err := harness.NewRunner(*opt, configWith(*par)).TableI()
 	if err != nil {
 		return err
 	}
@@ -169,11 +199,12 @@ func cmdTableI(args []string) error {
 func cmdGT(args []string) error {
 	fs := flag.NewFlagSet("gt", flag.ExitOnError)
 	opt := optFlags(fs)
+	par := parFlag(fs)
 	app := fs.String("app", "", "application (empty: Table III over all apps)")
 	np := fs.Int("np", 64, "process count for -app sweeps")
 	fs.Parse(args)
 	if *app == "" {
-		rows, err := harness.TableIII(*opt)
+		rows, err := harness.NewRunner(*opt, configWith(*par)).TableIII()
 		if err != nil {
 			return err
 		}
@@ -183,7 +214,7 @@ func cmdGT(args []string) error {
 	if err != nil {
 		return err
 	}
-	pts, err := harness.GTSweep(tr, harness.DefaultGTGrid())
+	pts, err := harness.GTSweepParallel(tr, harness.DefaultGTGrid(), *par)
 	if err != nil {
 		return err
 	}
@@ -193,8 +224,9 @@ func cmdGT(args []string) error {
 func cmdOverheads(args []string) error {
 	fs := flag.NewFlagSet("overheads", flag.ExitOnError)
 	opt := optFlags(fs)
+	par := parFlag(fs)
 	fs.Parse(args)
-	rows, err := harness.TableIV(*opt)
+	rows, err := harness.NewRunner(*opt, configWith(*par)).TableIV()
 	if err != nil {
 		return err
 	}
@@ -204,6 +236,7 @@ func cmdOverheads(args []string) error {
 func cmdFigures(args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ExitOnError)
 	opt := optFlags(fs)
+	par := parFlag(fs)
 	d := fs.Float64("d", 0, "displacement factor (0: all of 0.10, 0.05, 0.01)")
 	apps := fs.String("apps", "", "comma-separated app filter")
 	fs.Parse(args)
@@ -211,9 +244,11 @@ func cmdFigures(args []string) error {
 	if *d > 0 {
 		ds = []float64{*d}
 	}
-	cfg := replay.DefaultConfig()
+	// One Runner across displacement factors: traces and GT choices are
+	// generated once and shared by all three figures.
+	runner := harness.NewRunner(*opt, configWith(*par))
 	for _, disp := range ds {
-		rows, err := harness.Figure(disp, *opt, cfg)
+		rows, err := runner.Figure(disp)
 		if err != nil {
 			return err
 		}
@@ -245,6 +280,7 @@ func filterRows(rows []harness.FigureRow, apps string) []harness.FigureRow {
 func cmdTimeline(args []string) error {
 	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
 	opt := optFlags(fs)
+	par := parFlag(fs)
 	app := fs.String("app", "gromacs", "application")
 	np := fs.Int("np", 16, "process count")
 	d := fs.Float64("d", 0.10, "displacement factor")
@@ -255,7 +291,8 @@ func cmdTimeline(args []string) error {
 	if err != nil {
 		return err
 	}
-	gt, _, err := harness.ChooseGT(tr, harness.DefaultGTGrid(), 1.0)
+	// A single workload has no point sweep; parallelise the GT grid instead.
+	gt, _, err := harness.ChooseGTParallel(tr, harness.DefaultGTGrid(), 1.0, *par)
 	if err != nil {
 		return err
 	}

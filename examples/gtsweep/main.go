@@ -21,6 +21,7 @@ func main() {
 	app := flag.String("app", "gromacs", "workload")
 	npList := flag.String("np", "64,128", "comma-separated process counts")
 	scale := flag.Float64("scale", 0.5, "iteration count multiplier")
+	par := flag.Int("parallel", 0, "max concurrent grid points (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	for _, f := range strings.Split(*npList, ",") {
@@ -34,7 +35,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		pts, err := harness.GTSweep(tr, harness.DefaultGTGrid())
+		pts, err := harness.GTSweepParallel(tr, harness.DefaultGTGrid(), *par)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -1,0 +1,3 @@
+module ibpower
+
+go 1.24

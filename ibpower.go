@@ -145,9 +145,10 @@ func Replay(tr *Trace, cfg ReplayConfig) (*ReplayResult, error) { return replay.
 
 // ChooseGT selects the grouping threshold for a trace by sweeping the
 // Figure 10 grid, trading MPI-call hit rate against low-power opportunity
-// (Section IV-C).
+// (Section IV-C). The grid is evaluated on a GOMAXPROCS worker pool; the
+// choice is identical to a serial sweep.
 func ChooseGT(tr *Trace) (gt time.Duration, hitRatePct float64, err error) {
-	return harness.ChooseGT(tr, harness.DefaultGTGrid(), 1.0)
+	return harness.ChooseGTParallel(tr, harness.DefaultGTGrid(), 1.0, 0)
 }
 
 // NewPowerLayer builds the PMPI-style power saving layer for RunSPMD.

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"ibpower/internal/predictor"
 	"ibpower/internal/replay"
 	"ibpower/internal/stats"
+	"ibpower/internal/sweep"
 	"ibpower/internal/trace"
 	"ibpower/internal/workloads"
 )
@@ -30,19 +32,10 @@ type TableIRow struct {
 }
 
 // TableI computes the distribution of link idle intervals for every
-// application and process count (experiment E1).
+// application and process count (experiment E1). Points run on the default
+// worker pool; use a Runner to control parallelism.
 func TableI(opt workloads.Options) ([]TableIRow, error) {
-	var rows []TableIRow
-	for _, app := range workloads.Apps() {
-		for _, np := range workloads.ProcCounts(app) {
-			tr, err := workloads.Generate(app, np, opt)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, TableIRow{App: app, NP: np, Dist: tr.IdleDistribution()})
-		}
-	}
-	return rows, nil
+	return NewRunner(opt, replay.DefaultConfig()).TableI()
 }
 
 // WriteTableI renders Table I rows in the paper's layout.
@@ -72,20 +65,39 @@ type GTSweepPoint struct {
 }
 
 // GTSweep evaluates the MPI-call hit rate across grouping thresholds for one
-// generated workload (experiments E6/E7). Thresholds start at GTMin.
+// generated workload (experiments E6/E7). Thresholds start at GTMin. Grid
+// points run on the default worker pool.
 func GTSweep(tr *trace.Trace, gts []time.Duration) ([]GTSweepPoint, error) {
-	var out []GTSweepPoint
+	return GTSweepParallel(tr, gts, 0)
+}
+
+// GTSweepParallel is GTSweep with an explicit pool size (0 selects
+// GOMAXPROCS, 1 is serial). Points are returned in grid order whatever the
+// pool size.
+func GTSweepParallel(tr *trace.Trace, gts []time.Duration, workers int) ([]GTSweepPoint, error) {
+	if err := validateGrid(gts); err != nil {
+		return nil, err
+	}
+	return sweep.Map(context.Background(), workers, gts,
+		func(_ context.Context, _ int, gt time.Duration) (GTSweepPoint, error) {
+			res, err := predictor.RunOffline(tr, predictor.Config{GT: gt, Displacement: 0.01})
+			if err != nil {
+				return GTSweepPoint{}, err
+			}
+			return GTSweepPoint{GT: gt, HitRatePct: res.AvgHitRatePct()}, nil
+		})
+}
+
+// validateGrid rejects sub-minimum thresholds before any simulation is
+// submitted to the pool, so an invalid grid fails fast instead of after up
+// to a pool's worth of offline runs.
+func validateGrid(gts []time.Duration) error {
 	for _, gt := range gts {
 		if gt < GTMin {
-			return nil, fmt.Errorf("harness: GT %v below minimum %v", gt, GTMin)
+			return fmt.Errorf("harness: GT %v below minimum %v", gt, GTMin)
 		}
-		res, err := predictor.RunOffline(tr, predictor.Config{GT: gt, Displacement: 0.01})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, GTSweepPoint{GT: gt, HitRatePct: res.AvgHitRatePct()})
 	}
-	return out, nil
+	return nil
 }
 
 // DefaultGTGrid returns the sweep grid used for GT selection: 20–400 µs in
@@ -107,26 +119,51 @@ func DefaultGTGrid() []time.Duration {
 // tolPct of that optimum. The hit rate at the chosen GT is returned for
 // Table III.
 func ChooseGT(tr *trace.Trace, grid []time.Duration, tolPct float64) (time.Duration, float64, error) {
-	type point struct {
-		gt    time.Duration
-		score float64
-		hit   float64
-	}
+	return chooseGT(tr, grid, tolPct, 1)
+}
+
+// ChooseGTParallel is ChooseGT with the grid evaluated on a pool of at most
+// workers goroutines (0 selects GOMAXPROCS). The selection is made over the
+// complete score vector in grid order, so the chosen GT is identical at
+// every pool size.
+func ChooseGTParallel(tr *trace.Trace, grid []time.Duration, tolPct float64, workers int) (time.Duration, float64, error) {
+	return chooseGT(tr, grid, tolPct, workers)
+}
+
+// gtPoint is the selection criterion evaluated at one grid threshold.
+type gtPoint struct {
+	gt    time.Duration
+	score float64
+	hit   float64
+}
+
+// gtScores evaluates every grid threshold on the pool.
+func gtScores(tr *trace.Trace, grid []time.Duration, workers int) ([]gtPoint, error) {
 	// delayWeight penalises realized reactivation delay: a microsecond of
 	// added execution time costs far more than a microsecond of missed
 	// low-power opportunity (it propagates between processes).
 	const delayWeight = 20
-	var pts []point
-	for _, gt := range grid {
-		if gt < GTMin {
-			return 0, 0, fmt.Errorf("harness: GT %v below minimum %v", gt, GTMin)
-		}
-		res, err := predictor.RunOffline(tr, predictor.Config{GT: gt, Displacement: 0.01})
-		if err != nil {
-			return 0, 0, err
-		}
-		score := float64(res.TotalLow()) - delayWeight*float64(res.Delay)
-		pts = append(pts, point{gt: gt, score: score, hit: res.AvgHitRatePct()})
+	if err := validateGrid(grid); err != nil {
+		return nil, err
+	}
+	return sweep.Map(context.Background(), workers, grid,
+		func(_ context.Context, _ int, gt time.Duration) (gtPoint, error) {
+			res, err := predictor.RunOffline(tr, predictor.Config{GT: gt, Displacement: 0.01})
+			if err != nil {
+				return gtPoint{}, err
+			}
+			score := float64(res.TotalLow()) - delayWeight*float64(res.Delay)
+			return gtPoint{gt: gt, score: score, hit: res.AvgHitRatePct()}, nil
+		})
+}
+
+func chooseGT(tr *trace.Trace, grid []time.Duration, tolPct float64, workers int) (time.Duration, float64, error) {
+	if len(grid) == 0 {
+		return 0, 0, fmt.Errorf("harness: empty GT grid")
+	}
+	pts, err := gtScores(tr, grid, workers)
+	if err != nil {
+		return 0, 0, err
 	}
 	best := pts[0].score
 	for _, p := range pts {
@@ -151,24 +188,10 @@ type TableIIIRow struct {
 	HitRatePct float64
 }
 
-// TableIII selects GT for every application and process count (E7).
+// TableIII selects GT for every application and process count (E7). Points
+// run on the default worker pool; use a Runner to control parallelism.
 func TableIII(opt workloads.Options) ([]TableIIIRow, error) {
-	grid := DefaultGTGrid()
-	var rows []TableIIIRow
-	for _, app := range workloads.Apps() {
-		for _, np := range workloads.ProcCounts(app) {
-			tr, err := workloads.Generate(app, np, opt)
-			if err != nil {
-				return nil, err
-			}
-			gt, hit, err := ChooseGT(tr, grid, 1.0)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, TableIIIRow{App: app, NP: np, GT: gt, HitRatePct: hit})
-		}
-	}
-	return rows, nil
+	return NewRunner(opt, replay.DefaultConfig()).TableIII()
 }
 
 // WriteTableIII renders Table III.
@@ -196,28 +219,11 @@ type FigureRow struct {
 
 // Figure runs the full co-simulation for one displacement factor over all
 // applications and process counts (experiments E3–E5). GT per workload is
-// chosen as in Table III.
+// chosen as in Table III. Points run on a cfg.Parallelism-bounded pool; a
+// shared Runner additionally reuses traces and GT choices across
+// displacement factors.
 func Figure(displacement float64, opt workloads.Options, cfg replay.Config) ([]FigureRow, error) {
-	var rows []FigureRow
-	grid := DefaultGTGrid()
-	for _, app := range workloads.Apps() {
-		for _, np := range workloads.ProcCounts(app) {
-			tr, err := workloads.Generate(app, np, opt)
-			if err != nil {
-				return nil, err
-			}
-			gt, _, err := ChooseGT(tr, grid, 1.0)
-			if err != nil {
-				return nil, err
-			}
-			row, err := FigurePoint(tr, gt, displacement, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s np=%d: %w", app, np, err)
-			}
-			rows = append(rows, *row)
-		}
-	}
-	return rows, nil
+	return NewRunner(opt, cfg).Figure(displacement)
 }
 
 // FigurePoint runs baseline and mechanism replays for one workload.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ibpower/internal/predictor"
+	"ibpower/internal/replay"
 	"ibpower/internal/stats"
 	"ibpower/internal/workloads"
 )
@@ -18,26 +19,11 @@ type TableIVRow struct {
 }
 
 // TableIV measures real wall-clock PPA overheads at 16 processes (NAS BT
-// uses its square count, also 16), experiment E8.
+// uses its square count, also 16), experiment E8. Trace generation and GT
+// selection run on the default worker pool; the measurement itself is
+// serial to keep the timings honest.
 func TableIV(opt workloads.Options) ([]TableIVRow, error) {
-	var rows []TableIVRow
-	grid := DefaultGTGrid()
-	for _, app := range workloads.Apps() {
-		tr, err := workloads.Generate(app, 16, opt)
-		if err != nil {
-			return nil, err
-		}
-		gt, _, err := ChooseGT(tr, grid, 1.0)
-		if err != nil {
-			return nil, err
-		}
-		rep, err := predictor.MeasureOverheads(tr, predictor.Config{GT: gt, Displacement: 0.01})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, TableIVRow{App: app, Report: rep})
-	}
-	return rows, nil
+	return NewRunner(opt, replay.DefaultConfig()).TableIV()
 }
 
 // WriteTableIV renders Table IV.

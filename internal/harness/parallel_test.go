@@ -1,0 +1,226 @@
+package harness
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ibpower/internal/replay"
+	"ibpower/internal/workloads"
+)
+
+// runnerWith returns a Runner over fastOpt at the given pool size.
+func runnerWith(par int) *Runner {
+	cfg := replay.DefaultConfig()
+	cfg.Parallelism = par
+	return NewRunner(fastOpt, cfg)
+}
+
+// TestParallelMatchesSerial asserts the worker-pool sweep renders
+// byte-identical Table III and Figure output to the Parallelism: 1 serial
+// path — the tentpole invariant: parallelism changes wall-clock time only.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial, parallel := runnerWith(1), runnerWith(4)
+
+	t.Run("TableIII", func(t *testing.T) {
+		want := renderTableIII(t, serial)
+		got := renderTableIII(t, parallel)
+		if got != want {
+			t.Errorf("parallel Table III differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+		}
+	})
+	t.Run("Figure", func(t *testing.T) {
+		want := renderFigure(t, serial)
+		got := renderFigure(t, parallel)
+		if got != want {
+			t.Errorf("parallel Figure differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+		}
+	})
+	t.Run("TableI", func(t *testing.T) {
+		want := renderTableI(t, serial)
+		got := renderTableI(t, parallel)
+		if got != want {
+			t.Errorf("parallel Table I differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+		}
+	})
+}
+
+func renderTableIII(t *testing.T, r *Runner) string {
+	t.Helper()
+	rows, err := r.TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTableIII(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func renderFigure(t *testing.T, r *Runner) string {
+	t.Helper()
+	rows, err := r.Figure(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteFigure(&sb, 0.01, rows); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func renderTableI(t *testing.T, r *Runner) string {
+	t.Helper()
+	rows, err := r.TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTableI(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestGTSweepParallelMatchesSerial checks the Figure 10 curve point by
+// point across pool sizes.
+func TestGTSweepParallelMatchesSerial(t *testing.T) {
+	tr, err := workloads.Generate("alya", 8, fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := DefaultGTGrid()
+	serial, err := GTSweepParallel(tr, grid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := GTSweepParallel(tr, grid, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("point counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("point %d: serial %+v != parallel %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestChooseGTParallelMatchesSerial checks the selected threshold is
+// independent of the pool size.
+func TestChooseGTParallelMatchesSerial(t *testing.T) {
+	tr, err := workloads.Generate("gromacs", 8, fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := DefaultGTGrid()
+	gtS, hitS, err := ChooseGT(tr, grid, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gtP, hitP, err := ChooseGTParallel(tr, grid, 1.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gtS != gtP || hitS != hitP {
+		t.Errorf("serial (%v, %v) != parallel (%v, %v)", gtS, hitS, gtP, hitP)
+	}
+}
+
+// TestRunnerTraceCache asserts workloads.Generate runs once per
+// (app, np, opt): repeated and concurrent lookups return the same trace.
+func TestRunnerTraceCache(t *testing.T) {
+	r := runnerWith(0)
+	first, err := r.trace("alya", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr, err := r.trace("alya", 8)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if tr != first {
+				t.Error("cache returned a different trace instance")
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Different options must miss the cache.
+	o := r.Opt
+	o.Weak = true
+	weak, err := r.traceOpt("alya", 8, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak == first {
+		t.Error("weak-scaling trace aliased the strong-scaling cache entry")
+	}
+}
+
+// TestRunnerGTCache asserts the grouping threshold is chosen once per
+// workload and reused across experiments.
+func TestRunnerGTCache(t *testing.T) {
+	r := runnerWith(0)
+	gt1, hit1, err := r.chooseGT("alya", 8, r.Opt, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt2, hit2, err := r.chooseGT("alya", 8, r.Opt, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt1 != gt2 || hit1 != hit2 {
+		t.Errorf("cached GT choice differs: (%v, %v) vs (%v, %v)", gt1, hit1, gt2, hit2)
+	}
+	tr, err := r.trace("alya", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gtDirect, hitDirect, err := ChooseGT(tr, DefaultGTGrid(), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt1 != gtDirect || hit1 != hitDirect {
+		t.Errorf("cached choice (%v, %v) differs from direct ChooseGT (%v, %v)",
+			gt1, hit1, gtDirect, hitDirect)
+	}
+}
+
+// TestRunnerRejectsUnknownApp keeps error propagation intact through the
+// pool: an unknown application must fail the whole sweep.
+func TestRunnerRejectsUnknownApp(t *testing.T) {
+	r := runnerWith(4)
+	if _, err := r.trace("notanapp", 8); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, _, err := r.chooseGT("notanapp", 8, r.Opt, 1.0); err == nil {
+		t.Fatal("chooseGT accepted unknown app")
+	}
+}
+
+// TestEmptyGTGridRejected covers the audit fix: ChooseGT on an empty grid
+// used to panic on pts[0]; it must now return an error at any pool size.
+func TestEmptyGTGridRejected(t *testing.T) {
+	tr, err := workloads.Generate("alya", 8, fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ChooseGT(tr, nil, 1.0); err == nil {
+		t.Error("ChooseGT accepted an empty grid")
+	}
+	if _, _, err := ChooseGTParallel(tr, []time.Duration{}, 1.0, 4); err == nil {
+		t.Error("ChooseGTParallel accepted an empty grid")
+	}
+}

@@ -1,0 +1,258 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"ibpower/internal/predictor"
+	"ibpower/internal/replay"
+	"ibpower/internal/sweep"
+	"ibpower/internal/trace"
+	"ibpower/internal/workloads"
+)
+
+// Runner evaluates harness experiments over one workload configuration. It
+// adds two things over the package-level entry points it backs:
+//
+//   - a per-run cache so each (application, NP, Options) trace is generated
+//     once and each Table III grouping threshold is chosen once, no matter
+//     how many tables and figures a run regenerates;
+//   - a bounded worker pool (Cfg.Parallelism, GOMAXPROCS-sized by default)
+//     that sweeps independent experiment points concurrently.
+//
+// Each point is still simulated by the single-threaded replay and predictor
+// engines, and rows keep their serial enumeration order, so output is
+// bit-identical to a Parallelism: 1 run.
+//
+// The zero value is not usable; construct with NewRunner. A Runner is safe
+// for concurrent use.
+type Runner struct {
+	Opt workloads.Options
+	Cfg replay.Config
+
+	mu     sync.Mutex
+	traces map[traceKey]*traceEntry
+	gts    map[gtKey]*gtEntry
+}
+
+// NewRunner returns a Runner over the given generation options and replay
+// configuration (cfg.Parallelism bounds the sweep pool).
+func NewRunner(opt workloads.Options, cfg replay.Config) *Runner {
+	return &Runner{
+		Opt:    opt,
+		Cfg:    cfg,
+		traces: make(map[traceKey]*traceEntry),
+		gts:    make(map[gtKey]*gtEntry),
+	}
+}
+
+type traceKey struct {
+	app string
+	np  int
+	opt workloads.Options
+}
+
+type traceEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
+type gtKey struct {
+	traceKey
+	tolPct float64
+}
+
+type gtEntry struct {
+	once sync.Once
+	gt   time.Duration
+	hit  float64
+	err  error
+}
+
+// workers sizes the pool for n points.
+func (r *Runner) workers(n int) int { return sweep.Workers(r.Cfg.Parallelism, n) }
+
+// trace returns the cached trace for (app, np) under r.Opt.
+func (r *Runner) trace(app string, np int) (*trace.Trace, error) {
+	return r.traceOpt(app, np, r.Opt)
+}
+
+// traceOpt returns the cached trace for (app, np, opt), invoking
+// workloads.Generate at most once per key even under concurrent callers.
+func (r *Runner) traceOpt(app string, np int, opt workloads.Options) (*trace.Trace, error) {
+	k := traceKey{app: app, np: np, opt: opt}
+	r.mu.Lock()
+	e, ok := r.traces[k]
+	if !ok {
+		e = &traceEntry{}
+		r.traces[k] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.tr, e.err = workloads.Generate(app, np, opt) })
+	return e.tr, e.err
+}
+
+// chooseGT returns the cached Table III grouping threshold for
+// (app, np, opt) over the default grid. All Runner experiments select GT on
+// DefaultGTGrid, so the cache key does not include the grid.
+func (r *Runner) chooseGT(app string, np int, opt workloads.Options, tolPct float64) (time.Duration, float64, error) {
+	k := gtKey{traceKey: traceKey{app: app, np: np, opt: opt}, tolPct: tolPct}
+	r.mu.Lock()
+	e, ok := r.gts[k]
+	if !ok {
+		e = &gtEntry{}
+		r.gts[k] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		tr, err := r.traceOpt(app, np, opt)
+		if err != nil {
+			e.err = err
+			return
+		}
+		// Serial over the grid: the point sweep above already saturates the
+		// pool, and nested parallelism would oversubscribe it.
+		e.gt, e.hit, e.err = ChooseGT(tr, DefaultGTGrid(), tolPct)
+	})
+	return e.gt, e.hit, e.err
+}
+
+// point is one (application, process count) cell of a table or figure.
+type point struct {
+	app string
+	np  int
+}
+
+// allPoints enumerates the paper's full evaluation set in row order.
+func allPoints() []point {
+	var pts []point
+	for _, app := range workloads.Apps() {
+		for _, np := range workloads.ProcCounts(app) {
+			pts = append(pts, point{app: app, np: np})
+		}
+	}
+	return pts
+}
+
+// TableI computes the idle-interval distribution rows (experiment E1) on
+// the pool.
+func (r *Runner) TableI() ([]TableIRow, error) {
+	pts := allPoints()
+	return sweep.Map(context.Background(), r.workers(len(pts)), pts,
+		func(_ context.Context, _ int, p point) (TableIRow, error) {
+			tr, err := r.trace(p.app, p.np)
+			if err != nil {
+				return TableIRow{}, err
+			}
+			return TableIRow{App: p.app, NP: p.np, Dist: tr.IdleDistribution()}, nil
+		})
+}
+
+// TableIII selects GT for every workload (experiment E7) on the pool.
+func (r *Runner) TableIII() ([]TableIIIRow, error) {
+	pts := allPoints()
+	return sweep.Map(context.Background(), r.workers(len(pts)), pts,
+		func(_ context.Context, _ int, p point) (TableIIIRow, error) {
+			gt, hit, err := r.chooseGT(p.app, p.np, r.Opt, 1.0)
+			if err != nil {
+				return TableIIIRow{}, err
+			}
+			return TableIIIRow{App: p.app, NP: p.np, GT: gt, HitRatePct: hit}, nil
+		})
+}
+
+// Figure runs the full co-simulation for one displacement factor
+// (experiments E3–E5) on the pool.
+func (r *Runner) Figure(displacement float64) ([]FigureRow, error) {
+	pts := allPoints()
+	return sweep.Map(context.Background(), r.workers(len(pts)), pts,
+		func(_ context.Context, _ int, p point) (FigureRow, error) {
+			tr, err := r.trace(p.app, p.np)
+			if err != nil {
+				return FigureRow{}, err
+			}
+			gt, _, err := r.chooseGT(p.app, p.np, r.Opt, 1.0)
+			if err != nil {
+				return FigureRow{}, err
+			}
+			row, err := FigurePoint(tr, gt, displacement, r.Cfg)
+			if err != nil {
+				return FigureRow{}, fmt.Errorf("%s np=%d: %w", p.app, p.np, err)
+			}
+			return *row, nil
+		})
+}
+
+// TableIV measures PPA overheads at 16 processes (experiment E8). Trace
+// generation and GT selection run on the pool; the wall-clock overhead
+// measurement itself stays serial, because concurrent measurement would
+// contend for CPUs and inflate the reported timings.
+func (r *Runner) TableIV() ([]TableIVRow, error) {
+	type prep struct {
+		tr *trace.Trace
+		gt time.Duration
+	}
+	apps := workloads.Apps()
+	preps, err := sweep.Map(context.Background(), r.workers(len(apps)), apps,
+		func(_ context.Context, _ int, app string) (prep, error) {
+			tr, err := r.trace(app, 16)
+			if err != nil {
+				return prep{}, err
+			}
+			gt, _, err := r.chooseGT(app, 16, r.Opt, 1.0)
+			if err != nil {
+				return prep{}, err
+			}
+			return prep{tr: tr, gt: gt}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var rows []TableIVRow
+	for i, app := range apps {
+		rep, err := predictor.MeasureOverheads(preps[i].tr, predictor.Config{GT: preps[i].gt, Displacement: 0.01})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TableIVRow{App: app, Report: rep})
+	}
+	return rows, nil
+}
+
+// WeakScaling compares strong- and weak-scaling savings (experiment E13) on
+// the pool; the strong/weak pair of one point stays together so both rows
+// see the same scheduling.
+func (r *Runner) WeakScaling(displacement float64) ([]WeakScalingRow, error) {
+	var pts []point
+	for _, app := range workloads.Apps() {
+		counts := workloads.ProcCounts(app)
+		for _, np := range []int{counts[0], counts[2], counts[4]} {
+			pts = append(pts, point{app: app, np: np})
+		}
+	}
+	return sweep.Map(context.Background(), r.workers(len(pts)), pts,
+		func(_ context.Context, _ int, p point) (WeakScalingRow, error) {
+			var pair [2]FigureRow
+			for i, weak := range []bool{false, true} {
+				o := r.Opt
+				o.Weak = weak
+				tr, err := r.traceOpt(p.app, p.np, o)
+				if err != nil {
+					return WeakScalingRow{}, err
+				}
+				gt, _, err := r.chooseGT(p.app, p.np, o, 1.0)
+				if err != nil {
+					return WeakScalingRow{}, err
+				}
+				row, err := FigurePoint(tr, gt, displacement, r.Cfg)
+				if err != nil {
+					return WeakScalingRow{}, fmt.Errorf("%s np=%d weak=%v: %w", p.app, p.np, weak, err)
+				}
+				pair[i] = *row
+			}
+			return WeakScalingRow{App: p.app, NP: p.np, Strong: pair[0], Weak: pair[1]}, nil
+		})
+}

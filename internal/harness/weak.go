@@ -22,33 +22,7 @@ type WeakScalingRow struct {
 // (Section III): the same applications are generated with per-rank work held
 // constant and replayed at the given displacement factor (experiment E13).
 func WeakScaling(displacement float64, opt workloads.Options, cfg replay.Config) ([]WeakScalingRow, error) {
-	var rows []WeakScalingRow
-	grid := DefaultGTGrid()
-	for _, app := range workloads.Apps() {
-		counts := workloads.ProcCounts(app)
-		for _, np := range []int{counts[0], counts[2], counts[4]} {
-			var pair [2]FigureRow
-			for i, weak := range []bool{false, true} {
-				o := opt
-				o.Weak = weak
-				tr, err := workloads.Generate(app, np, o)
-				if err != nil {
-					return nil, err
-				}
-				gt, _, err := ChooseGT(tr, grid, 1.0)
-				if err != nil {
-					return nil, err
-				}
-				row, err := FigurePoint(tr, gt, displacement, cfg)
-				if err != nil {
-					return nil, fmt.Errorf("%s np=%d weak=%v: %w", app, np, weak, err)
-				}
-				pair[i] = *row
-			}
-			rows = append(rows, WeakScalingRow{App: app, NP: np, Strong: pair[0], Weak: pair[1]})
-		}
-	}
-	return rows, nil
+	return NewRunner(opt, cfg).WeakScaling(displacement)
 }
 
 // WriteWeakScaling renders the comparison.

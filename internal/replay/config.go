@@ -41,6 +41,14 @@ type Config struct {
 	Net   network.Config
 	Topo  *topology.XGFT // nil selects the paper's XGFT(2;18,14;1,18)
 	Power PowerConfig
+
+	// Parallelism bounds how many independent experiment points the harness
+	// sweeps concurrently (tables, figures, GT grids). Run itself ignores
+	// it: each point is still replayed by the single-threaded engine, so
+	// results are bit-identical at every setting; only the harness's
+	// wall-clock time changes. 0 selects runtime.GOMAXPROCS, 1 forces the
+	// serial path.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's Table II simulation parameters with the

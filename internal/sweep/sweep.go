@@ -1,0 +1,128 @@
+// Package sweep runs independent experiment points on a bounded worker
+// pool. The harness uses it to evaluate (application, process count) and
+// grouping-threshold grids concurrently: each point is still simulated by
+// the single-threaded replay/predictor engines, so results are bit-identical
+// to a serial sweep — parallelism only changes wall-clock time, never
+// output.
+//
+// The pool is GOMAXPROCS-sized by default, context-cancellable, propagates
+// the first error (by input index, matching what a serial loop would have
+// reported), and returns results in input order regardless of completion
+// order.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the pool size used when the caller does not pick one:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Workers normalises a requested pool size for n items: non-positive
+// selects DefaultWorkers, and the pool never exceeds the number of items
+// (n <= 0 means "unknown", leaving the size uncapped).
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = DefaultWorkers()
+	}
+	if n > 0 && w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map applies fn to every item on a pool of at most workers goroutines and
+// returns the results ordered by input index. A non-positive workers count
+// selects DefaultWorkers; workers == 1 runs the items serially on the
+// calling goroutine.
+//
+// On failure the remaining items are cancelled and the error of the
+// lowest-index failed item is returned — the same error a serial loop over
+// the items would have surfaced, so error behaviour does not depend on
+// scheduling. Cancelling ctx stops the sweep and returns ctx's error.
+func Map[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, index int, item T) (R, error)) ([]R, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(items) == 0 {
+		return nil, nil
+	}
+	w := Workers(workers, len(items))
+	out := make([]R, len(items))
+	if w == 1 {
+		for i, item := range items {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := fn(ctx, i, item)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstIdx int
+		firstErr error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		// Keep the lowest-index error; a context error raised by our own
+		// cancellation must not displace the failure that caused it.
+		if firstErr == nil || (i < firstIdx && !errors.Is(err, context.Canceled)) {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r, err := fn(cctx, i, items[i])
+				if err != nil {
+					fail(i, err)
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+	// Feed indices in order so that whenever item j fails, every item i < j
+	// has already been started — the minimum recorded index then equals the
+	// serial loop's first failure.
+feed:
+	for i := range items {
+		select {
+		case next <- i:
+		case <-cctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
