@@ -6,13 +6,16 @@
 //	gt                GT sweep for one workload (Figure 10) or all (Table III)
 //	overheads         measured PPA overheads at 16 processes (Table IV)
 //	figures           power savings and execution-time increase (Figures 7–9)
+//	compare           every registered predictor over every workload (E14)
 //	timeline          per-rank link power timeline (Figure 6)
 //	ppa               PPA walkthrough on the Figure 2/3 event stream
 //	energy            Section VI extension: deep modes + fabric energy
 //	dvs               related-work baseline: history-based link DVS vs WRPS
 //	weak              claim check: weak vs strong scaling (Section III)
 //
-// Run "ibpower <subcommand> -h" for flags.
+// Every subcommand accepts -predictor to select the idle predictor from the
+// registry (ngram, oracle, offline, lastvalue, ewma, static-gt); compare
+// runs them all side by side. Run "ibpower <subcommand> -h" for flags.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"ibpower/internal/harness"
 	"ibpower/internal/ngram"
 	"ibpower/internal/power"
+	"ibpower/internal/predictor"
 	"ibpower/internal/replay"
 	"ibpower/internal/stats"
 	"ibpower/internal/sweep"
@@ -49,6 +53,8 @@ func main() {
 		err = cmdOverheads(os.Args[2:])
 	case "figures":
 		err = cmdFigures(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
 	case "timeline":
 		err = cmdTimeline(os.Args[2:])
 	case "ppa":
@@ -73,7 +79,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ibpower <tableI|gt|overheads|figures|timeline|ppa|energy|dvs|weak> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: ibpower <tableI|gt|overheads|figures|compare|timeline|ppa|energy|dvs|weak> [flags]`)
 }
 
 // cmdWeak tests the paper's Section III prediction that the mechanism is
@@ -82,9 +88,13 @@ func cmdWeak(args []string) error {
 	fs := flag.NewFlagSet("weak", flag.ExitOnError)
 	opt := optFlags(fs)
 	par := parFlag(fs)
+	pred := predFlag(fs, predictor.DefaultName)
 	d := fs.Float64("d", 0.01, "displacement factor")
 	fs.Parse(args)
-	rows, err := harness.NewRunner(*opt, configWith(*par)).WeakScaling(*d)
+	if err := checkPredictor(*pred); err != nil {
+		return err
+	}
+	rows, err := harness.NewRunner(*opt, configWith(*par, *pred)).WeakScaling(*d)
 	if err != nil {
 		return err
 	}
@@ -97,9 +107,13 @@ func cmdDVS(args []string) error {
 	fs := flag.NewFlagSet("dvs", flag.ExitOnError)
 	opt := optFlags(fs)
 	par := parFlag(fs)
+	pred := predFlag(fs, predictor.DefaultName)
 	np := fs.Int("np", 16, "process count")
 	d := fs.Float64("d", 0.01, "WRPS displacement factor")
 	fs.Parse(args)
+	if err := checkPredictor(*pred); err != nil {
+		return err
+	}
 	type row struct {
 		wrps *replay.Result
 		dv   *dvs.Result
@@ -115,7 +129,7 @@ func cmdDVS(args []string) error {
 			if err != nil {
 				return row{}, err
 			}
-			wrps, err := replay.Run(tr, replay.DefaultConfig().WithPower(gt, *d))
+			wrps, err := replay.Run(tr, replay.DefaultConfig().WithPredictor(*pred).WithPower(gt, *d))
 			if err != nil {
 				return row{}, err
 			}
@@ -142,11 +156,15 @@ func cmdEnergy(args []string) error {
 	fs := flag.NewFlagSet("energy", flag.ExitOnError)
 	opt := optFlags(fs)
 	par := parFlag(fs)
+	pred := predFlag(fs, predictor.DefaultName)
 	d := fs.Float64("d", 0.01, "displacement factor")
 	apps := fs.String("apps", "", "comma-separated app filter (default all)")
 	np := fs.Int("np", 16, "process count")
 	deepUS := fs.Int("deepus", 1000, "deep-mode reactivation time [us]")
 	fs.Parse(args)
+	if err := checkPredictor(*pred); err != nil {
+		return err
+	}
 	names := workloads.Apps()
 	if *apps != "" {
 		names = strings.Split(*apps, ",")
@@ -154,9 +172,10 @@ func cmdEnergy(args []string) error {
 	deep := power.DeepConfig{Treact: time.Duration(*deepUS) * time.Microsecond}
 	fmt.Printf("deep mode: reactivation %v, entry threshold %v (energy breakeven)\n",
 		deep.Treact, deep.BreakevenIdle(power.Treact).Round(time.Microsecond))
+	cfg := replay.DefaultConfig().WithPredictor(*pred)
 	rows, err := sweep.Map(context.Background(), *par, names,
 		func(_ context.Context, _ int, app string) (*harness.EnergyRow, error) {
-			return harness.Energy(strings.TrimSpace(app), *np, *d, *opt, deep)
+			return harness.Energy(strings.TrimSpace(app), *np, *d, *opt, deep, cfg)
 		})
 	if err != nil {
 		return err
@@ -177,9 +196,27 @@ func parFlag(fs *flag.FlagSet) *int {
 	return fs.Int("parallel", 0, "max concurrent experiment points (0 = GOMAXPROCS, 1 = serial)")
 }
 
-// configWith returns the default replay config bounded to par workers.
-func configWith(par int) replay.Config {
-	cfg := replay.DefaultConfig()
+// predFlag registers the predictor selection shared by every subcommand.
+// def is the default name ("" on compare, which runs all of them).
+func predFlag(fs *flag.FlagSet, def string) *string {
+	return fs.String("predictor", def,
+		"idle predictor (one of: "+strings.Join(predictor.Names(), ", ")+")")
+}
+
+// checkPredictor validates a -predictor value before any simulation starts,
+// so a typo fails fast on every subcommand. The empty value (compare's
+// default) means "all registered".
+func checkPredictor(name string) error {
+	if name == "" {
+		return nil
+	}
+	return predictor.CheckRegistered(name)
+}
+
+// configWith returns the default replay config bounded to par workers with
+// the named predictor selected.
+func configWith(par int, pred string) replay.Config {
+	cfg := replay.DefaultConfig().WithPredictor(pred)
 	cfg.Parallelism = par
 	return cfg
 }
@@ -188,8 +225,12 @@ func cmdTableI(args []string) error {
 	fs := flag.NewFlagSet("tableI", flag.ExitOnError)
 	opt := optFlags(fs)
 	par := parFlag(fs)
+	pred := predFlag(fs, predictor.DefaultName)
 	fs.Parse(args)
-	rows, err := harness.NewRunner(*opt, configWith(*par)).TableI()
+	if err := checkPredictor(*pred); err != nil {
+		return err
+	}
+	rows, err := harness.NewRunner(*opt, configWith(*par, *pred)).TableI()
 	if err != nil {
 		return err
 	}
@@ -200,11 +241,17 @@ func cmdGT(args []string) error {
 	fs := flag.NewFlagSet("gt", flag.ExitOnError)
 	opt := optFlags(fs)
 	par := parFlag(fs)
+	pred := predFlag(fs, predictor.DefaultName)
 	app := fs.String("app", "", "application (empty: Table III over all apps)")
 	np := fs.Int("np", 64, "process count for -app sweeps")
 	fs.Parse(args)
+	if err := checkPredictor(*pred); err != nil {
+		return err
+	}
 	if *app == "" {
-		rows, err := harness.NewRunner(*opt, configWith(*par)).TableIII()
+		// Table III: GT selection always scores the reference n-gram
+		// predictor (see harness.ChooseGT); -predictor is validated only.
+		rows, err := harness.NewRunner(*opt, configWith(*par, *pred)).TableIII()
 		if err != nil {
 			return err
 		}
@@ -214,19 +261,23 @@ func cmdGT(args []string) error {
 	if err != nil {
 		return err
 	}
-	pts, err := harness.GTSweepParallel(tr, harness.DefaultGTGrid(), *par)
+	pts, err := harness.GTSweepNamed(tr, *pred, harness.DefaultGTGrid(), *par)
 	if err != nil {
 		return err
 	}
-	return harness.WriteGTSweep(os.Stdout, *app, *np, pts)
+	return harness.WriteGTSweep(os.Stdout, *app, *np, *pred, pts)
 }
 
 func cmdOverheads(args []string) error {
 	fs := flag.NewFlagSet("overheads", flag.ExitOnError)
 	opt := optFlags(fs)
 	par := parFlag(fs)
+	pred := predFlag(fs, predictor.DefaultName)
 	fs.Parse(args)
-	rows, err := harness.NewRunner(*opt, configWith(*par)).TableIV()
+	if err := checkPredictor(*pred); err != nil {
+		return err
+	}
+	rows, err := harness.NewRunner(*opt, configWith(*par, *pred)).TableIV()
 	if err != nil {
 		return err
 	}
@@ -237,16 +288,20 @@ func cmdFigures(args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ExitOnError)
 	opt := optFlags(fs)
 	par := parFlag(fs)
+	pred := predFlag(fs, predictor.DefaultName)
 	d := fs.Float64("d", 0, "displacement factor (0: all of 0.10, 0.05, 0.01)")
 	apps := fs.String("apps", "", "comma-separated app filter")
 	fs.Parse(args)
+	if err := checkPredictor(*pred); err != nil {
+		return err
+	}
 	ds := harness.Displacements
 	if *d > 0 {
 		ds = []float64{*d}
 	}
 	// One Runner across displacement factors: traces and GT choices are
 	// generated once and shared by all three figures.
-	runner := harness.NewRunner(*opt, configWith(*par))
+	runner := harness.NewRunner(*opt, configWith(*par, *pred))
 	for _, disp := range ds {
 		rows, err := runner.Figure(disp)
 		if err != nil {
@@ -261,6 +316,40 @@ func cmdFigures(args []string) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// cmdCompare runs the predictor comparison sweep (experiment E14): every
+// registered predictor — or just the one named with -predictor — over every
+// (application, process count) point, all at the workload's Table III
+// grouping threshold against one shared baseline replay.
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	opt := optFlags(fs)
+	par := parFlag(fs)
+	pred := predFlag(fs, "")
+	d := fs.Float64("d", 0.01, "displacement factor")
+	apps := fs.String("apps", "", "comma-separated app filter")
+	fs.Parse(args)
+	if err := checkPredictor(*pred); err != nil {
+		return err
+	}
+	var names []string
+	if *pred != "" {
+		names = []string{*pred}
+	}
+	// The app filter restricts the sweep itself: filtered-out workloads are
+	// never generated or replayed.
+	var only []string
+	if *apps != "" {
+		for _, a := range strings.Split(*apps, ",") {
+			only = append(only, strings.TrimSpace(a))
+		}
+	}
+	rows, err := harness.NewRunner(*opt, configWith(*par, "")).Compare(*d, names, only...)
+	if err != nil {
+		return err
+	}
+	return harness.WriteCompare(os.Stdout, *d, rows)
 }
 
 func filterRows(rows []harness.FigureRow, apps string) []harness.FigureRow {
@@ -281,12 +370,16 @@ func cmdTimeline(args []string) error {
 	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
 	opt := optFlags(fs)
 	par := parFlag(fs)
+	pred := predFlag(fs, predictor.DefaultName)
 	app := fs.String("app", "gromacs", "application")
 	np := fs.Int("np", 16, "process count")
 	d := fs.Float64("d", 0.10, "displacement factor")
 	width := fs.Int("width", 100, "rendering width")
 	prv := fs.Bool("prv", false, "emit Paraver-like records instead of ASCII")
 	fs.Parse(args)
+	if err := checkPredictor(*pred); err != nil {
+		return err
+	}
 	tr, err := workloads.Generate(*app, *np, *opt)
 	if err != nil {
 		return err
@@ -296,14 +389,14 @@ func cmdTimeline(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := replay.DefaultConfig().WithPower(gt, *d)
+	cfg := replay.DefaultConfig().WithPredictor(*pred).WithPower(gt, *d)
 	cfg.Power.RecordTimelines = true
 	res, err := replay.Run(tr, cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s with %d MPI processes, GT=%v, displacement=%.0f%% (Figure 6)\n",
-		*app, *np, gt, *d*100)
+	fmt.Printf("%s with %d MPI processes, GT=%v, displacement=%.0f%%, predictor %s (Figure 6)\n",
+		*app, *np, gt, *d*100, *pred)
 	if *prv {
 		return trace.WriteParaver(os.Stdout, res.Timelines)
 	}
@@ -316,7 +409,13 @@ func cmdTimeline(args []string) error {
 func cmdPPA(args []string) error {
 	fs := flag.NewFlagSet("ppa", flag.ExitOnError)
 	reps := fs.Int("reps", 4, "iterations of the 41-41-41,10,10 stream")
+	// The walkthrough demonstrates the n-gram algorithms specifically; the
+	// flag exists for interface uniformity and is validated only.
+	pred := predFlag(fs, predictor.DefaultName)
 	fs.Parse(args)
+	if err := checkPredictor(*pred); err != nil {
+		return err
+	}
 
 	gt := 20 * time.Microsecond
 	b := ngram.NewBuilder(gt)

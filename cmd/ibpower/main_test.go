@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUnknownPredictorRejectedEverywhere asserts every subcommand validates
+// -predictor up front: a typo must fail fast with the registry listed, not
+// after minutes of sweeping — and not silently fall back to the default.
+func TestUnknownPredictorRejectedEverywhere(t *testing.T) {
+	cmds := map[string]func([]string) error{
+		"tableI":    cmdTableI,
+		"gt":        cmdGT,
+		"overheads": cmdOverheads,
+		"figures":   cmdFigures,
+		"compare":   cmdCompare,
+		"timeline":  cmdTimeline,
+		"ppa":       cmdPPA,
+		"energy":    cmdEnergy,
+		"dvs":       cmdDVS,
+		"weak":      cmdWeak,
+	}
+	for name, fn := range cmds {
+		err := fn([]string{"-predictor", "nosuch"})
+		if err == nil {
+			t.Errorf("%s accepted an unknown predictor", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "unknown predictor") ||
+			!strings.Contains(err.Error(), "ngram") {
+			t.Errorf("%s: error %q must reject the name and list the registry", name, err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package ibpower_test
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"ibpower"
@@ -55,6 +56,99 @@ func Example() {
 	// saving below ceiling: true
 	// hit rate above 60%: true
 }
+
+// ExamplePredictors shows the predictor registry: the paper's n-gram PPA is
+// registered next to the clairvoyant oracle, the trace-trained offline
+// profile and the classic idle-time baselines.
+func ExamplePredictors() {
+	registered := func(name string) bool {
+		for _, n := range ibpower.Predictors() {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, name := range []string{"ngram", "oracle", "offline", "lastvalue", "ewma", "static-gt"} {
+		fmt.Printf("%s: %v\n", name, registered(name))
+	}
+	// Output:
+	// ngram: true
+	// oracle: true
+	// offline: true
+	// lastvalue: true
+	// ewma: true
+	// static-gt: true
+}
+
+// ExampleNewNamedPredictor selects a predictor from the registry by name and
+// drives it over a periodic call stream: the last-value baseline locks onto
+// a constant gap after a single observation.
+func ExampleNewNamedPredictor() {
+	pred, err := ibpower.NewNamedPredictor("lastvalue", ibpower.PredictorConfig{
+		GT:           20 * time.Microsecond,
+		Displacement: 0.01,
+	})
+	if err != nil {
+		panic(err)
+	}
+	var now time.Duration
+	for i := 0; i < 10; i++ {
+		now += 500 * time.Microsecond
+		pred.OnCall(41, now, now)
+	}
+	pred.Flush()
+	st := pred.Stats()
+	fmt.Printf("shutdowns: %d of %d calls, hit rate %.0f%%\n",
+		st.Shutdowns, st.Calls, st.HitRatePct())
+	// Output:
+	// shutdowns: 9 of 10 calls, hit rate 100%
+}
+
+// ExampleRegisterPredictor plugs a custom predictor into the registry and
+// runs it through the replay co-simulator like any built-in: here a
+// trivial policy that always predicts a fixed 2 ms idle.
+func ExampleRegisterPredictor() {
+	// Register is once-per-process (duplicates panic by design); the Once
+	// keeps this example re-runnable under go test -count=N.
+	registerFixedOnce.Do(func() {
+		ibpower.RegisterPredictor("example-fixed", func(cfg ibpower.PredictorConfig) (ibpower.Predictor, error) {
+			return &fixedPredictor{idle: 2 * time.Millisecond, cfg: cfg}, nil
+		})
+	})
+	tr, err := ibpower.GenerateWorkload("nasbt", 9, ibpower.WorkloadOptions{IterScale: 0.1})
+	if err != nil {
+		panic(err)
+	}
+	cfg := ibpower.DefaultReplayConfig().WithPredictor("example-fixed").WithPower(ibpower.GTMin, 0.01)
+	res, err := ibpower.Replay(tr, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("custom predictor replayed: %v (some savings: %v)\n",
+		res.ExecTime > 0, res.AvgSavingPct() > 0)
+	// Output:
+	// custom predictor replayed: true (some savings: true)
+}
+
+var registerFixedOnce sync.Once
+
+// fixedPredictor implements ibpower.Predictor with a constant idle guess.
+type fixedPredictor struct {
+	idle time.Duration
+	cfg  ibpower.PredictorConfig
+	st   ibpower.PredictorStats
+}
+
+func (p *fixedPredictor) OnCall(id ibpower.EventID, start, end time.Duration) ibpower.Action {
+	p.st.Calls++
+	p.st.Shutdowns++
+	return ibpower.Action{Shutdown: true, PredictedIdle: p.idle, RawIdle: p.idle}
+}
+
+func (p *fixedPredictor) Flush() {}
+
+func (p *fixedPredictor) Stats() ibpower.PredictorStats { return p.st }
 
 // ExampleReplay runs the paper's full evaluation pipeline on one workload.
 func ExampleReplay() {

@@ -8,9 +8,13 @@
 //
 // This root package is the public facade over the implementation packages:
 //
-//   - Predictor / PredictorConfig — the per-process mechanism: gram
-//     formation (Algorithm 1), PPA (Algorithm 2) and the displacement-factor
-//     power mode control (Algorithm 3).
+//   - Predictor / PredictorConfig — the pluggable per-process idle
+//     predictor. The paper's mechanism (gram formation, Algorithm 1; PPA,
+//     Algorithm 2; displacement-factor power mode control, Algorithm 3)
+//     registers as "ngram", the default, next to the "oracle", "offline",
+//     "lastvalue", "ewma" and "static-gt" predictors; select by name with
+//     NewNamedPredictor or ReplayConfig.WithPredictor, enumerate with
+//     Predictors, and add implementations with RegisterPredictor.
 //   - LinkController — the HCA link power controller with the hardware wake
 //     timer (Figure 5) and per-mode energy accounting.
 //   - GenerateWorkload — synthetic stand-ins for the paper's five production
@@ -58,9 +62,15 @@ type (
 	// PredictorConfig parameterises the mechanism: grouping threshold,
 	// displacement factor, reactivation time and maximum pattern size.
 	PredictorConfig = predictor.Config
-	// Predictor is the per-MPI-process prediction + power-control state
-	// machine. Feed it every intercepted call via OnCall.
+	// Predictor is the pluggable per-MPI-process idle predictor interface.
+	// Feed an instance every intercepted call via OnCall.
 	Predictor = predictor.Predictor
+	// NGramPredictor is the paper's concrete mechanism (the "ngram"
+	// registry entry): gram formation + PPA + power mode control.
+	NGramPredictor = predictor.NGram
+	// PredictorFactory constructs per-rank instances of a registered
+	// predictor.
+	PredictorFactory = predictor.Factory
 	// Action is OnCall's verdict: whether to shut lanes down and for how
 	// long.
 	Action = predictor.Action
@@ -107,8 +117,24 @@ type (
 	PowerReport = pmpi.Report
 )
 
-// NewPredictor builds the per-process mechanism instance.
-func NewPredictor(cfg PredictorConfig) (*Predictor, error) { return predictor.New(cfg) }
+// NewPredictor builds the paper's n-gram per-process mechanism instance.
+func NewPredictor(cfg PredictorConfig) (*NGramPredictor, error) { return predictor.New(cfg) }
+
+// NewNamedPredictor builds a per-process instance of any registered
+// predictor ("ngram", "oracle", "offline", "lastvalue", "ewma",
+// "static-gt", or anything added via RegisterPredictor).
+func NewNamedPredictor(name string, cfg PredictorConfig) (Predictor, error) {
+	return predictor.NewNamed(name, cfg)
+}
+
+// Predictors returns the registered predictor names, sorted.
+func Predictors() []string { return predictor.Names() }
+
+// RegisterPredictor adds a predictor implementation to the registry; it
+// panics on duplicate names. Registered predictors are selectable by every
+// harness experiment, ReplayConfig.WithPredictor, and the ibpower command's
+// -predictor flag.
+func RegisterPredictor(name string, f PredictorFactory) { predictor.Register(name, f) }
 
 // NewLinkController builds a link power controller; treact <= 0 selects the
 // paper's 10 µs.

@@ -36,8 +36,10 @@ type EnergyRow struct {
 // Energy runs the lanes-only and deep-sleep mechanisms for one workload and
 // aggregates switch- and fabric-level power (extension experiment E11).
 // deep configures the Section VI scenario; the zero value selects the 1 ms
-// reactivation with the breakeven entry threshold.
-func Energy(app string, np int, displacement float64, opt workloads.Options, deep power.DeepConfig) (*EnergyRow, error) {
+// reactivation with the breakeven entry threshold. cfg carries the network
+// parameters and the predictor selection (cfg.Power.PredictorName); its
+// power block is otherwise rebuilt per run.
+func Energy(app string, np int, displacement float64, opt workloads.Options, deep power.DeepConfig, cfg replay.Config) (*EnergyRow, error) {
 	tr, err := workloads.Generate(app, np, opt)
 	if err != nil {
 		return nil, err
@@ -46,8 +48,9 @@ func Energy(app string, np int, displacement float64, opt workloads.Options, dee
 	if err != nil {
 		return nil, err
 	}
-	cfg := replay.DefaultConfig()
-	base, err := replay.Run(tr, cfg)
+	bcfg := cfg
+	bcfg.Power.Enabled = false
+	base, err := replay.Run(tr, bcfg)
 	if err != nil {
 		return nil, err
 	}

@@ -6,13 +6,14 @@ import (
 	"time"
 
 	"ibpower/internal/power"
+	"ibpower/internal/replay"
 	"ibpower/internal/trace"
 	"ibpower/internal/workloads"
 )
 
 func TestEnergyRow(t *testing.T) {
 	row, err := Energy("gromacs", 8, 0.01, workloads.Options{IterScale: 0.12},
-		power.DeepConfig{Treact: 400 * time.Microsecond})
+		power.DeepConfig{Treact: 400 * time.Microsecond}, replay.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestEnergyDeepNeverWorseAtDefault(t *testing.T) {
 	// engages profitably or abstains: savings must never drop below
 	// lanes-only by more than rounding.
 	for _, app := range []string{"alya", "nasbt"} {
-		row, err := Energy(app, 8, 0.01, workloads.Options{IterScale: 0.1}, power.DeepConfig{})
+		row, err := Energy(app, 8, 0.01, workloads.Options{IterScale: 0.1}, power.DeepConfig{}, replay.DefaultConfig())
 		if err != nil {
 			t.Fatal(err)
 		}

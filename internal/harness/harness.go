@@ -75,12 +75,21 @@ func GTSweep(tr *trace.Trace, gts []time.Duration) ([]GTSweepPoint, error) {
 // GOMAXPROCS, 1 is serial). Points are returned in grid order whatever the
 // pool size.
 func GTSweepParallel(tr *trace.Trace, gts []time.Duration, workers int) ([]GTSweepPoint, error) {
+	return GTSweepNamed(tr, predictor.DefaultName, gts, workers)
+}
+
+// GTSweepNamed is GTSweepParallel for any registered predictor: the hit
+// rate reported at each threshold is the predictor's own quality metric
+// (detector-based for the n-gram PPA, resolved-prediction-based for the
+// baselines), evaluated on the network-free offline runner.
+func GTSweepNamed(tr *trace.Trace, name string, gts []time.Duration, workers int) ([]GTSweepPoint, error) {
 	if err := validateGrid(gts); err != nil {
 		return nil, err
 	}
 	return sweep.Map(context.Background(), workers, gts,
 		func(_ context.Context, _ int, gt time.Duration) (GTSweepPoint, error) {
-			res, err := predictor.RunOffline(tr, predictor.Config{GT: gt, Displacement: 0.01})
+			res, err := predictor.RunOfflineNamed(name, tr,
+				predictor.Config{GT: gt, Displacement: 0.01}, predictor.DefaultOverheads())
 			if err != nil {
 				return GTSweepPoint{}, err
 			}
@@ -118,6 +127,11 @@ func DefaultGTGrid() []time.Duration {
 // (the product the two effects trade off), and return the smallest GT within
 // tolPct of that optimum. The hit rate at the chosen GT is returned for
 // Table III.
+//
+// Selection always scores the reference n-gram predictor: the threshold is
+// treated as a property of the workload's idle-interval distribution, and
+// the Compare experiment reuses it unchanged for every predictor so that
+// all of them run at the same operating point.
 func ChooseGT(tr *trace.Trace, grid []time.Duration, tolPct float64) (time.Duration, float64, error) {
 	return chooseGT(tr, grid, tolPct, 1)
 }

@@ -46,9 +46,10 @@ func WriteTableIV(w io.Writer, rows []TableIVRow) error {
 
 func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
 
-// WriteGTSweep renders Figure 10 points as a text series.
-func WriteGTSweep(w io.Writer, app string, np int, pts []GTSweepPoint) error {
-	fmt.Fprintf(w, "GT sweep for %s, %d processes (Figure 10)\n", app, np)
+// WriteGTSweep renders Figure 10 points as a text series; name is the
+// predictor the sweep ran.
+func WriteGTSweep(w io.Writer, app string, np int, name string, pts []GTSweepPoint) error {
+	fmt.Fprintf(w, "GT sweep for %s, %d processes, predictor %s (Figure 10)\n", app, np, name)
 	t := stats.NewTable("GT[us]", "correctly predicted MPI calls[%]")
 	for _, p := range pts {
 		t.Row(int(p.GT/time.Microsecond), p.HitRatePct)

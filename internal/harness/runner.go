@@ -35,6 +35,7 @@ type Runner struct {
 	mu     sync.Mutex
 	traces map[traceKey]*traceEntry
 	gts    map[gtKey]*gtEntry
+	bases  map[traceKey]*baseEntry
 }
 
 // NewRunner returns a Runner over the given generation options and replay
@@ -45,7 +46,17 @@ func NewRunner(opt workloads.Options, cfg replay.Config) *Runner {
 		Cfg:    cfg,
 		traces: make(map[traceKey]*traceEntry),
 		gts:    make(map[gtKey]*gtEntry),
+		bases:  make(map[traceKey]*baseEntry),
 	}
+}
+
+// predictorName returns the registry name the Runner's experiments simulate
+// with (Cfg.Power.PredictorName, defaulting to the n-gram PPA).
+func (r *Runner) predictorName() string {
+	if n := r.Cfg.Power.PredictorName; n != "" {
+		return n
+	}
+	return predictor.DefaultName
 }
 
 type traceKey struct {
@@ -69,6 +80,12 @@ type gtEntry struct {
 	once sync.Once
 	gt   time.Duration
 	hit  float64
+	err  error
+}
+
+type baseEntry struct {
+	once sync.Once
+	res  *replay.Result
 	err  error
 }
 
@@ -118,6 +135,32 @@ func (r *Runner) chooseGT(app string, np int, opt workloads.Options, tolPct floa
 		e.gt, e.hit, e.err = ChooseGT(tr, DefaultGTGrid(), tolPct)
 	})
 	return e.gt, e.hit, e.err
+}
+
+// baseline returns the cached power-unaware replay for (app, np) under
+// r.Opt: the denominator of every saving and slowdown figure. Sharing it
+// across experiments matters most for Compare, which would otherwise replay
+// the same baseline once per predictor.
+func (r *Runner) baseline(app string, np int) (*replay.Result, error) {
+	k := traceKey{app: app, np: np, opt: r.Opt}
+	r.mu.Lock()
+	e, ok := r.bases[k]
+	if !ok {
+		e = &baseEntry{}
+		r.bases[k] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		tr, err := r.trace(app, np)
+		if err != nil {
+			e.err = err
+			return
+		}
+		bcfg := r.Cfg
+		bcfg.Power = replay.PowerConfig{}
+		e.res, e.err = replay.Run(tr, bcfg)
+	})
+	return e.res, e.err
 }
 
 // point is one (application, process count) cell of a table or figure.
@@ -213,7 +256,8 @@ func (r *Runner) TableIV() ([]TableIVRow, error) {
 	}
 	var rows []TableIVRow
 	for i, app := range apps {
-		rep, err := predictor.MeasureOverheads(preps[i].tr, predictor.Config{GT: preps[i].gt, Displacement: 0.01})
+		rep, err := predictor.MeasureOverheadsNamed(r.predictorName(), preps[i].tr,
+			predictor.Config{GT: preps[i].gt, Displacement: 0.01})
 		if err != nil {
 			return nil, err
 		}

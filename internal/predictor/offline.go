@@ -46,15 +46,24 @@ func (o *OfflineResult) TotalLow() time.Duration {
 // actions program the wake timer and early calls pay the reactivation delay,
 // exactly as in the full replay minus network effects.
 func RunOfflineOverheads(tr *trace.Trace, cfg Config, ov OverheadModel) (*OfflineResult, error) {
+	return RunOfflineNamed(DefaultName, tr, cfg, ov)
+}
+
+// RunOfflineNamed is RunOfflineOverheads for any registered predictor:
+// trace-aware predictors (oracle, offline) are primed with each rank's op
+// stream before it is replayed. Predictors that never set Action.PPAInvoked
+// are charged only the interception overhead per call.
+func RunOfflineNamed(name string, tr *trace.Trace, cfg Config, ov OverheadModel) (*OfflineResult, error) {
 	out := &OfflineResult{
 		Stats: make([]Stats, tr.NP),
 		Acct:  make([]power.Accounting, tr.NP),
 	}
 	for r := 0; r < tr.NP; r++ {
-		p, err := New(cfg)
+		p, err := NewNamed(name, cfg)
 		if err != nil {
 			return nil, err
 		}
+		Prime(p, tr.Ranks[r])
 		ctrl := power.NewController(cfg.Treact)
 		var t time.Duration
 		for _, op := range tr.Ranks[r] {
@@ -100,13 +109,21 @@ type OverheadReport struct {
 // measures the real wall-clock cost of each OnCall invocation, attributing
 // it to PPA-invoked calls versus plain interceptions.
 func MeasureOverheads(tr *trace.Trace, cfg Config) (OverheadReport, error) {
+	return MeasureOverheadsNamed(DefaultName, tr, cfg)
+}
+
+// MeasureOverheadsNamed is MeasureOverheads for any registered predictor.
+// For predictors that never invoke the PPA the per-invoked-call column stays
+// zero and only the amortized per-call cost is meaningful.
+func MeasureOverheadsNamed(name string, tr *trace.Trace, cfg Config) (OverheadReport, error) {
 	var rep OverheadReport
 	var invokedTime time.Duration
 	for r := 0; r < tr.NP; r++ {
-		p, err := New(cfg)
+		p, err := NewNamed(name, cfg)
 		if err != nil {
 			return rep, err
 		}
+		Prime(p, tr.Ranks[r])
 		var t time.Duration
 		for _, op := range tr.Ranks[r] {
 			switch op.Kind {

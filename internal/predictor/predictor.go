@@ -4,9 +4,17 @@
 // converts a predicted idle interval into a WRPS turn-off-lanes command with
 // a displacement-factor safety margin.
 //
-// The predictor is driven from the PMPI layer (or the replay simulator): it
-// observes every MPI call of its process and, when the call completes the
-// gram expected by the detected pattern, emits a shutdown action:
+// The package is organised around the Predictor interface and a named
+// registry (registry.go): the paper's n-gram mechanism registers as "ngram"
+// (the default) next to the clairvoyant "oracle", the trace-trained
+// "offline" profile, and the "lastvalue", "ewma" and "static-gt" baselines
+// from the dynamic power management literature, so every harness experiment
+// can swap the prediction component while keeping Algorithm 3 and the link
+// power controller fixed.
+//
+// A predictor is driven from the PMPI layer (or the replay simulator): it
+// observes every MPI call of its process and, when it expects a sufficiently
+// long idle interval to follow, emits a shutdown action:
 //
 //	safetyLimit       = idleTime*displacement + Treact
 //	predictedIdleTime = idleTime - safetyLimit
@@ -39,6 +47,11 @@ type Config struct {
 	// MaxPatternSize caps pattern growth before detection freezes it;
 	// <= 0 selects ngram.DefaultMaxPatternSize.
 	MaxPatternSize int
+	// Alpha is the smoothing factor of the "ewma" baseline predictor
+	// (weight of the newest observed gap), in (0, 1]; exactly 0 selects
+	// 0.5 and negative values are rejected by Validate. The n-gram
+	// mechanism ignores it.
+	Alpha float64
 }
 
 // Validate checks the configuration against the paper's constraints.
@@ -53,6 +66,9 @@ func (c Config) Validate() error {
 	if c.Displacement < 0 || c.Displacement >= 1 {
 		return fmt.Errorf("predictor: displacement factor %v outside [0,1)", c.Displacement)
 	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return fmt.Errorf("predictor: EWMA alpha %v outside [0,1]", c.Alpha)
+	}
 	return nil
 }
 
@@ -61,6 +77,20 @@ func (c Config) treact() time.Duration {
 		return power.Treact
 	}
 	return c.Treact
+}
+
+func (c Config) alpha() float64 {
+	if c.Alpha <= 0 {
+		return 0.5
+	}
+	return c.Alpha
+}
+
+// predictedIdle applies the Algorithm 3 safety limit to a raw idle estimate:
+// predicted = raw - (raw*displacement + Treact). A result <= 0 means the
+// safety margin consumes the whole window and no shutdown should be issued.
+func (c Config) predictedIdle(raw time.Duration) time.Duration {
+	return raw - time.Duration(float64(raw)*c.Displacement) - c.treact()
 }
 
 // Action is the outcome of observing one MPI call.
@@ -86,19 +116,37 @@ type Stats struct {
 	Shutdowns      int           // shutdown actions emitted
 	PredictedIdle  time.Duration // total low-power time programmed into wake timers
 	Detector       ngram.DetectorStats
+
+	// Predictions and PredHits account the baseline predictors' quality:
+	// every emitted shutdown prediction counts once, and it counts as a hit
+	// when the realized gap before the next call was at least the predicted
+	// raw idle (so the wake timer fired before communication resumed). The
+	// n-gram mechanism reports the paper's detector-based rate instead and
+	// leaves these zero.
+	Predictions int
+	PredHits    int
 }
 
-// HitRatePct returns the percentage of MPI calls that belonged to correctly
-// predicted grams (Table III's "MPI call hit rate").
+// HitRatePct returns the predictor's correct-prediction rate in percent. For
+// the n-gram mechanism this is the percentage of MPI calls that belonged to
+// correctly predicted grams (Table III's "MPI call hit rate"); for the
+// baseline predictors it is the fraction of emitted predictions whose
+// predicted idle did not overshoot the realized gap.
 func (s Stats) HitRatePct() float64 {
-	if s.Detector.TotalCalls == 0 {
-		return 0
+	if s.Detector.TotalCalls > 0 {
+		return 100 * float64(s.Detector.PredictedCalls) / float64(s.Detector.TotalCalls)
 	}
-	return 100 * float64(s.Detector.PredictedCalls) / float64(s.Detector.TotalCalls)
+	if s.Predictions > 0 {
+		return 100 * float64(s.PredHits) / float64(s.Predictions)
+	}
+	return 0
 }
 
-// Predictor is the per-process mechanism instance.
-type Predictor struct {
+// NGram is the paper's per-process mechanism instance: gram formation
+// (Algorithm 1), the n-gram PPA (Algorithm 2) and the displacement-factor
+// power mode control (Algorithm 3). It registers as "ngram", the registry
+// default.
+type NGram struct {
 	cfg      Config
 	builder  *ngram.Builder
 	detector *ngram.Detector
@@ -111,12 +159,14 @@ type Predictor struct {
 	predIdle time.Duration
 }
 
-// New returns a predictor for one MPI process.
-func New(cfg Config) (*Predictor, error) {
+var _ Predictor = (*NGram)(nil)
+
+// New returns the n-gram PPA predictor for one MPI process.
+func New(cfg Config) (*NGram, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Predictor{
+	return &NGram{
 		cfg:      cfg,
 		builder:  ngram.NewBuilder(cfg.GT),
 		detector: ngram.NewDetector(cfg.MaxPatternSize),
@@ -124,7 +174,7 @@ func New(cfg Config) (*Predictor, error) {
 }
 
 // MustNew is New, panicking on configuration errors (for tests/benchmarks).
-func MustNew(cfg Config) *Predictor {
+func MustNew(cfg Config) *NGram {
 	p, err := New(cfg)
 	if err != nil {
 		panic(err)
@@ -133,13 +183,13 @@ func MustNew(cfg Config) *Predictor {
 }
 
 // Config returns the active configuration.
-func (p *Predictor) Config() Config { return p.cfg }
+func (p *NGram) Config() Config { return p.cfg }
 
 // Predicting reports whether the power mode control component is active.
-func (p *Predictor) Predicting() bool { return p.detector.Predicting() }
+func (p *NGram) Predicting() bool { return p.detector.Predicting() }
 
 // Stats returns a snapshot of mechanism statistics.
-func (p *Predictor) Stats() Stats {
+func (p *NGram) Stats() Stats {
 	return Stats{
 		Calls:          p.calls,
 		PPAInvocations: p.ppaCalls,
@@ -152,7 +202,7 @@ func (p *Predictor) Stats() Stats {
 // OnCall observes one intercepted MPI call occupying [start, end] and
 // returns the action to take when the call returns. Calls must be fed in
 // non-decreasing start order.
-func (p *Predictor) OnCall(id ngram.EventID, start, end time.Duration) Action {
+func (p *NGram) OnCall(id ngram.EventID, start, end time.Duration) Action {
 	var act Action
 	p.calls++
 
@@ -189,8 +239,7 @@ func (p *Predictor) OnCall(id ngram.EventID, start, end time.Duration) Action {
 		if len(cur) == len(exp) && equalIDs(cur, exp) {
 			idleTime := p.detector.PredictedGapAfterExpected()
 			if idleTime > 0 {
-				safety := time.Duration(float64(idleTime)*p.cfg.Displacement) + p.cfg.treact()
-				predicted := idleTime - safety
+				predicted := p.cfg.predictedIdle(idleTime)
 				if predicted > 0 {
 					act.Shutdown = true
 					act.PredictedIdle = predicted
@@ -207,7 +256,7 @@ func (p *Predictor) OnCall(id ngram.EventID, start, end time.Duration) Action {
 // Flush finalizes the gram under construction at end of run, feeding it to
 // the detector so the counters include the trailing gram. (No action
 // results.)
-func (p *Predictor) Flush() {
+func (p *NGram) Flush() {
 	if g := p.builder.Flush(); g != nil {
 		p.detector.AddGram(g)
 	}

@@ -45,7 +45,7 @@ func TestMustNewPanics(t *testing.T) {
 // runIterations pushes n iterations of a fixed two-gram pattern through a
 // predictor: gram A (two calls, id 41) [gap short], then a long gap, then
 // gram B (one call, id 10), then a medium gap.
-func runIterations(p *Predictor, n int, longGap, medGap time.Duration) []Action {
+func runIterations(p Predictor, n int, longGap, medGap time.Duration) []Action {
 	var acts []Action
 	var now time.Duration
 	for i := 0; i < n; i++ {

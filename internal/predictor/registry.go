@@ -1,0 +1,150 @@
+package predictor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ibpower/internal/trace"
+)
+
+// Predictor is the pluggable per-process idle predictor: it observes every
+// intercepted MPI call and decides when to shut link lanes down and for how
+// long. The paper's n-gram PPA (NGram) is one implementation; the registry
+// below holds it next to the simpler baselines it is evaluated against, so
+// the harness can answer "how much does pattern prediction actually buy over
+// last-value or EWMA prediction?" at the same operating point.
+//
+// Implementations must tolerate calls fed in non-decreasing start order and
+// must be cheap: OnCall sits on the replay hot path.
+type Predictor interface {
+	// OnCall observes one intercepted MPI call occupying [start, end] and
+	// returns the action to take when the call returns.
+	OnCall(id EventID, start, end time.Duration) Action
+	// Flush finalizes any state pending at end of run so Stats counters
+	// include the trailing activity. No action results.
+	Flush()
+	// Stats returns a snapshot of mechanism statistics.
+	Stats() Stats
+}
+
+// TraceAware is implemented by predictors that need the rank's full op
+// stream before the run begins — the clairvoyant oracle and the
+// offline-profile predictor. The replay engine and the offline runners prime
+// them with the rank's trace; the live PMPI layer has no trace, so there
+// they never predict (a deliberate property: trace-trained predictors cannot
+// be deployed online, which is the PPA's selling point).
+type TraceAware interface {
+	Predictor
+	// Prime hands the predictor the rank's complete op stream. It is called
+	// once, before the first OnCall. Implementations must not mutate ops.
+	Prime(ops []trace.Op)
+}
+
+// DefaultName is the registry entry used when no predictor is named: the
+// paper's n-gram PPA.
+const DefaultName = "ngram"
+
+// Factory constructs one per-rank predictor instance from a validated-or-not
+// configuration; it must validate cfg itself.
+type Factory func(cfg Config) (Predictor, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Factory)
+)
+
+// Register adds a predictor constructor under name. It panics on an empty
+// name, a nil factory, or a duplicate registration — registry collisions are
+// programmer errors and must fail loudly at init time, not resolve silently
+// to whichever init ran last.
+func Register(name string, f Factory) {
+	if name == "" {
+		panic("predictor: Register with empty name")
+	}
+	if f == nil {
+		panic("predictor: Register with nil factory for " + name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("predictor: duplicate registration of " + name)
+	}
+	registry[name] = f
+}
+
+// Registered reports whether name resolves in the registry; the empty string
+// resolves to DefaultName.
+func Registered(name string) bool {
+	if name == "" {
+		name = DefaultName
+	}
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
+// Names returns the registered predictor names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CheckRegistered returns a descriptive error naming the whole registry
+// when name does not resolve (the empty name resolves to DefaultName), so a
+// typo'd -predictor flag tells the user what would have worked. It is the
+// single validation every layer (replay config, pmpi layer, harness, CLI)
+// shares.
+func CheckRegistered(name string) error {
+	if Registered(name) {
+		return nil
+	}
+	return fmt.Errorf("unknown predictor %q (registered: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// NewNamed builds a per-rank instance of the named predictor; the empty name
+// selects DefaultName.
+func NewNamed(name string, cfg Config) (Predictor, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("predictor: %w", CheckRegistered(name))
+	}
+	return f(cfg)
+}
+
+// MustNewNamed is NewNamed, panicking on errors (for factories whose inputs
+// were validated up front).
+func MustNewNamed(name string, cfg Config) Predictor {
+	p, err := NewNamed(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Prime hands ops to p if it is trace-aware; other predictors are returned
+// untouched. Harness code calls this once per rank before replaying.
+func Prime(p Predictor, ops []trace.Op) {
+	if ta, ok := p.(TraceAware); ok {
+		ta.Prime(ops)
+	}
+}
+
+func init() {
+	Register(DefaultName, func(cfg Config) (Predictor, error) { return New(cfg) })
+}

@@ -1,0 +1,133 @@
+package predictor
+
+import (
+	"time"
+
+	"ibpower/internal/trace"
+)
+
+// This file holds the two trace-primed predictors, registered as "oracle"
+// and "offline". Both implement TraceAware: the harness hands them the
+// rank's op stream before the run. They bound the design space from above —
+// the oracle knows every future gap exactly, the offline profile is the best
+// a per-call-type trained table can do — while the baselines in baselines.go
+// bound it from below. Unprimed (e.g. inside the live PMPI layer, which has
+// no trace) they never predict.
+
+// oraclePred is the clairvoyant upper bound: primed with the rank's trace,
+// it knows the exact inter-call computation gap following every call and
+// predicts it, so with Algorithm 3's safety margin applied no demand wake is
+// ever triggered by the rank's own next call.
+type oraclePred struct {
+	baseline
+	gaps []time.Duration // gaps[k] = recorded compute gap after call k
+	k    int
+}
+
+func (p *oraclePred) Prime(ops []trace.Op) {
+	p.gaps = traceGaps(ops)
+	p.k = 0
+}
+
+func (p *oraclePred) OnCall(id EventID, start, end time.Duration) Action {
+	p.observe(start, end)
+	k := p.k
+	p.k++
+	if k >= len(p.gaps) {
+		return Action{}
+	}
+	return p.predict(p.gaps[k])
+}
+
+// profilePred is the offline-trained predictor: primed with the rank's
+// trace, it tabulates the mean computation gap that follows each MPI call
+// type and predicts that mean whenever the type recurs. It is what a
+// profile-guided deployment (train on one run, predict on the next) would
+// achieve, without the PPA's per-instance pattern tracking.
+type profilePred struct {
+	baseline
+	mean map[EventID]time.Duration
+}
+
+func (p *profilePred) Prime(ops []trace.Op) {
+	sum := make(map[EventID]time.Duration)
+	cnt := make(map[EventID]int)
+	var pending time.Duration
+	var last EventID
+	have := false
+	for _, op := range ops {
+		switch op.Kind {
+		case trace.OpCompute:
+			if have {
+				pending += op.Duration
+			}
+		case trace.OpCall:
+			if have {
+				sum[last] += pending
+				cnt[last]++
+			}
+			pending = 0
+			last = EventID(op.Call)
+			have = true
+		}
+	}
+	if have {
+		sum[last] += pending
+		cnt[last]++
+	}
+	p.mean = make(map[EventID]time.Duration, len(sum))
+	for id, s := range sum {
+		p.mean[id] = s / time.Duration(cnt[id])
+	}
+}
+
+func (p *profilePred) OnCall(id EventID, start, end time.Duration) Action {
+	p.observe(start, end)
+	// An unknown id (unprimed predictor) yields a zero mean, which the
+	// grouping threshold filters out.
+	return p.predict(p.mean[id])
+}
+
+// traceGaps extracts the computation gap following each MPI call of one
+// rank's op stream; the trailing computation after the final call counts as
+// that call's gap.
+func traceGaps(ops []trace.Op) []time.Duration {
+	var gaps []time.Duration
+	var pending time.Duration
+	seen := false
+	for _, op := range ops {
+		switch op.Kind {
+		case trace.OpCompute:
+			if seen {
+				pending += op.Duration
+			}
+		case trace.OpCall:
+			if seen {
+				gaps = append(gaps, pending)
+			}
+			pending = 0
+			seen = true
+		}
+	}
+	if seen {
+		gaps = append(gaps, pending)
+	}
+	return gaps
+}
+
+func init() {
+	Register("oracle", func(cfg Config) (Predictor, error) {
+		b, err := newBaseline(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &oraclePred{baseline: b}, nil
+	})
+	Register("offline", func(cfg Config) (Predictor, error) {
+		b, err := newBaseline(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &profilePred{baseline: b}, nil
+	})
+}

@@ -24,7 +24,12 @@ func DefaultOverheads() OverheadModel { return predictor.DefaultOverheads() }
 
 // PowerConfig enables the power saving mechanism during replay.
 type PowerConfig struct {
-	Enabled         bool
+	Enabled bool
+	// PredictorName selects the idle predictor from the predictor registry
+	// ("ngram", "oracle", "offline", "lastvalue", "ewma", "static-gt", or
+	// anything registered by the embedding program); empty selects
+	// predictor.DefaultName, the paper's n-gram PPA.
+	PredictorName   string
 	Predictor       predictor.Config
 	Overheads       OverheadModel
 	RecordTimelines bool // record per-rank link state timelines (Figure 6)
@@ -58,10 +63,12 @@ func DefaultConfig() Config {
 }
 
 // WithPower returns cfg with the mechanism enabled at the given grouping
-// threshold and displacement factor.
+// threshold and displacement factor. A predictor selected earlier via
+// WithPredictor is preserved.
 func (c Config) WithPower(gt time.Duration, displacement float64) Config {
 	c.Power = PowerConfig{
-		Enabled: true,
+		Enabled:       true,
+		PredictorName: c.Power.PredictorName,
 		Predictor: predictor.Config{
 			GT:           gt,
 			Displacement: displacement,
@@ -69,6 +76,14 @@ func (c Config) WithPower(gt time.Duration, displacement float64) Config {
 		},
 		Overheads: DefaultOverheads(),
 	}
+	return c
+}
+
+// WithPredictor returns cfg with the named idle predictor selected from the
+// registry. Apply in any order relative to WithPower; the choice survives
+// it. The empty name keeps the default n-gram PPA.
+func (c Config) WithPredictor(name string) Config {
+	c.Power.PredictorName = name
 	return c
 }
 
@@ -87,6 +102,9 @@ func (c Config) validate(np int) error {
 	if c.Power.Enabled {
 		if err := c.Power.Predictor.Validate(); err != nil {
 			return err
+		}
+		if err := predictor.CheckRegistered(c.Power.PredictorName); err != nil {
+			return fmt.Errorf("replay: %w", err)
 		}
 	}
 	if c.Topo != nil && c.Topo.NumTerminals() < np {

@@ -33,7 +33,7 @@ type rankState struct {
 	haveSend  bool
 	haveRecv  bool
 
-	pred *predictor.Predictor
+	pred predictor.Predictor
 	ctrl *power.Controller
 }
 
@@ -89,10 +89,11 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	for r := 0; r < tr.NP; r++ {
 		rs := &rankState{r: r, ops: tr.Ranks[r]}
 		if cfg.Power.Enabled {
-			p, err := predictor.New(cfg.Power.Predictor)
+			p, err := predictor.NewNamed(cfg.Power.PredictorName, cfg.Power.Predictor)
 			if err != nil {
 				return nil, err
 			}
+			predictor.Prime(p, tr.Ranks[r])
 			rs.pred = p
 			rs.ctrl = power.NewController(cfg.Power.Predictor.Treact)
 			if cfg.Power.DeepSleep {
