@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ibpower"
+	"ibpower/internal/benchio"
 	"ibpower/internal/dvs"
 	"ibpower/internal/harness"
 	"ibpower/internal/mpi"
@@ -19,7 +20,6 @@ import (
 	"ibpower/internal/power"
 	"ibpower/internal/predictor"
 	"ibpower/internal/replay"
-	"ibpower/internal/topology"
 	"ibpower/internal/trace"
 	"ibpower/internal/workloads"
 )
@@ -371,25 +371,12 @@ func BenchmarkAblationDeepSleep(b *testing.B) {
 }
 
 // --- Microbenchmarks of the hot paths ---
+//
+// The headline bodies live in internal/benchio (one source of truth for the
+// BENCH_<n>.json trajectory and the CI bench-smoke gate); the wrappers here
+// keep them runnable under `go test -bench` with the canonical names.
 
-func BenchmarkPredictorOnCall(b *testing.B) {
-	p := predictor.MustNew(predictor.Config{GT: 20 * time.Microsecond, Displacement: 0.01})
-	var now time.Duration
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		id := predictor.EventID(41)
-		gap := 5 * time.Microsecond
-		switch i % 5 {
-		case 0:
-			gap = 300 * time.Microsecond
-		case 3, 4:
-			id, gap = 10, 200*time.Microsecond
-		}
-		now += gap
-		p.OnCall(id, now, now)
-	}
-}
+func BenchmarkPredictorOnCall(b *testing.B) { benchio.BenchPredictorOnCall(b) }
 
 func BenchmarkGramBuilder(b *testing.B) {
 	bl := ngram.NewBuilder(20 * time.Microsecond)
@@ -418,42 +405,15 @@ func BenchmarkControllerCycle(b *testing.B) {
 	}
 }
 
-func BenchmarkNetworkTransfer(b *testing.B) {
-	net, err := network.New(topology.Paper(), network.DefaultConfig())
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		net.Transfer(i%128, (i+37)%128, 8192, time.Duration(i)*time.Microsecond)
-	}
-}
+func BenchmarkNetworkTransfer(b *testing.B) { benchio.BenchNetworkTransfer(b) }
 
-func BenchmarkRouteCrossLeaf(b *testing.B) {
-	topo := topology.Paper()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		topo.Route(i%18, 250-(i%18), nil)
-	}
-}
+func BenchmarkRouteCrossLeaf(b *testing.B) { benchio.BenchRouteCrossLeaf(b) }
 
-func BenchmarkReplayAlya16(b *testing.B) {
-	tr, err := workloads.Generate("alya", 16, workloads.Options{IterScale: 0.1})
-	if err != nil {
-		b.Fatal(err)
-	}
-	cfg := replay.DefaultConfig().WithPower(20*time.Microsecond, 0.01)
-	calls := float64(tr.NumCalls())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := replay.Run(tr, cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(calls*float64(b.N)/b.Elapsed().Seconds(), "calls/s")
-}
+func BenchmarkReplayAlya16(b *testing.B) { benchio.BenchReplayAlya16(b) }
+
+// BenchmarkDetectorAddGram measures the steady-state PPA gram path: a
+// detected pattern being predicted over interned grams (zero allocations).
+func BenchmarkDetectorAddGram(b *testing.B) { benchio.BenchDetectorAddGram(b) }
 
 func BenchmarkMiniMPIAllreduce(b *testing.B) {
 	const np = 8

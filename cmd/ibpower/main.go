@@ -12,6 +12,7 @@
 //	energy            Section VI extension: deep modes + fabric energy
 //	dvs               related-work baseline: history-based link DVS vs WRPS
 //	weak              claim check: weak vs strong scaling (Section III)
+//	bench             headline benchmarks -> BENCH_<label>.json trajectory point
 //
 // Every subcommand accepts -predictor to select the idle predictor from the
 // registry (ngram, oracle, offline, lastvalue, ewma, static-gt); compare
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"ibpower/internal/benchio"
 	"ibpower/internal/dvs"
 	"ibpower/internal/harness"
 	"ibpower/internal/ngram"
@@ -65,6 +67,8 @@ func main() {
 		err = cmdDVS(os.Args[2:])
 	case "weak":
 		err = cmdWeak(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -79,7 +83,63 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ibpower <tableI|gt|overheads|figures|compare|timeline|ppa|energy|dvs|weak> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: ibpower <tableI|gt|overheads|figures|compare|timeline|ppa|energy|dvs|weak|bench> [flags]`)
+}
+
+// cmdBench runs the headline benchmark suite (internal/benchio) and writes a
+// BENCH_<label>.json trajectory point. With -baseline it additionally gates
+// the run: any gated benchmark whose ns/op exceeds the baseline by more than
+// -maxratio fails the command (the CI bench-smoke job).
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	smoke := fs.Bool("smoke", false, "short measurement window; skips full-sweep benchmarks (CI gating mode)")
+	label := fs.String("label", "pr", "trajectory label recorded in the report")
+	out := fs.String("o", "", "output path (default BENCH_<label>.json)")
+	baseline := fs.String("baseline", "", "baseline BENCH_*.json to gate against (empty: no gate)")
+	maxRatio := fs.Float64("maxratio", 2.0, "fail when a gated benchmark's ns/op exceeds baseline by this factor")
+	check := fs.String("check", "BenchmarkReplayAlya16,BenchmarkNetworkTransfer",
+		"comma-separated benchmarks gated against the baseline")
+	fs.Parse(args)
+
+	rep, err := benchio.RunSuite(*label, *smoke)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("benchmark", "iters", "ns/op", "allocs/op", "B/op")
+	for _, r := range rep.Results {
+		t.Row(r.Name, r.Iterations, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *label + ".json"
+	}
+	if err := rep.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+
+	if *baseline == "" {
+		return nil
+	}
+	base, err := benchio.LoadFile(*baseline)
+	if err != nil {
+		return err
+	}
+	names := strings.Split(*check, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	if regs := benchio.Compare(base, rep, names, *maxRatio); len(regs) > 0 {
+		for _, g := range regs {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", g)
+		}
+		return fmt.Errorf("bench: %d benchmark(s) regressed more than %.1fx vs %s", len(regs), *maxRatio, *baseline)
+	}
+	fmt.Printf("no ns/op or allocs/op regression > %.1fx vs %s (%s)\n", *maxRatio, *baseline, strings.Join(names, ", "))
+	return nil
 }
 
 // cmdWeak tests the paper's Section III prediction that the mechanism is

@@ -1,0 +1,149 @@
+// Package benchio runs the repository's headline benchmarks outside `go
+// test` and persists the results as BENCH_<label>.json trajectory files, so
+// every PR can append a point to the performance history and CI can fail on
+// regressions against the checked-in baseline (DESIGN.md §6).
+//
+// A report records ns/op, allocs/op, B/op and each benchmark's custom
+// metrics. Reports are deliberately flat JSON: append-only trajectory
+// tooling (and humans) can diff them without schema knowledge.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// SchemaVersion identifies the report layout.
+const SchemaVersion = 1
+
+// Result is the measurement of one benchmark.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // custom units (calls/s, saving_%, ...)
+}
+
+// Report is one point of the benchmark trajectory.
+type Report struct {
+	Schema    int      `json:"schema"`
+	Label     string   `json:"label"` // trajectory point name, e.g. "3" for PR 3
+	Smoke     bool     `json:"smoke"` // true when run with the reduced smoke benchtime
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Results   []Result `json:"results"`
+}
+
+// NewReport returns an empty report stamped with the build environment.
+func NewReport(label string, smoke bool) *Report {
+	return &Report{
+		Schema:    SchemaVersion,
+		Label:     label,
+		Smoke:     smoke,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+}
+
+// Find returns the result with the given benchmark name, or nil.
+func (r *Report) Find(name string) *Result {
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// Sort orders results by name so reports diff cleanly.
+func (r *Report) Sort() {
+	sort.Slice(r.Results, func(i, j int) bool { return r.Results[i].Name < r.Results[j].Name })
+}
+
+// WriteFile persists the report as indented JSON at path.
+func (r *Report) WriteFile(path string) error {
+	r.Sort()
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}
+
+// LoadFile reads a report written by WriteFile.
+func LoadFile(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("benchio: parse %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("benchio: %s has schema %d, want %d", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// Regression is one benchmark metric that degraded beyond the allowed ratio.
+type Regression struct {
+	Name    string
+	Metric  string // "ns/op" or "allocs/op"
+	Base    float64
+	Current float64
+	Ratio   float64
+}
+
+func (g Regression) String() string {
+	return fmt.Sprintf("%s: %.0f %s -> %.0f %s (%.2fx > allowed)",
+		g.Name, g.Base, g.Metric, g.Current, g.Metric, g.Ratio)
+}
+
+// Compare checks cur against base for the named benchmarks and returns every
+// one whose ns/op — or allocs/op, which is deterministic and therefore
+// machine-independent (the ns/op gate needs its 2x margin for runner
+// hardware variance; the allocation count needs none) — regressed by more
+// than maxRatio. Benchmarks missing from either report are reported as
+// regressions (a silently dropped benchmark must not pass the gate).
+// maxRatio <= 0 selects 2.0.
+func Compare(base, cur *Report, names []string, maxRatio float64) []Regression {
+	if maxRatio <= 0 {
+		maxRatio = 2.0
+	}
+	var regs []Regression
+	for _, name := range names {
+		b, c := base.Find(name), cur.Find(name)
+		switch {
+		case b == nil || b.NsPerOp <= 0:
+			regs = append(regs, Regression{Name: name + " (missing from baseline)", Metric: "ns/op"})
+		case c == nil:
+			regs = append(regs, Regression{Name: name + " (missing from current run)", Metric: "ns/op", Base: b.NsPerOp})
+		default:
+			if ratio := c.NsPerOp / b.NsPerOp; ratio > maxRatio {
+				regs = append(regs, Regression{Name: name, Metric: "ns/op",
+					Base: b.NsPerOp, Current: c.NsPerOp, Ratio: ratio})
+			}
+			if b.AllocsPerOp > 0 {
+				if ratio := float64(c.AllocsPerOp) / float64(b.AllocsPerOp); ratio > maxRatio {
+					regs = append(regs, Regression{Name: name, Metric: "allocs/op",
+						Base: float64(b.AllocsPerOp), Current: float64(c.AllocsPerOp), Ratio: ratio})
+				}
+			} else if c.AllocsPerOp > 1 {
+				// A zero-alloc baseline is a hard invariant: any sustained
+				// allocation (>1/op tolerates amortized growth rounding) fails.
+				regs = append(regs, Regression{Name: name, Metric: "allocs/op",
+					Base: 0, Current: float64(c.AllocsPerOp), Ratio: float64(c.AllocsPerOp)})
+			}
+		}
+	}
+	return regs
+}

@@ -1,0 +1,144 @@
+package benchio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeRaw(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func sample(label string, ns float64) *Report {
+	r := NewReport(label, true)
+	r.Results = []Result{
+		{Name: "BenchmarkB", Iterations: 10, NsPerOp: 2 * ns, AllocsPerOp: 1, BytesPerOp: 64},
+		{Name: "BenchmarkA", Iterations: 100, NsPerOp: ns, AllocsPerOp: 0, BytesPerOp: 0,
+			Metrics: map[string]float64{"calls/s": 123}},
+	}
+	return r
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	r := sample("x", 100)
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "x" || !got.Smoke || got.Schema != SchemaVersion {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	// WriteFile sorts by name.
+	if got.Results[0].Name != "BenchmarkA" || got.Results[1].Name != "BenchmarkB" {
+		t.Errorf("results not sorted: %v, %v", got.Results[0].Name, got.Results[1].Name)
+	}
+	if m := got.Find("BenchmarkA").Metrics["calls/s"]; m != 123 {
+		t.Errorf("custom metric lost: %v", m)
+	}
+	if got.Find("BenchmarkMissing") != nil {
+		t.Error("Find returned a result for an unknown name")
+	}
+}
+
+func TestLoadFileRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadFile(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := writeRaw(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	wrongSchema := filepath.Join(dir, "schema.json")
+	if err := writeRaw(wrongSchema, `{"schema": 999}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(wrongSchema); err == nil {
+		t.Error("wrong schema version accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := sample("base", 100)
+	names := []string{"BenchmarkA", "BenchmarkB"}
+
+	if regs := Compare(base, sample("ok", 150), names, 2.0); len(regs) != 0 {
+		t.Errorf("1.5x flagged as regression: %v", regs)
+	}
+	regs := Compare(base, sample("slow", 250), names, 2.0)
+	if len(regs) != 2 {
+		t.Fatalf("2.5x not flagged on both benchmarks: %v", regs)
+	}
+	if regs[0].Ratio != 2.5 {
+		t.Errorf("ratio = %v, want 2.5", regs[0].Ratio)
+	}
+	// A benchmark missing from the current run is a regression, not a pass.
+	cur := sample("partial", 100)
+	cur.Results = cur.Results[:1]
+	if regs := Compare(base, cur, names, 2.0); len(regs) != 1 {
+		t.Errorf("missing benchmark not flagged: %v", regs)
+	}
+	// maxRatio <= 0 defaults to 2.0.
+	if regs := Compare(base, sample("d", 190), names, 0); len(regs) != 0 {
+		t.Errorf("default ratio rejected 1.9x: %v", regs)
+	}
+	// allocs/op is gated machine-independently: a 3x allocation growth fails
+	// even with ns/op flat, and losing a zero-alloc invariant fails outright.
+	worse := sample("allocs", 100)
+	worse.Find("BenchmarkB").AllocsPerOp = 3
+	worse.Find("BenchmarkA").AllocsPerOp = 50
+	regs = Compare(base, worse, names, 2.0)
+	if len(regs) != 2 {
+		t.Fatalf("allocation regressions not flagged: %v", regs)
+	}
+	for _, g := range regs {
+		if g.Metric != "allocs/op" {
+			t.Errorf("regression metric = %q, want allocs/op", g.Metric)
+		}
+	}
+}
+
+func TestSuiteNames(t *testing.T) {
+	names := Names()
+	want := map[string]bool{"BenchmarkReplayAlya16": true, "BenchmarkNetworkTransfer": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Errorf("suite is missing the CI-gated benchmarks: %v", want)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate suite entry %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+// TestSteadyStateDetector pins the helper contract the AddGram benchmark
+// relies on: cycling the returned grams keeps the detector predicting.
+func TestSteadyStateDetector(t *testing.T) {
+	grams, det := SteadyStateDetector()
+	if len(grams) == 0 {
+		t.Fatal("no grams returned")
+	}
+	before := det.Stats().Mispredictions
+	for i := 0; i < 10*len(grams); i++ {
+		det.AddGram(grams[i%len(grams)])
+	}
+	if !det.Predicting() {
+		t.Error("detector dropped out of prediction mode")
+	}
+	if after := det.Stats().Mispredictions; after != before {
+		t.Errorf("mispredictions grew from %d to %d over the steady cycle", before, after)
+	}
+}

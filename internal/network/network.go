@@ -65,12 +65,14 @@ func (c Config) Validate() error {
 
 // Network times transfers over a topology.
 type Network struct {
-	topo *topology.XGFT
-	cfg  Config
-	rng  *rand.Rand
+	topo   *topology.XGFT
+	cfg    Config
+	rng    *rand.Rand
+	routes *topology.RouteCache // memoized paths; draws from rng like topo.Route
 
 	nextFree []time.Duration // per directed link: earliest next use
 	busy     []time.Duration // per directed link: accumulated busy time
+	segReady []time.Duration // transferSegments scratch, reused across messages
 
 	// Optional per-link busy interval recording (host links, Table I from
 	// the network's perspective and the Figure 6 timeline).
@@ -90,6 +92,7 @@ func New(topo *topology.XGFT, cfg Config) (*Network, error) {
 		topo:      topo,
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		routes:    topology.NewRouteCache(topo),
 		nextFree:  make([]time.Duration, len(topo.Links)),
 		busy:      make([]time.Duration, len(topo.Links)),
 		intervals: make(map[int][][2]time.Duration),
@@ -127,7 +130,10 @@ func (n *Network) Transfer(src, dst, b int, start time.Duration) time.Duration {
 	if src == dst {
 		return head
 	}
-	path := n.topo.Route(src, dst, n.rng)
+	// The route cache replays the same RNG draws Route would make and
+	// returns a shared read-only path, so the steady-state transfer path
+	// allocates nothing and timings stay bit-identical to uncached routing.
+	path := n.routes.Route(src, dst, n.rng)
 	if n.cfg.Mode == SegmentLevel {
 		return n.transferSegments(path, b, head)
 	}
@@ -171,9 +177,16 @@ func (n *Network) transferSegments(path []*topology.Link, b int, head time.Durat
 		return head
 	}
 	nseg := (b + n.cfg.SegmentSize - 1) / n.cfg.SegmentSize
-	// ready[i] = time the segment is fully received at hop i's tail.
+	// ready[i] = time the segment is fully received at hop i's tail. The
+	// scratch slice lives on the Network and is reused across messages.
 	arrival := head
-	ready := make([]time.Duration, len(path)+1)
+	if cap(n.segReady) < len(path)+1 {
+		n.segReady = make([]time.Duration, len(path)+1)
+	}
+	ready := n.segReady[:len(path)+1]
+	for i := range ready {
+		ready[i] = 0
+	}
 	for s := 0; s < nseg; s++ {
 		size := n.cfg.SegmentSize
 		if s == nseg-1 {

@@ -8,6 +8,12 @@ import "time"
 // merging many iterations into one huge pattern (Algorithm 2, line 32).
 const DefaultMaxPatternSize = 16
 
+// GramID is a dense identifier interned for a gram key. Interning happens
+// once per distinct gram at gram-formation time; every hot comparison the
+// detector performs afterwards (periodicity run lengths, pattern matching,
+// re-anchoring) is an integer comparison instead of a string comparison.
+type GramID uint32
+
 // DetectorStats aggregates PPA bookkeeping used by Table IV and Table III.
 type DetectorStats struct {
 	GramsFormed      int // grams fed to the detector
@@ -23,24 +29,45 @@ type DetectorStats struct {
 	MaxPatternFrozen int // frozen maxPatternSize (0 if never detected)
 }
 
+// histEntry is one gram observation in the bounded history ring.
+type histEntry struct {
+	id  GramID
+	gap time.Duration // idle time before the gram
+}
+
 // Detector implements the pattern prediction algorithm over a stream of
-// finalized grams.
+// finalized grams. Detector memory is O(detection window + distinct grams +
+// pattern list), not O(trace): the gram history is a ring bounded to
+// 3*maxSize entries, which is exactly how far the algorithm ever looks back
+// (a fresh detection needs three consecutive occurrences of a pattern of at
+// most maxSize grams; re-anchoring walks back at most maxSize grams).
 type Detector struct {
-	maxSize  int
-	frozen   bool
-	grams    []string        // gram keys, in arrival order
-	gaps     []time.Duration // gaps[i] = idle time before gram i
-	ncalls   []int
-	runLen   []int // runLen[s] = trailing length of matches gram[i]==gram[i-s]
-	pl       map[string]*Pattern
-	detected []*Pattern // patterns with Detected=true, for fast re-prediction
-	gramDefs map[string][]EventID
+	maxSize int
+	window  int // ring capacity: 3 * the construction-time maxSize
+	frozen  bool
+
+	// Gram intern table: the only map[string] lookup on the per-gram path.
+	gramIDs map[string]GramID
+	keys    []string    // GramID -> canonical key
+	defs    [][]EventID // GramID -> event IDs
+	known   []bool      // GramID -> appears in a detected pattern
+
+	// hist holds the last `window` grams: the gram with absolute index i
+	// (i < total) lives at hist[i%window] while i >= total-window.
+	hist   []histEntry
+	total  int
+	runLen []int // runLen[s] = trailing length of matches gram[i]==gram[i-s]
+
+	pl       map[string]*Pattern // keyed by the human-readable pattern key
+	plByIDs  map[string]*Pattern // keyed by packed GramID bytes (alloc-free lookup)
+	idKey    []byte              // plByIDs lookup scratch
+	detected []*Pattern          // patterns with Detected=true, for fast re-prediction
 
 	active   *Pattern
 	phase    int  // index in active of the next expected gram
 	wildcard bool // the last gram was accepted as a one-off substitution
 
-	knownGram map[string]bool // grams appearing in any detected pattern
+	cands []reanchorCand // reanchor scratch, reused across invocations
 
 	stats DetectorStats
 }
@@ -52,12 +79,38 @@ func NewDetector(maxSize int) *Detector {
 		maxSize = DefaultMaxPatternSize
 	}
 	return &Detector{
-		maxSize:   maxSize,
-		runLen:    make([]int, maxSize+1),
-		pl:        make(map[string]*Pattern),
-		gramDefs:  make(map[string][]EventID),
-		knownGram: make(map[string]bool),
+		maxSize: maxSize,
+		window:  3 * maxSize,
+		gramIDs: make(map[string]GramID),
+		hist:    make([]histEntry, 3*maxSize),
+		runLen:  make([]int, maxSize+1),
+		pl:      make(map[string]*Pattern),
+		plByIDs: make(map[string]*Pattern),
 	}
+}
+
+// gramAt returns the gram ID at absolute history index i; i must be within
+// the last `window` grams.
+func (d *Detector) gramAt(i int) GramID { return d.hist[i%d.window].id }
+
+// gapAt returns the idle time before the gram at absolute history index i.
+func (d *Detector) gapAt(i int) time.Duration { return d.hist[i%d.window].gap }
+
+// intern maps a gram to its dense ID, assigning a new one for a first-seen
+// key. After the first appearance this is a single map lookup with no
+// allocation.
+func (d *Detector) intern(g *Gram) GramID {
+	if id, ok := d.gramIDs[g.Key]; ok {
+		return id
+	}
+	id := GramID(len(d.keys))
+	d.gramIDs[g.Key] = id
+	d.keys = append(d.keys, g.Key)
+	// Grams hand out interned, immutable ID slices (Builder shares one per
+	// shape), so the definition can be stored without copying.
+	d.defs = append(d.defs, g.IDs)
+	d.known = append(d.known, false)
+	return id
 }
 
 // Predicting reports whether a detected pattern is currently driving
@@ -72,12 +125,12 @@ func (d *Detector) Active() *Pattern { return d.active }
 func (d *Detector) Phase() int { return d.phase }
 
 // Expected returns the event IDs of the next expected gram while predicting.
+// The returned slice is shared and read-only.
 func (d *Detector) Expected() ([]EventID, bool) {
 	if d.active == nil {
 		return nil, false
 	}
-	ids, ok := d.gramDefs[d.active.Grams[d.phase]]
-	return ids, ok
+	return d.defs[d.active.ids[d.phase]], true
 }
 
 // PredictedGapAfterExpected returns the conservative idle estimate that
@@ -106,26 +159,23 @@ func (d *Detector) Stats() DetectorStats {
 func (d *Detector) Patterns() map[string]*Pattern { return d.pl }
 
 // AddGram feeds one finalized gram. It returns true when this gram switched
-// the detector into (or kept it in) prediction mode.
+// the detector into (or kept it in) prediction mode. In steady state —
+// predicting an already-detected pattern over already-interned grams — this
+// path performs no allocation.
 func (d *Detector) AddGram(g *Gram) bool {
 	d.stats.GramsFormed++
 	d.stats.TotalCalls += g.NumCalls()
-	if _, ok := d.gramDefs[g.Key]; !ok {
-		ids := make([]EventID, len(g.IDs))
-		copy(ids, g.IDs)
-		d.gramDefs[g.Key] = ids
-	}
-	d.grams = append(d.grams, g.Key)
-	d.gaps = append(d.gaps, g.GapBefore)
-	d.ncalls = append(d.ncalls, g.NumCalls())
-	i := len(d.grams) - 1
+	id := d.intern(g)
+	i := d.total
+	d.hist[i%d.window] = histEntry{id: id, gap: g.GapBefore}
+	d.total++
 
 	// Maintain periodicity run lengths. While the power mode control
 	// component is active the core of the prediction part is disabled
 	// (Section III); we still keep runLen consistent so that a later
 	// misprediction can restart detection without a cold start.
 	for s := 1; s <= d.maxSize; s++ {
-		if i >= s && d.grams[i] == d.grams[i-s] {
+		if i >= s && id == d.gramAt(i-s) {
 			d.runLen[s]++
 		} else {
 			d.runLen[s] = 0
@@ -133,8 +183,7 @@ func (d *Detector) AddGram(g *Gram) bool {
 	}
 
 	if d.active != nil {
-		exp := d.active.Grams[d.phase]
-		if g.Key == exp {
+		if id == d.active.ids[d.phase] {
 			// Correct prediction: refresh the timing estimate for this gap
 			// and advance to the next gram of the pattern.
 			d.active.ObserveGap(d.phase, g.GapBefore)
@@ -154,7 +203,7 @@ func (d *Detector) AddGram(g *Gram) bool {
 		// prediction, so the regular grams around it stay predicted. A
 		// second consecutive mismatch deactivates. This is the timing-style
 		// misprediction of Section III-B that does not force a PPA restart.
-		if !d.wildcard && !d.knownGram[g.Key] {
+		if !d.wildcard && !d.known[id] {
 			d.wildcard = true
 			d.phase = (d.phase + 1) % d.active.Size()
 			d.stats.WildcardGrams++
@@ -177,7 +226,7 @@ func (d *Detector) AddGram(g *Gram) bool {
 	// current gram is aligned against every detected pattern; ambiguity is
 	// resolved by looking further back in the gram stream and finally by
 	// pattern frequency.
-	if d.reanchor(i) {
+	if d.reanchor(i, id) {
 		return true
 	}
 
@@ -194,34 +243,39 @@ func (d *Detector) AddGram(g *Gram) bool {
 	return false
 }
 
+// reanchorCand is one (pattern, phase) alignment of the current gram.
+type reanchorCand struct {
+	p *Pattern
+	q int // phase of the matched gram inside p
+}
+
 // reanchor tries to resume prediction at the gram ending at index i by
 // locating it inside a previously detected pattern. It returns true when a
 // pattern was (re)activated with the phase advanced past the matched gram.
-func (d *Detector) reanchor(i int) bool {
-	type cand struct {
-		p *Pattern
-		q int // phase of the matched gram inside p
-	}
-	g := d.grams[i]
-	var cands []cand
+func (d *Detector) reanchor(i int, id GramID) bool {
+	cands := d.cands[:0]
 	for _, p := range d.detected {
-		for q, k := range p.Grams {
-			if k == g {
-				cands = append(cands, cand{p, q})
+		for q, gid := range p.ids {
+			if gid == id {
+				cands = append(cands, reanchorCand{p, q})
 			}
 		}
 	}
+	d.cands = cands[:0] // keep grown scratch capacity for the next call
 	if len(cands) == 0 {
 		return false
 	}
-	// Disambiguate by walking backwards through the gram stream.
+	// Disambiguate by walking backwards through the gram stream; the depth
+	// never exceeds the history window.
 	for depth := 1; len(cands) > 1 && depth <= d.maxSize && i-depth >= 0; depth++ {
-		prev := d.grams[i-depth]
-		filtered := cands[:0:0]
+		prev := d.gramAt(i - depth)
+		// In-place compaction: the write index never passes the read index,
+		// and when nothing matches the original candidates stay intact.
+		filtered := cands[:0]
 		for _, c := range cands {
 			s := c.p.Size()
 			idx := ((c.q-depth)%s + s) % s
-			if c.p.Grams[idx] == prev {
+			if c.p.ids[idx] == prev {
 				filtered = append(filtered, c)
 			}
 		}
@@ -243,30 +297,42 @@ func (d *Detector) reanchor(i int) bool {
 	return true
 }
 
-// detect declares the s-gram ending at index i as the predicted pattern.
+// detect declares the s-gram pattern ending at index i as predicted.
 func (d *Detector) detect(s, i int) {
-	keys := make([]string, s)
-	copy(keys, d.grams[i-s+1:i+1])
-	key := PatternKey(keys)
-	p, ok := d.pl[key]
+	// Re-detections of a known pattern (the common case after a prediction
+	// relaunch) resolve through the packed-ID index without building the
+	// key strings again.
+	d.idKey = d.idKey[:0]
+	for j := 0; j < s; j++ {
+		gid := d.gramAt(i - s + 1 + j)
+		d.idKey = append(d.idKey, byte(gid), byte(gid>>8), byte(gid>>16), byte(gid>>24))
+	}
+	p, ok := d.plByIDs[string(d.idKey)] // alloc-free lookup on repeats
 	if !ok {
+		ids := make([]GramID, s)
+		keys := make([]string, s)
 		nc := 0
-		for _, k := range keys {
-			nc += len(d.gramDefs[k])
+		for j := 0; j < s; j++ {
+			ids[j] = d.gramAt(i - s + 1 + j)
+			keys[j] = d.keys[ids[j]]
+			nc += len(d.defs[ids[j]])
 		}
-		p = &Pattern{Key: key, Grams: keys, NumCalls: nc}
-		d.pl[key] = p
+		p = &Pattern{Key: PatternKey(keys), Grams: keys, ids: ids, NumCalls: nc}
+		d.pl[p.Key] = p
+		d.plByIDs[string(d.idKey)] = p
 	}
 	if !p.Detected {
 		p.Detected = true
 		d.detected = append(d.detected, p)
 		d.stats.Detections++
-		for _, k := range keys {
-			d.knownGram[k] = true
+		for _, gid := range p.ids {
+			d.known[gid] = true
 		}
 	}
 	// Freeze the maximum pattern size to the natural iteration size so the
 	// algorithm does not keep merging iterations into ever larger patterns.
+	// The history window keeps its construction-time capacity; only the
+	// lookback shrinks.
 	if !d.frozen || s < d.maxSize {
 		d.maxSize = s
 		d.frozen = true
@@ -277,7 +343,8 @@ func (d *Detector) detect(s, i int) {
 	// Seed gap averages from the three observed occurrences. Occurrence o
 	// starts at i-(3-o)*s+1 for o in 1..3; gram j of occurrence o sits at
 	// start+j. The gap before the first gram of the first occurrence may
-	// predate the periodic region, so it is skipped.
+	// predate the periodic region, so it is skipped. All three occurrences
+	// lie within the 3*maxSize history window.
 	p.Freq += 3
 	for o := 0; o < 3; o++ {
 		start := i - (3-o)*s + 1
@@ -288,20 +355,15 @@ func (d *Detector) detect(s, i int) {
 			if o == 0 && j == 0 {
 				continue
 			}
-			p.ObserveGap(j, d.gaps[start+j])
+			p.ObserveGap(j, d.gapAt(start+j))
 		}
 		if len(p.Positions) < 16 {
 			p.Positions = append(p.Positions, start)
 		}
 	}
-	d.activate(p, i)
-}
-
-// activate switches to prediction mode with p; the gram at index i is the
-// last gram of an appearance of p, so the next expected gram is p.Grams[0].
-func (d *Detector) activate(p *Pattern, i int) {
+	// Switch to prediction mode: the gram at index i is the last gram of an
+	// appearance of p, so the next expected gram is p.Grams[0].
 	d.active = p
 	d.phase = 0
 	d.wildcard = false
-	_ = i
 }

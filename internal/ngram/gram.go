@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -24,7 +25,7 @@ type EventID uint8
 // Gram is a maximal group of consecutive events whose inter-event idle times
 // are all below the grouping threshold.
 type Gram struct {
-	IDs       []EventID     // event types, in order
+	IDs       []EventID     // event types, in order; shared read-only between same-shape grams
 	Key       string        // canonical representation, e.g. "41-41-41"
 	GapBefore time.Duration // idle time preceding the gram's first event
 	Start     time.Duration // timestamp of the first event
@@ -57,6 +58,46 @@ type Builder struct {
 	start   time.Duration
 	end     time.Duration
 	started bool
+
+	raw  []byte // scratch for the proto intern lookup
+	done Gram   // shared gram returned by AddShared/FlushShared
+}
+
+// gramProto is the interned identity of one distinct gram shape: the
+// canonical key string and a shared read-only ID slice. Shapes are interned
+// once per process (GT sweeps build thousands of short-lived builders over
+// the same call streams; per-builder caches would re-pay the cold misses
+// every time).
+type gramProto struct {
+	key string
+	ids []EventID
+}
+
+var (
+	protoMu sync.RWMutex
+	protos  = make(map[string]gramProto) // keyed by raw event-ID bytes
+)
+
+// internShape returns the interned identity for the event sequence in cur,
+// whose raw byte rendering is raw. Allocation-free for known shapes.
+func internShape(cur []EventID, raw []byte) gramProto {
+	protoMu.RLock()
+	p, ok := protos[string(raw)] // no-copy map lookup
+	protoMu.RUnlock()
+	if ok {
+		return p
+	}
+	ids := make([]EventID, len(cur))
+	copy(ids, cur)
+	p = gramProto{key: GramKey(ids), ids: ids}
+	protoMu.Lock()
+	if prev, ok := protos[string(raw)]; ok {
+		p = prev // lost the race; share the first interned identity
+	} else {
+		protos[string(append([]byte(nil), raw...))] = p
+	}
+	protoMu.Unlock()
+	return p
 }
 
 // NewBuilder returns a gram builder with grouping threshold gt. GT must be
@@ -75,7 +116,23 @@ func (b *Builder) GT() time.Duration { return b.gt }
 // Add feeds one event occupying [start, end]. idleBefore is the idle time
 // since the previous event ended. When the event begins a new gram, the
 // previous (now finalized) gram is returned; otherwise Add returns nil.
+// The returned Gram is freshly allocated and may be retained by the caller;
+// its IDs and Key are interned and shared between same-shape grams.
 func (b *Builder) Add(id EventID, idleBefore time.Duration, start, end time.Duration) *Gram {
+	g := b.AddShared(id, idleBefore, start, end)
+	if g == nil {
+		return nil
+	}
+	out := *g
+	return &out
+}
+
+// AddShared is Add returning a builder-owned Gram that is overwritten by the
+// next finalization. Consumers that hand the gram straight to a detector
+// (the predictor hot path) use it to finalize grams without allocating; the
+// Key and IDs fields point at interned per-shape data and stay valid
+// indefinitely, only the Gram struct itself is reused.
+func (b *Builder) AddShared(id EventID, idleBefore time.Duration, start, end time.Duration) *Gram {
 	var done *Gram
 	if b.started && idleBefore >= b.gt {
 		done = b.take()
@@ -98,6 +155,17 @@ func (b *Builder) Add(id EventID, idleBefore time.Duration, start, end time.Dura
 // Flush finalizes and returns the gram under construction, or nil when
 // empty. The builder can keep accepting events afterwards.
 func (b *Builder) Flush() *Gram {
+	g := b.FlushShared()
+	if g == nil {
+		return nil
+	}
+	out := *g
+	return &out
+}
+
+// FlushShared is Flush returning the builder-owned shared Gram (see
+// AddShared).
+func (b *Builder) FlushShared() *Gram {
 	if len(b.cur) == 0 {
 		return nil
 	}
@@ -106,17 +174,28 @@ func (b *Builder) Flush() *Gram {
 	return g
 }
 
-// take closes the current gram without assigning its gap.
+// take closes the current gram into the builder-owned shared Gram without
+// assigning its gap. The gram's IDs and Key come from the process-wide
+// shape intern table, so finalizing a previously seen shape allocates
+// nothing.
 func (b *Builder) take() *Gram {
-	ids := make([]EventID, len(b.cur))
-	copy(ids, b.cur)
-	g := &Gram{IDs: ids, Key: GramKey(ids), Start: b.start, End: b.end}
+	b.raw = b.raw[:0]
+	for _, id := range b.cur {
+		b.raw = append(b.raw, byte(id))
+	}
+	p := internShape(b.cur, b.raw)
+	b.done = Gram{IDs: p.ids, Key: p.key, Start: b.start, End: b.end}
 	b.cur = b.cur[:0]
-	return g
+	return &b.done
 }
 
 // CurrentLen returns the number of events in the gram under construction.
 func (b *Builder) CurrentLen() int { return len(b.cur) }
+
+// Current returns the event IDs of the gram under construction without
+// copying. The slice aliases the builder's internal buffer: it is read-only
+// and only valid until the next Add or Flush.
+func (b *Builder) Current() []EventID { return b.cur }
 
 // CurrentIDs returns a copy of the event IDs in the gram under construction.
 func (b *Builder) CurrentIDs() []EventID {

@@ -18,20 +18,34 @@ type Pattern struct {
 	// the paper's Figure 3 "Insertions into Pattern List" table).
 	Positions []int
 
+	// ids mirrors Grams as interned detector IDs; all hot matching compares
+	// these integers instead of the key strings. Set by the detector.
+	ids []GramID
+
 	// gapSum/gapCnt accumulate the idle time preceding each gram of the
 	// pattern so that predictions use the average over previous appearances
 	// (Section III-B: "these times are averaged over previous appearances").
 	gapSum []time.Duration
 	gapCnt []int
-	// gapWin holds the most recent observations per position; predictions
-	// use the window minimum so that the link is back up before even the
-	// fastest recent occurrence of the gap — the paper's "better to power up
-	// a link little bit earlier than needed" policy taken to its safe side.
-	gapWin [][]time.Duration
+	// gapWin holds the most recent observations per position in fixed-size
+	// rings; predictions use the window minimum so that the link is back up
+	// before even the fastest recent occurrence of the gap — the paper's
+	// "better to power up a link little bit earlier than needed" policy
+	// taken to its safe side.
+	gapWin []gapRing
 }
 
 // gapWindow is the number of recent observations kept per gap position.
 const gapWindow = 8
+
+// gapRing is a fixed-capacity ring of recent gap observations; overwriting
+// in place keeps steady-state ObserveGap allocation-free (the previous
+// re-slice-and-append window reallocated on every observation once full).
+type gapRing struct {
+	buf [gapWindow]time.Duration
+	idx int // next slot to overwrite
+	n   int // filled entries
+}
 
 // PatternKey joins gram keys into a pattern identity.
 func PatternKey(grams []string) string { return strings.Join(grams, "_") }
@@ -57,25 +71,27 @@ func (p *Pattern) ObserveGap(i int, gap time.Duration) {
 	for len(p.gapSum) <= i {
 		p.gapSum = append(p.gapSum, 0)
 		p.gapCnt = append(p.gapCnt, 0)
-		p.gapWin = append(p.gapWin, nil)
+		p.gapWin = append(p.gapWin, gapRing{})
 	}
 	p.gapSum[i] += gap
 	p.gapCnt[i]++
-	w := append(p.gapWin[i], gap)
-	if len(w) > gapWindow {
-		w = w[1:]
+	w := &p.gapWin[i]
+	w.buf[w.idx] = gap
+	w.idx = (w.idx + 1) % gapWindow
+	if w.n < gapWindow {
+		w.n++
 	}
-	p.gapWin[i] = w
 }
 
 // SafeGap returns the conservative idle estimate for position i: the minimum
 // over the recent observation window (0 when no estimate is available).
 func (p *Pattern) SafeGap(i int) time.Duration {
-	if i < 0 || i >= len(p.gapWin) || len(p.gapWin[i]) == 0 {
+	if i < 0 || i >= len(p.gapWin) || p.gapWin[i].n == 0 {
 		return 0
 	}
-	m := p.gapWin[i][0]
-	for _, g := range p.gapWin[i][1:] {
+	w := &p.gapWin[i]
+	m := w.buf[0]
+	for _, g := range w.buf[1:w.n] {
 		if g < m {
 			m = g
 		}

@@ -1,6 +1,10 @@
 package replay
 
-import "ibpower/internal/trace"
+import (
+	"sync"
+
+	"ibpower/internal/trace"
+)
 
 // Collectives are decomposed into sequences of point-to-point micro
 // operations per rank, following the classic algorithms (recursive doubling
@@ -13,6 +17,55 @@ type microOp struct {
 	sendPeer int // -1 when no send part
 	recvPeer int // -1 when no recv part
 	bytes    int
+}
+
+// expandKey captures every trace.Op field expand reads, plus the rank and
+// communicator size: micro-op decompositions are pure functions of these, so
+// equal keys always yield identical sequences.
+type expandKey struct {
+	call               trace.CallID
+	r, np              int
+	bytes              int
+	root, peer, recvPt int
+}
+
+// expandCache memoizes micro-op expansions across the whole process. Entries
+// are immutable once stored (the engine only ever reads micro-op slices), so
+// a single decomposition per distinct (call, rank, np, bytes, root/peer)
+// shape is computed once per sweep and shared read-only by every concurrent
+// replay. Iterative workloads hit the cache on all but the first iteration,
+// making the per-call expansion step allocation-free in steady state.
+// expandCacheLimit bounds the memoized shapes. Sweep workloads stay far
+// below it; a long-lived process replaying traces with ever-varying byte
+// counts stops inserting at the cap instead of growing without bound (the
+// overflow shapes are simply expanded fresh, the pre-cache behaviour).
+const expandCacheLimit = 1 << 20
+
+var (
+	expandMu    sync.RWMutex
+	expandCache = make(map[expandKey][]microOp)
+)
+
+// expandCached returns the memoized micro-op sequence rank r performs for op.
+// The returned slice is shared: callers must not mutate it.
+func expandCached(op trace.Op, r, np int) []microOp {
+	k := expandKey{call: op.Call, r: r, np: np, bytes: op.Bytes,
+		root: op.Root, peer: op.Peer, recvPt: op.RecvPeer}
+	expandMu.RLock()
+	steps, ok := expandCache[k]
+	expandMu.RUnlock()
+	if ok {
+		return steps
+	}
+	steps = expand(op, r, np)
+	expandMu.Lock()
+	if prev, ok := expandCache[k]; ok {
+		steps = prev // lost the race; share the first stored sequence
+	} else if len(expandCache) < expandCacheLimit {
+		expandCache[k] = steps
+	}
+	expandMu.Unlock()
+	return steps
 }
 
 // expand returns the micro-op sequence rank r performs for op.

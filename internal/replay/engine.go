@@ -44,18 +44,70 @@ type pendingPt struct {
 	bytes int
 }
 
+// ptQueue is an index-based FIFO ring of pending point-to-point halves.
+// Popped slots are cleared so the backing array never retains old entries
+// (the q = q[1:] re-slicing it replaces kept every popped pendingPt alive
+// for the rest of the run).
+type ptQueue struct {
+	buf  []pendingPt
+	head int
+	n    int
+}
+
+func (q *ptQueue) push(p pendingPt) {
+	if q.n == len(q.buf) {
+		grown := make([]pendingPt, max(4, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = grown
+		q.head = 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
+}
+
+func (q *ptQueue) pop() pendingPt {
+	p := q.buf[q.head]
+	q.buf[q.head] = pendingPt{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return p
+}
+
 type pairKey struct{ src, dst int }
+
+// pairQueues holds both directions of one (src, dst) channel, so each pair
+// costs a single map entry and allocation per run.
+type pairQueues struct {
+	send ptQueue // posted sends waiting for a matching receive
+	recv ptQueue // posted receives waiting for a matching send
+}
 
 // engine holds global replay state.
 type engine struct {
-	tr     *trace.Trace
-	cfg    Config
-	net    *network.Network
-	rk     []*rankState
-	sendQ  map[pairKey][]pendingPt
-	recvQ  map[pairKey][]pendingPt
-	work   []int
-	inWork []bool
+	tr  *trace.Trace
+	cfg Config
+	net *network.Network
+	rk  []*rankState
+	pt  map[pairKey]*pairQueues
+
+	// work is a fixed-capacity ring of runnable ranks. inWork dedupes, so at
+	// most NP ranks are ever queued and the ring never grows.
+	work     []int
+	workHead int
+	workLen  int
+	inWork   []bool
+}
+
+// pair returns the queue pair for (src, dst), creating it on first use.
+func (e *engine) pair(k pairKey) *pairQueues {
+	q, ok := e.pt[k]
+	if !ok {
+		q = &pairQueues{}
+		e.pt[k] = q
+	}
+	return q
 }
 
 // Run replays the trace under cfg and returns the measured result.
@@ -82,8 +134,8 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		cfg:    cfg,
 		net:    net,
 		rk:     make([]*rankState, tr.NP),
-		sendQ:  make(map[pairKey][]pendingPt),
-		recvQ:  make(map[pairKey][]pendingPt),
+		pt:     make(map[pairKey]*pairQueues),
+		work:   make([]int, tr.NP),
 		inWork: make([]bool, tr.NP),
 	}
 	for r := 0; r < tr.NP; r++ {
@@ -106,9 +158,10 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		e.rk[r] = rs
 		e.push(r)
 	}
-	for len(e.work) > 0 {
-		r := e.work[0]
-		e.work = e.work[1:]
+	for e.workLen > 0 {
+		r := e.work[e.workHead]
+		e.workHead = (e.workHead + 1) % len(e.work)
+		e.workLen--
 		e.inWork[r] = false
 		e.advance(e.rk[r])
 	}
@@ -124,7 +177,8 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 func (e *engine) push(r int) {
 	if !e.inWork[r] {
 		e.inWork[r] = true
-		e.work = append(e.work, r)
+		e.work[(e.workHead+e.workLen)%len(e.work)] = r
+		e.workLen++
 	}
 }
 
@@ -157,7 +211,9 @@ func (e *engine) advance(rs *rankState) {
 				rs.clk += e.cfg.Power.Overheads.Interception
 			}
 			rs.callStart = rs.clk
-			rs.micro = expand(op, rs.r, e.tr.NP)
+			// Shared read-only decomposition: identical call shapes across
+			// ranks, iterations and concurrent runs reuse one sequence.
+			rs.micro = expandCached(op, rs.r, e.tr.NP)
 			rs.mi = 0
 			rs.issued = false
 			rs.inCall = true
@@ -229,26 +285,24 @@ func (e *engine) finishCall(rs *rankState) {
 // postSend registers the send side of a point-to-point exchange and resolves
 // it if the matching receive is already posted.
 func (e *engine) postSend(src, dst, bytes int, ready time.Duration) {
-	k := pairKey{src, dst}
-	if q := e.recvQ[k]; len(q) > 0 {
-		rv := q[0]
-		e.recvQ[k] = q[1:]
+	q := e.pair(pairKey{src, dst})
+	if q.recv.n > 0 {
+		rv := q.recv.pop()
 		e.resolve(src, dst, bytes, ready, rv.ready)
 		return
 	}
-	e.sendQ[k] = append(e.sendQ[k], pendingPt{rank: src, ready: ready, bytes: bytes})
+	q.send.push(pendingPt{rank: src, ready: ready, bytes: bytes})
 }
 
 // postRecv registers the receive side.
 func (e *engine) postRecv(dst, src int, ready time.Duration) {
-	k := pairKey{src, dst}
-	if q := e.sendQ[k]; len(q) > 0 {
-		sd := q[0]
-		e.sendQ[k] = q[1:]
+	q := e.pair(pairKey{src, dst})
+	if q.send.n > 0 {
+		sd := q.send.pop()
 		e.resolve(src, dst, sd.bytes, sd.ready, ready)
 		return
 	}
-	e.recvQ[k] = append(e.recvQ[k], pendingPt{rank: dst, ready: ready})
+	q.recv.push(pendingPt{rank: dst, ready: ready})
 }
 
 // resolve times the matched transfer and unblocks both ranks.

@@ -1,0 +1,97 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRouteIntoMatchesRoute asserts the append variant produces exactly the
+// same path as Route for the same RNG state, across random terminal pairs.
+func TestRouteIntoMatchesRoute(t *testing.T) {
+	topo := Paper()
+	rngA := rand.New(rand.NewSource(7))
+	rngB := rand.New(rand.NewSource(7))
+	buf := make([]*Link, 0, 8)
+	pick := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		src, dst := pick.Intn(252), pick.Intn(252)
+		want := topo.Route(src, dst, rngA)
+		buf = topo.RouteInto(buf[:0], src, dst, rngB)
+		if len(want) != len(buf) {
+			t.Fatalf("pair (%d,%d): lengths differ: %d vs %d", src, dst, len(want), len(buf))
+		}
+		for j := range want {
+			if want[j] != buf[j] {
+				t.Fatalf("pair (%d,%d): hop %d differs", src, dst, j)
+			}
+		}
+	}
+}
+
+// TestRouteIntoNoAllocs is the hot-path regression test: routing into a
+// buffer with sufficient capacity must not allocate.
+func TestRouteIntoNoAllocs(t *testing.T) {
+	topo := Paper()
+	buf := make([]*Link, 0, 8)
+	rng := rand.New(rand.NewSource(3))
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = topo.RouteInto(buf[:0], i%252, (i*31+17)%252, rng)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("RouteInto into a reused buffer allocated %.1f/op, want 0", allocs)
+	}
+}
+
+// TestRouteCacheMatchesRoute asserts cached routing is bit-identical to
+// uncached routing: same paths and, critically, the same RNG draw sequence
+// (the cache must consume exactly the draws Route would).
+func TestRouteCacheMatchesRoute(t *testing.T) {
+	topo := Paper()
+	cache := NewRouteCache(topo)
+	rngA := rand.New(rand.NewSource(11))
+	rngB := rand.New(rand.NewSource(11))
+	pick := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		src, dst := pick.Intn(252), pick.Intn(252)
+		want := topo.Route(src, dst, rngA)
+		got := cache.Route(src, dst, rngB)
+		if len(want) != len(got) {
+			t.Fatalf("pair (%d,%d): lengths differ: %d vs %d", src, dst, len(want), len(got))
+		}
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("pair (%d,%d): hop %d differs", src, dst, j)
+			}
+		}
+	}
+	// Both RNGs must be in the same state afterwards: drawing once more from
+	// each yields the same value.
+	if a, b := rngA.Int63(), rngB.Int63(); a != b {
+		t.Errorf("RNG states diverged after cached routing: %d vs %d", a, b)
+	}
+	if cache.Len() == 0 {
+		t.Error("cache memoized no routes")
+	}
+}
+
+// TestRouteCacheHitNoAllocs asserts steady-state cached routing is
+// allocation-free once a route's draw has been memoized.
+func TestRouteCacheHitNoAllocs(t *testing.T) {
+	topo := Paper()
+	cache := NewRouteCache(topo)
+	// Deterministic routing (nil RNG) so every run hits the same key.
+	i := 0
+	warm := func() {
+		cache.Route(i%252, (i*31+17)%252, nil)
+		i++
+	}
+	for j := 0; j < 1000; j++ {
+		warm()
+	}
+	i = 0
+	if allocs := testing.AllocsPerRun(1000, warm); allocs != 0 {
+		t.Errorf("cache hit allocated %.1f/op, want 0", allocs)
+	}
+}

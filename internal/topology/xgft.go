@@ -11,6 +11,7 @@ package topology
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // NodeKind discriminates terminals from switches.
@@ -143,13 +144,24 @@ func New(h int, m, w []int) (*XGFT, error) {
 	return t, nil
 }
 
-// Paper builds the paper's XGFT(2;18,14;1,18).
+var (
+	paperOnce sync.Once
+	paperTopo *XGFT
+)
+
+// Paper returns the paper's XGFT(2;18,14;1,18). The instance is built once
+// and shared: an XGFT is immutable after New, so every replay engine (and
+// concurrent sweep point) can route over the same fabric. Callers needing a
+// private topology should call New directly.
 func Paper() *XGFT {
-	t, err := New(2, []int{18, 14}, []int{1, 18})
-	if err != nil {
-		panic(err)
-	}
-	return t
+	paperOnce.Do(func() {
+		t, err := New(2, []int{18, 14}, []int{1, 18})
+		if err != nil {
+			panic(err)
+		}
+		paperTopo = t
+	})
+	return paperTopo
 }
 
 // NumTerminals returns the terminal count.
@@ -183,12 +195,19 @@ func (t *XGFT) divergeLevel(a, b *Node) int {
 // parallel up-links (the paper's "random routing", Table II), then
 // deterministically down. src == dst yields an empty path.
 func (t *XGFT) Route(src, dst int, rng *rand.Rand) []*Link {
+	return t.RouteInto(nil, src, dst, rng)
+}
+
+// RouteInto is Route appending into a caller-supplied buffer: the path links
+// are appended to buf and the extended slice is returned. When buf has enough
+// capacity no allocation occurs. The RNG draw sequence is identical to
+// Route's, so both variants produce the same path for the same RNG state.
+func (t *XGFT) RouteInto(buf []*Link, src, dst int, rng *rand.Rand) []*Link {
 	a, b := t.Terminals[src], t.Terminals[dst]
 	top := t.divergeLevel(a, b)
 	if top == 0 {
-		return nil
+		return buf
 	}
-	var path []*Link
 	cur := a
 	for cur.Level < top {
 		var up *Link
@@ -197,17 +216,17 @@ func (t *XGFT) Route(src, dst int, rng *rand.Rand) []*Link {
 		} else {
 			up = cur.Up[rng.Intn(len(cur.Up))]
 		}
-		path = append(path, up)
+		buf = append(buf, up)
 		cur = up.To
 	}
 	for cur.Level > 0 {
 		// Choose the child whose subtree contains dst: digit x_l of dst
 		// selects among the m_l children, combined with matching y digits.
 		next := t.childToward(cur, b)
-		path = append(path, next)
+		buf = append(buf, next)
 		cur = next.To
 	}
-	return path
+	return buf
 }
 
 // childToward returns cur's down-link leading toward terminal dst.
@@ -216,13 +235,7 @@ func (t *XGFT) childToward(cur *Node, dst *Node) *Link {
 	want := dst.x[t.H-l] // digit x_l of dst
 	for _, dn := range cur.Down {
 		child := dn.To
-		var digit int
-		if child.Kind == KindTerminal {
-			digit = child.x[t.H-l]
-		} else {
-			digit = child.x[t.H-l]
-		}
-		if digit != want {
+		if child.x[t.H-l] != want {
 			continue
 		}
 		// y digits of the child must be a suffix of cur's y digits.
