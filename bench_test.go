@@ -1,6 +1,6 @@
 // Benchmarks regenerating every table and figure of the paper's evaluation,
 // plus microbenchmarks of the mechanism's hot paths and the ablation studies
-// called out in DESIGN.md §6. Each Benchmark* that maps to a paper artifact
+// called out in DESIGN.md §7. Each Benchmark* that maps to a paper artifact
 // reports the headline metric of that artifact as a custom unit so that
 // `go test -bench=. -benchmem` doubles as the reproduction run.
 package ibpower_test
@@ -215,7 +215,7 @@ func BenchmarkFig3_PPAWalkthrough(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §6) ---
+// --- Ablations (DESIGN.md §7) ---
 
 // BenchmarkAblationNetFidelity compares the message-level fast path against
 // segment-level store-and-forward on the same workload.
@@ -406,6 +406,10 @@ func BenchmarkControllerCycle(b *testing.B) {
 }
 
 func BenchmarkNetworkTransfer(b *testing.B) { benchio.BenchNetworkTransfer(b) }
+
+// BenchmarkDragonflyTransfer times the generic Fabric routing path: the
+// dragonfly preset with its per-transfer Valiant intermediate-group draw.
+func BenchmarkDragonflyTransfer(b *testing.B) { benchio.BenchDragonflyTransfer(b) }
 
 func BenchmarkRouteCrossLeaf(b *testing.B) { benchio.BenchRouteCrossLeaf(b) }
 

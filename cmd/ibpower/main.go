@@ -16,7 +16,11 @@
 //
 // Every subcommand accepts -predictor to select the idle predictor from the
 // registry (ngram, oracle, offline, lastvalue, ewma, static-gt); compare
-// runs them all side by side. Run "ibpower <subcommand> -h" for flags.
+// runs them all side by side. Every subcommand also accepts -topo to select
+// the simulated fabric from the topology registry (xgft — the paper's
+// XGFT(2;18,14;1,18) and the default — xgft3, dragonfly, torus2d, torus3d),
+// so e.g. "ibpower compare -topo dragonfly" reruns the full predictor sweep
+// on a dragonfly. Run "ibpower <subcommand> -h" for flags.
 package main
 
 import (
@@ -36,6 +40,7 @@ import (
 	"ibpower/internal/replay"
 	"ibpower/internal/stats"
 	"ibpower/internal/sweep"
+	"ibpower/internal/topology"
 	"ibpower/internal/trace"
 	"ibpower/internal/workloads"
 )
@@ -97,9 +102,15 @@ func cmdBench(args []string) error {
 	out := fs.String("o", "", "output path (default BENCH_<label>.json)")
 	baseline := fs.String("baseline", "", "baseline BENCH_*.json to gate against (empty: no gate)")
 	maxRatio := fs.Float64("maxratio", 2.0, "fail when a gated benchmark's ns/op exceeds baseline by this factor")
-	check := fs.String("check", "BenchmarkReplayAlya16,BenchmarkNetworkTransfer",
+	check := fs.String("check", "BenchmarkReplayAlya16,BenchmarkNetworkTransfer,BenchmarkDragonflyTransfer",
 		"comma-separated benchmarks gated against the baseline")
+	// The suite pins its own fabrics (paper XGFT and dragonfly entries); the
+	// flag exists for interface uniformity and is validated only.
+	topo := topoFlag(fs)
 	fs.Parse(args)
+	if err := checkTopo(*topo); err != nil {
+		return err
+	}
 
 	rep, err := benchio.RunSuite(*label, *smoke)
 	if err != nil {
@@ -149,12 +160,13 @@ func cmdWeak(args []string) error {
 	opt := optFlags(fs)
 	par := parFlag(fs)
 	pred := predFlag(fs, predictor.DefaultName)
+	topo := topoFlag(fs)
 	d := fs.Float64("d", 0.01, "displacement factor")
 	fs.Parse(args)
-	if err := checkPredictor(*pred); err != nil {
+	if err := checkFlags(*pred, *topo); err != nil {
 		return err
 	}
-	rows, err := harness.NewRunner(*opt, configWith(*par, *pred)).WeakScaling(*d)
+	rows, err := harness.NewRunner(*opt, configWith(*par, *pred, *topo)).WeakScaling(*d)
 	if err != nil {
 		return err
 	}
@@ -168,10 +180,11 @@ func cmdDVS(args []string) error {
 	opt := optFlags(fs)
 	par := parFlag(fs)
 	pred := predFlag(fs, predictor.DefaultName)
+	topo := topoFlag(fs)
 	np := fs.Int("np", 16, "process count")
 	d := fs.Float64("d", 0.01, "WRPS displacement factor")
 	fs.Parse(args)
-	if err := checkPredictor(*pred); err != nil {
+	if err := checkFlags(*pred, *topo); err != nil {
 		return err
 	}
 	type row struct {
@@ -189,7 +202,7 @@ func cmdDVS(args []string) error {
 			if err != nil {
 				return row{}, err
 			}
-			wrps, err := replay.Run(tr, replay.DefaultConfig().WithPredictor(*pred).WithPower(gt, *d))
+			wrps, err := replay.Run(tr, replay.DefaultConfig().WithPredictor(*pred).WithFabric(*topo).WithPower(gt, *d))
 			if err != nil {
 				return row{}, err
 			}
@@ -217,12 +230,13 @@ func cmdEnergy(args []string) error {
 	opt := optFlags(fs)
 	par := parFlag(fs)
 	pred := predFlag(fs, predictor.DefaultName)
+	topo := topoFlag(fs)
 	d := fs.Float64("d", 0.01, "displacement factor")
 	apps := fs.String("apps", "", "comma-separated app filter (default all)")
 	np := fs.Int("np", 16, "process count")
 	deepUS := fs.Int("deepus", 1000, "deep-mode reactivation time [us]")
 	fs.Parse(args)
-	if err := checkPredictor(*pred); err != nil {
+	if err := checkFlags(*pred, *topo); err != nil {
 		return err
 	}
 	names := workloads.Apps()
@@ -232,7 +246,7 @@ func cmdEnergy(args []string) error {
 	deep := power.DeepConfig{Treact: time.Duration(*deepUS) * time.Microsecond}
 	fmt.Printf("deep mode: reactivation %v, entry threshold %v (energy breakeven)\n",
 		deep.Treact, deep.BreakevenIdle(power.Treact).Round(time.Microsecond))
-	cfg := replay.DefaultConfig().WithPredictor(*pred)
+	cfg := replay.DefaultConfig().WithPredictor(*pred).WithFabric(*topo)
 	rows, err := sweep.Map(context.Background(), *par, names,
 		func(_ context.Context, _ int, app string) (*harness.EnergyRow, error) {
 			return harness.Energy(strings.TrimSpace(app), *np, *d, *opt, deep, cfg)
@@ -263,6 +277,12 @@ func predFlag(fs *flag.FlagSet, def string) *string {
 		"idle predictor (one of: "+strings.Join(predictor.Names(), ", ")+")")
 }
 
+// topoFlag registers the fabric selection shared by every subcommand.
+func topoFlag(fs *flag.FlagSet) *string {
+	return fs.String("topo", topology.DefaultFabric,
+		"interconnect fabric (one of: "+strings.Join(topology.Names(), ", ")+")")
+}
+
 // checkPredictor validates a -predictor value before any simulation starts,
 // so a typo fails fast on every subcommand. The empty value (compare's
 // default) means "all registered".
@@ -273,10 +293,24 @@ func checkPredictor(name string) error {
 	return predictor.CheckRegistered(name)
 }
 
+// checkTopo validates a -topo value before any simulation starts, mirroring
+// checkPredictor: a typo fails fast listing the fabric registry.
+func checkTopo(name string) error {
+	return topology.CheckRegistered(name)
+}
+
+// checkFlags validates the -predictor and -topo selections together.
+func checkFlags(pred, topo string) error {
+	if err := checkPredictor(pred); err != nil {
+		return err
+	}
+	return checkTopo(topo)
+}
+
 // configWith returns the default replay config bounded to par workers with
-// the named predictor selected.
-func configWith(par int, pred string) replay.Config {
-	cfg := replay.DefaultConfig().WithPredictor(pred)
+// the named predictor and fabric selected.
+func configWith(par int, pred, topo string) replay.Config {
+	cfg := replay.DefaultConfig().WithPredictor(pred).WithFabric(topo)
 	cfg.Parallelism = par
 	return cfg
 }
@@ -286,11 +320,12 @@ func cmdTableI(args []string) error {
 	opt := optFlags(fs)
 	par := parFlag(fs)
 	pred := predFlag(fs, predictor.DefaultName)
+	topo := topoFlag(fs)
 	fs.Parse(args)
-	if err := checkPredictor(*pred); err != nil {
+	if err := checkFlags(*pred, *topo); err != nil {
 		return err
 	}
-	rows, err := harness.NewRunner(*opt, configWith(*par, *pred)).TableI()
+	rows, err := harness.NewRunner(*opt, configWith(*par, *pred, *topo)).TableI()
 	if err != nil {
 		return err
 	}
@@ -302,16 +337,17 @@ func cmdGT(args []string) error {
 	opt := optFlags(fs)
 	par := parFlag(fs)
 	pred := predFlag(fs, predictor.DefaultName)
+	topo := topoFlag(fs)
 	app := fs.String("app", "", "application (empty: Table III over all apps)")
 	np := fs.Int("np", 64, "process count for -app sweeps")
 	fs.Parse(args)
-	if err := checkPredictor(*pred); err != nil {
+	if err := checkFlags(*pred, *topo); err != nil {
 		return err
 	}
 	if *app == "" {
 		// Table III: GT selection always scores the reference n-gram
 		// predictor (see harness.ChooseGT); -predictor is validated only.
-		rows, err := harness.NewRunner(*opt, configWith(*par, *pred)).TableIII()
+		rows, err := harness.NewRunner(*opt, configWith(*par, *pred, *topo)).TableIII()
 		if err != nil {
 			return err
 		}
@@ -321,6 +357,9 @@ func cmdGT(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The GT sweep scores hit rate on the network-free offline runner
+	// (predictor + controller only), so the fabric cannot affect it: -topo
+	// is validated only, like on ppa and bench.
 	pts, err := harness.GTSweepNamed(tr, *pred, harness.DefaultGTGrid(), *par)
 	if err != nil {
 		return err
@@ -333,11 +372,12 @@ func cmdOverheads(args []string) error {
 	opt := optFlags(fs)
 	par := parFlag(fs)
 	pred := predFlag(fs, predictor.DefaultName)
+	topo := topoFlag(fs)
 	fs.Parse(args)
-	if err := checkPredictor(*pred); err != nil {
+	if err := checkFlags(*pred, *topo); err != nil {
 		return err
 	}
-	rows, err := harness.NewRunner(*opt, configWith(*par, *pred)).TableIV()
+	rows, err := harness.NewRunner(*opt, configWith(*par, *pred, *topo)).TableIV()
 	if err != nil {
 		return err
 	}
@@ -349,10 +389,11 @@ func cmdFigures(args []string) error {
 	opt := optFlags(fs)
 	par := parFlag(fs)
 	pred := predFlag(fs, predictor.DefaultName)
+	topo := topoFlag(fs)
 	d := fs.Float64("d", 0, "displacement factor (0: all of 0.10, 0.05, 0.01)")
 	apps := fs.String("apps", "", "comma-separated app filter")
 	fs.Parse(args)
-	if err := checkPredictor(*pred); err != nil {
+	if err := checkFlags(*pred, *topo); err != nil {
 		return err
 	}
 	ds := harness.Displacements
@@ -361,7 +402,7 @@ func cmdFigures(args []string) error {
 	}
 	// One Runner across displacement factors: traces and GT choices are
 	// generated once and shared by all three figures.
-	runner := harness.NewRunner(*opt, configWith(*par, *pred))
+	runner := harness.NewRunner(*opt, configWith(*par, *pred, *topo))
 	for _, disp := range ds {
 		rows, err := runner.Figure(disp)
 		if err != nil {
@@ -387,10 +428,11 @@ func cmdCompare(args []string) error {
 	opt := optFlags(fs)
 	par := parFlag(fs)
 	pred := predFlag(fs, "")
+	topo := topoFlag(fs)
 	d := fs.Float64("d", 0.01, "displacement factor")
 	apps := fs.String("apps", "", "comma-separated app filter")
 	fs.Parse(args)
-	if err := checkPredictor(*pred); err != nil {
+	if err := checkFlags(*pred, *topo); err != nil {
 		return err
 	}
 	var names []string
@@ -405,7 +447,7 @@ func cmdCompare(args []string) error {
 			only = append(only, strings.TrimSpace(a))
 		}
 	}
-	rows, err := harness.NewRunner(*opt, configWith(*par, "")).Compare(*d, names, only...)
+	rows, err := harness.NewRunner(*opt, configWith(*par, "", *topo)).Compare(*d, names, only...)
 	if err != nil {
 		return err
 	}
@@ -431,13 +473,14 @@ func cmdTimeline(args []string) error {
 	opt := optFlags(fs)
 	par := parFlag(fs)
 	pred := predFlag(fs, predictor.DefaultName)
+	topo := topoFlag(fs)
 	app := fs.String("app", "gromacs", "application")
 	np := fs.Int("np", 16, "process count")
 	d := fs.Float64("d", 0.10, "displacement factor")
 	width := fs.Int("width", 100, "rendering width")
 	prv := fs.Bool("prv", false, "emit Paraver-like records instead of ASCII")
 	fs.Parse(args)
-	if err := checkPredictor(*pred); err != nil {
+	if err := checkFlags(*pred, *topo); err != nil {
 		return err
 	}
 	tr, err := workloads.Generate(*app, *np, *opt)
@@ -449,7 +492,7 @@ func cmdTimeline(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := replay.DefaultConfig().WithPredictor(*pred).WithPower(gt, *d)
+	cfg := replay.DefaultConfig().WithPredictor(*pred).WithFabric(*topo).WithPower(gt, *d)
 	cfg.Power.RecordTimelines = true
 	res, err := replay.Run(tr, cfg)
 	if err != nil {
@@ -469,11 +512,13 @@ func cmdTimeline(args []string) error {
 func cmdPPA(args []string) error {
 	fs := flag.NewFlagSet("ppa", flag.ExitOnError)
 	reps := fs.Int("reps", 4, "iterations of the 41-41-41,10,10 stream")
-	// The walkthrough demonstrates the n-gram algorithms specifically; the
-	// flag exists for interface uniformity and is validated only.
+	// The walkthrough demonstrates the n-gram algorithms specifically on one
+	// process, with no network: both flags exist for interface uniformity
+	// and are validated only.
 	pred := predFlag(fs, predictor.DefaultName)
+	topo := topoFlag(fs)
 	fs.Parse(args)
-	if err := checkPredictor(*pred); err != nil {
+	if err := checkFlags(*pred, *topo); err != nil {
 		return err
 	}
 

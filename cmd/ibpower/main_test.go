@@ -33,3 +33,34 @@ func TestUnknownPredictorRejectedEverywhere(t *testing.T) {
 		}
 	}
 }
+
+// TestUnknownTopoRejectedEverywhere asserts every subcommand validates -topo
+// up front, mirroring -predictor: a typo must fail fast with the fabric
+// registry listed, not after minutes of sweeping — and not silently fall
+// back to the paper's XGFT.
+func TestUnknownTopoRejectedEverywhere(t *testing.T) {
+	cmds := map[string]func([]string) error{
+		"tableI":    cmdTableI,
+		"gt":        cmdGT,
+		"overheads": cmdOverheads,
+		"figures":   cmdFigures,
+		"compare":   cmdCompare,
+		"timeline":  cmdTimeline,
+		"ppa":       cmdPPA,
+		"energy":    cmdEnergy,
+		"dvs":       cmdDVS,
+		"weak":      cmdWeak,
+		"bench":     cmdBench,
+	}
+	for name, fn := range cmds {
+		err := fn([]string{"-topo", "nosuch"})
+		if err == nil {
+			t.Errorf("%s accepted an unknown fabric", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "unknown fabric") ||
+			!strings.Contains(err.Error(), "dragonfly") {
+			t.Errorf("%s: error %q must reject the name and list the registry", name, err)
+		}
+	}
+}

@@ -81,6 +81,45 @@ func ExamplePredictors() {
 	// static-gt: true
 }
 
+// ExampleFabrics shows the interconnect registry and replays one workload
+// over a non-paper fabric: the same trace, predictor and parameters on a
+// dragonfly instead of the default XGFT fat tree.
+func ExampleFabrics() {
+	registered := func(name string) bool {
+		for _, n := range ibpower.Fabrics() {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, name := range []string{"xgft", "xgft3", "dragonfly", "torus2d", "torus3d"} {
+		fmt.Printf("%s: %v\n", name, registered(name))
+	}
+	fabric, err := ibpower.NamedFabric("dragonfly")
+	if err != nil {
+		panic(err)
+	}
+	tr, err := ibpower.GenerateWorkload("nasbt", 9, ibpower.WorkloadOptions{IterScale: 0.1})
+	if err != nil {
+		panic(err)
+	}
+	cfg := ibpower.DefaultReplayConfig().WithFabric("dragonfly").WithPower(ibpower.GTMin, 0.01)
+	res, err := ibpower.Replay(tr, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s replayed: %v (some savings: %v)\n",
+		fabric.Name(), res.ExecTime > 0, res.AvgSavingPct() > 0)
+	// Output:
+	// xgft: true
+	// xgft3: true
+	// dragonfly: true
+	// torus2d: true
+	// torus3d: true
+	// dragonfly(p=4,a=4,h=2,g=9) replayed: true (some savings: true)
+}
+
 // ExampleNewNamedPredictor selects a predictor from the registry by name and
 // drives it over a periodic call stream: the last-value baseline locks onto
 // a constant gap after a single observation.

@@ -1,0 +1,60 @@
+package ibpower_test
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+// exampleArgs holds the tiny-scale invocation for every examples/ program.
+// A directory appearing here but not on disk — or on disk but not here —
+// fails the test, so new examples must register a smoke invocation and
+// removed ones must clean up.
+var exampleArgs = map[string][]string{
+	"quickstart":  {},
+	"stencil":     {"-np", "4", "-steps", "30", "-cells", "2048"},
+	"gtsweep":     {"-app", "gromacs", "-np", "8", "-scale", "0.05"},
+	"tracedriven": {"-app", "alya", "-np", "8", "-scale", "0.05"},
+}
+
+// TestExamplesSmoke executes every examples/ program with tiny iteration
+// scales. go build compiles them, but only running them catches rotted
+// output paths, panics behind flags, and API drift in code users copy first.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke runs subprocesses; skipped in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() {
+			onDisk[e.Name()] = true
+		}
+	}
+	for name := range exampleArgs {
+		if !onDisk[name] {
+			t.Errorf("examples/%s has a smoke invocation but no directory", name)
+		}
+	}
+	for name := range onDisk {
+		args, ok := exampleArgs[name]
+		if !ok {
+			t.Errorf("examples/%s has no smoke invocation in exampleArgs", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", append([]string{"run", "./examples/" + name}, args...)...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s %v failed: %v\n%s", name, args, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("examples/%s produced no output", name)
+			}
+		})
+	}
+}

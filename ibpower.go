@@ -19,8 +19,12 @@
 //     timer (Figure 5) and per-mode energy accounting.
 //   - GenerateWorkload — synthetic stand-ins for the paper's five production
 //     traces (GROMACS, ALYA, WRF, NAS BT, NAS MG).
-//   - Replay — the Dimemas/Venus-style co-simulator: MPI replay over an
-//     XGFT(2;18,14;1,18) fat tree with the Table II parameters.
+//   - Replay — the Dimemas/Venus-style co-simulator: MPI replay over a
+//     pluggable interconnect fabric with the Table II parameters. The
+//     paper's XGFT(2;18,14;1,18) fat tree is the default; a three-level
+//     XGFT, a dragonfly and 2D/3D tori register next to it. Select by name
+//     with ReplayConfig.WithFabric, enumerate with Fabrics, and add
+//     implementations with RegisterFabric.
 //   - RunSPMD / PowerLayer — the mini-MPI runtime with the mechanism
 //     installed in the PMPI profiling layer, the paper's deployment model.
 //
@@ -40,6 +44,7 @@ import (
 	"ibpower/internal/power"
 	"ibpower/internal/predictor"
 	"ibpower/internal/replay"
+	"ibpower/internal/topology"
 	"ibpower/internal/trace"
 	"ibpower/internal/workloads"
 )
@@ -105,6 +110,10 @@ type (
 	// ReplayResult carries execution time, per-link power accounting and
 	// mechanism counters.
 	ReplayResult = replay.Result
+	// Fabric is the pluggable interconnect abstraction the network model
+	// times transfers over (terminals, directed links, routing with an
+	// explicit RNG-draw contract for the route cache).
+	Fabric = topology.Fabric
 )
 
 // Runtime (deployment path) types.
@@ -164,6 +173,22 @@ func WriteTrace(w io.Writer, tr *Trace) error { return tr.Write(w) }
 // DefaultReplayConfig returns the paper's Table II simulation parameters
 // with the mechanism disabled (the power-unaware baseline).
 func DefaultReplayConfig() ReplayConfig { return replay.DefaultConfig() }
+
+// Fabrics returns the registered interconnect fabric names, sorted
+// ("dragonfly", "torus2d", "torus3d", "xgft", "xgft3", plus anything added
+// via RegisterFabric).
+func Fabrics() []string { return topology.Names() }
+
+// NamedFabric returns the shared immutable instance of a registered fabric;
+// the empty name selects the paper's XGFT(2;18,14;1,18).
+func NamedFabric(name string) (Fabric, error) { return topology.Named(name) }
+
+// RegisterFabric adds an interconnect implementation to the registry; it
+// panics on duplicate names. Registered fabrics are selectable by every
+// harness experiment, ReplayConfig.WithFabric, and the ibpower command's
+// -topo flag. The constructor runs at most once: the built fabric is shared,
+// so it must be immutable.
+func RegisterFabric(name string, build func() (Fabric, error)) { topology.Register(name, build) }
 
 // Replay re-executes the trace under cfg. Enable the mechanism with
 // cfg.WithPower(gt, displacement).

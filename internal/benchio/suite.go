@@ -33,6 +33,7 @@ func Suite() []Bench {
 	return []Bench{
 		{Name: "BenchmarkReplayAlya16", Fn: BenchReplayAlya16},
 		{Name: "BenchmarkNetworkTransfer", Fn: BenchNetworkTransfer},
+		{Name: "BenchmarkDragonflyTransfer", Fn: BenchDragonflyTransfer},
 		{Name: "BenchmarkRouteCrossLeaf", Fn: BenchRouteCrossLeaf},
 		{Name: "BenchmarkPredictorOnCall", Fn: BenchPredictorOnCall},
 		{Name: "BenchmarkDetectorAddGram", Fn: BenchDetectorAddGram},
@@ -114,6 +115,27 @@ func BenchNetworkTransfer(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.Transfer(i%128, (i+37)%128, 8192, time.Duration(i)*time.Microsecond)
+	}
+}
+
+// BenchDragonflyTransfer times transfers over the dragonfly preset: the
+// generic Fabric routing path (interface dispatch + draw-keyed route cache)
+// rather than the paper XGFT's. Inter-group endpoints keep the Valiant
+// intermediate-group draw on every transfer.
+func BenchDragonflyTransfer(b *testing.B) {
+	fabric, err := topology.Named("dragonfly")
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := network.New(fabric, network.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := fabric.NumTerminals()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Transfer(i%n, (i+n/2+3)%n, 8192, time.Duration(i)*time.Microsecond)
 	}
 }
 

@@ -70,38 +70,44 @@ func Energy(app string, np int, displacement float64, opt workloads.Options, dee
 		DeepSavingPct:       deepRes.AvgSavingPct(),
 		DeepTimeIncreasePct: deepRes.TimeIncreasePct(base),
 	}
-	row.FabricSavingPct = fabricSaving(lanes, np)
+	fabric, err := cfg.Fabric()
+	if err != nil {
+		return nil, err
+	}
+	row.FabricSavingPct = fabricSaving(fabric, lanes, np)
 	return row, nil
 }
 
-// fabricSaving groups the per-rank host-link accountings by leaf switch of
-// the paper's XGFT and applies the decomposed switch power model.
-func fabricSaving(res *replay.Result, np int) float64 {
-	topo := topology.Paper()
-	nLeaf := len(topo.Switches[0])
-	groups := make([][]power.Accounting, nLeaf)
-	alwaysOn := make([]int, nLeaf)
-	for s := 0; s < nLeaf; s++ {
-		// Each leaf switch has one always-on uplink per top switch.
-		alwaysOn[s] = len(topo.Switches[0][s].Up)
+// fabricSaving groups the per-rank host-link accountings by first-hop switch
+// of the simulated fabric and applies the decomposed switch power model. On
+// the paper's XGFT the first-hop switches are the leaf switches and the
+// always-on count is their uplinks; on a dragonfly or torus it is the
+// routers and their local/global (ring) links — in every fabric, exactly the
+// switch-to-switch links the mechanism does not manage.
+func fabricSaving(topo topology.Fabric, res *replay.Result, np int) float64 {
+	// Count each first-hop switch's unmanaged (switch-to-switch) out-links.
+	alwaysOn := map[int]int{}
+	for _, l := range topo.Links() {
+		if l.From.Kind == topology.KindSwitch && l.To.Kind == topology.KindSwitch {
+			alwaysOn[l.From.ID]++
+		}
 	}
-	leafIndex := make(map[int]int, nLeaf)
-	for i, sw := range topo.Switches[0] {
-		leafIndex[sw.ID] = i
-	}
+	groups := map[int][]power.Accounting{}
+	var order []int // switch IDs in first-use order, for deterministic output
 	for r := 0; r < np && r < len(res.Acct); r++ {
-		leaf := topo.Terminals[r].Up[0].To
-		groups[leafIndex[leaf.ID]] = append(groups[leafIndex[leaf.ID]], res.Acct[r])
+		sw := topo.HostLink(r).To.ID
+		if _, ok := groups[sw]; !ok {
+			order = append(order, sw)
+		}
+		groups[sw] = append(groups[sw], res.Acct[r])
 	}
 	// Only switches actually hosting ranks are counted, as the paper's
 	// savings are reported over the used part of the fabric.
-	var used [][]power.Accounting
-	var usedOn []int
-	for s, g := range groups {
-		if len(g) > 0 {
-			used = append(used, g)
-			usedOn = append(usedOn, alwaysOn[s])
-		}
+	used := make([][]power.Accounting, 0, len(order))
+	usedOn := make([]int, 0, len(order))
+	for _, sw := range order {
+		used = append(used, groups[sw])
+		usedOn = append(usedOn, alwaysOn[sw])
 	}
 	return power.FabricPower(used, usedOn).SavingPct
 }

@@ -1,5 +1,6 @@
 // Package network is the Venus-like network model: it times message
-// transfers over an XGFT InfiniBand fabric with per-link serialization and
+// transfers over an InfiniBand fabric — any topology.Fabric: the paper's
+// XGFT fat tree, a dragonfly, a torus — with per-link serialization and
 // contention, 2 KB segmentation and the paper's Table II parameters
 // (40 Gb/s links, 1 µs MPI latency, random routing).
 //
@@ -60,15 +61,18 @@ func (c Config) Validate() error {
 	if c.MPILatency < 0 || c.WireLatency < 0 {
 		return fmt.Errorf("network: negative latency")
 	}
+	if c.Mode != MessageLevel && c.Mode != SegmentLevel {
+		return fmt.Errorf("network: unknown fidelity mode %d", c.Mode)
+	}
 	return nil
 }
 
-// Network times transfers over a topology.
+// Network times transfers over a fabric.
 type Network struct {
-	topo   *topology.XGFT
+	topo   topology.Fabric
 	cfg    Config
 	rng    *rand.Rand
-	routes *topology.RouteCache // memoized paths; draws from rng like topo.Route
+	routes *topology.RouteCache // memoized paths; draws from rng like RouteInto
 
 	nextFree []time.Duration // per directed link: earliest next use
 	busy     []time.Duration // per directed link: accumulated busy time
@@ -84,7 +88,7 @@ type Network struct {
 }
 
 // New returns a network over topo.
-func New(topo *topology.XGFT, cfg Config) (*Network, error) {
+func New(topo topology.Fabric, cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -93,14 +97,14 @@ func New(topo *topology.XGFT, cfg Config) (*Network, error) {
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		routes:    topology.NewRouteCache(topo),
-		nextFree:  make([]time.Duration, len(topo.Links)),
-		busy:      make([]time.Duration, len(topo.Links)),
+		nextFree:  make([]time.Duration, len(topo.Links())),
+		busy:      make([]time.Duration, len(topo.Links())),
 		intervals: make(map[int][][2]time.Duration),
 	}, nil
 }
 
 // Topology returns the underlying fabric.
-func (n *Network) Topology() *topology.XGFT { return n.topo }
+func (n *Network) Topology() topology.Fabric { return n.topo }
 
 // Config returns the active configuration.
 func (n *Network) Config() Config { return n.cfg }
@@ -225,8 +229,9 @@ func (n *Network) LinkBusy(link int) time.Duration { return n.busy[link] }
 // populated when RecordIntervals(true)).
 func (n *Network) BusyIntervals(link int) [][2]time.Duration { return n.intervals[link] }
 
-// HostUpLink returns the directed link from terminal t into its leaf switch.
-func (n *Network) HostUpLink(t int) *topology.Link { return n.topo.Terminals[t].Up[0] }
+// HostUpLink returns the directed link from terminal t into its first-hop
+// switch.
+func (n *Network) HostUpLink(t int) *topology.Link { return n.topo.HostLink(t) }
 
 // Stats returns transfer counters.
 func (n *Network) Stats() (transfers int, bytes int64) { return n.transfers, n.bytes }

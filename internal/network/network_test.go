@@ -46,6 +46,56 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
+// TestConfigValidationMode asserts an out-of-range Fidelity is rejected
+// rather than silently timed as one of the two real modes (an unknown Mode
+// previously fell through Transfer's SegmentLevel check into the
+// message-level path).
+func TestConfigValidationMode(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, mode := range []Fidelity{2, 3, 255} {
+		cfg.Mode = mode
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("fidelity mode %d accepted", mode)
+		}
+		if _, err := New(topology.Paper(), cfg); err == nil {
+			t.Errorf("network constructed with fidelity mode %d", mode)
+		}
+	}
+	for _, mode := range []Fidelity{MessageLevel, SegmentLevel} {
+		cfg.Mode = mode
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("real mode %d rejected: %v", mode, err)
+		}
+	}
+}
+
+// TestNetworkOverEveryFabric asserts the model times transfers over every
+// registered fabric: arrivals respect the latency floor and host links
+// resolve through the Fabric interface.
+func TestNetworkOverEveryFabric(t *testing.T) {
+	for _, name := range topology.Names() {
+		f, err := topology.Named(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := New(f, DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		last := f.NumTerminals() - 1
+		arr := n.Transfer(0, last, 4096, 0)
+		if min := n.Config().MPILatency + n.SerTime(4096); arr < min {
+			t.Errorf("%s: arrival %v below floor %v", name, arr, min)
+		}
+		if up := n.HostUpLink(last); up.From != f.HostLink(last).From {
+			t.Errorf("%s: HostUpLink(%d) resolves the wrong terminal", name, last)
+		}
+		if n.LinkBusy(n.HostUpLink(0).ID) <= 0 {
+			t.Errorf("%s: transfer left the source host link idle", name)
+		}
+	}
+}
+
 func TestSerTime(t *testing.T) {
 	n := newNet(t, MessageLevel)
 	// 40 Gb/s = 5 bytes/ns: 2048 bytes -> 409.6 ns.

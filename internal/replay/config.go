@@ -43,9 +43,15 @@ type PowerConfig struct {
 
 // Config parameterises a replay run.
 type Config struct {
-	Net   network.Config
-	Topo  *topology.XGFT // nil selects the paper's XGFT(2;18,14;1,18)
-	Power PowerConfig
+	Net network.Config
+	// Topo is the fabric to simulate on; nil resolves FabricName instead.
+	Topo topology.Fabric
+	// FabricName selects the fabric from the topology registry ("xgft",
+	// "xgft3", "dragonfly", "torus2d", "torus3d", or anything registered by
+	// the embedding program) when Topo is nil; empty selects
+	// topology.DefaultFabric, the paper's XGFT(2;18,14;1,18).
+	FabricName string
+	Power      PowerConfig
 
 	// Parallelism bounds how many independent experiment points the harness
 	// sweeps concurrently (tables, figures, GT grids). Run itself ignores
@@ -95,6 +101,28 @@ func (c Config) WithDeepSleep(deep power.DeepConfig) Config {
 	return c
 }
 
+// WithFabric returns cfg with the named fabric selected from the topology
+// registry. The empty name keeps the default, the paper's XGFT(2;18,14;1,18).
+// An explicitly set Topo instance takes precedence over the name.
+func (c Config) WithFabric(name string) Config {
+	c.FabricName = name
+	return c
+}
+
+// Fabric resolves the fabric the configuration simulates on: Topo when set,
+// otherwise the registry entry FabricName selects (the shared immutable
+// instance), otherwise the paper's fabric.
+func (c Config) Fabric() (topology.Fabric, error) {
+	if c.Topo != nil {
+		return c.Topo, nil
+	}
+	f, err := topology.Named(c.FabricName)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	return f, nil
+}
+
 func (c Config) validate(np int) error {
 	if err := c.Net.Validate(); err != nil {
 		return err
@@ -107,8 +135,14 @@ func (c Config) validate(np int) error {
 			return fmt.Errorf("replay: %w", err)
 		}
 	}
+	if c.Topo == nil {
+		if err := topology.CheckRegistered(c.FabricName); err != nil {
+			return fmt.Errorf("replay: %w", err)
+		}
+	}
 	if c.Topo != nil && c.Topo.NumTerminals() < np {
-		return fmt.Errorf("replay: topology has %d terminals, need %d", c.Topo.NumTerminals(), np)
+		return fmt.Errorf("replay: fabric %s has %d terminals, need %d",
+			c.Topo.Name(), c.Topo.NumTerminals(), np)
 	}
 	return nil
 }

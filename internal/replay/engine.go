@@ -8,7 +8,6 @@ import (
 	"ibpower/internal/ngram"
 	"ibpower/internal/power"
 	"ibpower/internal/predictor"
-	"ibpower/internal/topology"
 	"ibpower/internal/trace"
 )
 
@@ -118,12 +117,13 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	if err := cfg.validate(tr.NP); err != nil {
 		return nil, err
 	}
-	topo := cfg.Topo
-	if topo == nil {
-		topo = topology.Paper()
+	topo, err := cfg.Fabric()
+	if err != nil {
+		return nil, err
 	}
 	if topo.NumTerminals() < tr.NP {
-		return nil, fmt.Errorf("replay: topology has %d terminals, need %d", topo.NumTerminals(), tr.NP)
+		return nil, fmt.Errorf("replay: fabric %s has %d terminals, need %d",
+			topo.Name(), topo.NumTerminals(), tr.NP)
 	}
 	net, err := network.New(topo, cfg.Net)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 	"time"
@@ -24,15 +25,35 @@ func Mean(xs []float64) float64 {
 }
 
 // MeanDuration returns the mean of the durations, or 0 for an empty slice.
+// The sum is accumulated in 128 bits, so long sweeps of large durations
+// (e.g. hours-scale link busy times over millions of samples) cannot
+// overflow the int64 a naive sum would wrap; the mean itself always fits.
+// Like integer division, the result truncates toward zero.
 func MeanDuration(ds []time.Duration) time.Duration {
 	if len(ds) == 0 {
 		return 0
 	}
-	var s time.Duration
+	var hi int64  // high 64 bits of the signed 128-bit sum
+	var lo uint64 // low 64 bits
 	for _, d := range ds {
-		s += d
+		var carry uint64
+		lo, carry = bits.Add64(lo, uint64(d), 0)
+		hi += int64(d)>>63 + int64(carry) // sign-extend d's high word
 	}
-	return s / time.Duration(len(ds))
+	neg := hi < 0
+	if neg {
+		// Two's-complement negate the 128-bit sum to divide magnitudes.
+		lo = -lo
+		hi = ^hi
+		if lo == 0 {
+			hi++
+		}
+	}
+	q, _ := bits.Div64(uint64(hi), lo, uint64(len(ds)))
+	if neg {
+		return -time.Duration(q)
+	}
+	return time.Duration(q)
 }
 
 // Stddev returns the population standard deviation of xs.
@@ -49,10 +70,16 @@ func Stddev(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0..100) using nearest-rank on a
-// copy of xs.
+// copy of xs: the smallest element such that at least p% of the samples are
+// <= it. p outside [0, 100] clamps to the minimum/maximum; a NaN p returns
+// NaN (conversion of NaN to int is platform-defined, so it must not reach
+// the rank computation).
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) {
+		return math.NaN()
 	}
 	cp := append([]float64(nil), xs...)
 	sort.Float64s(cp)

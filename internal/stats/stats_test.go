@@ -27,6 +27,61 @@ func TestMeanDuration(t *testing.T) {
 	}
 }
 
+// TestMeanDurationEdgeCases pins nearest behaviors the harness relies on:
+// empty and singleton inputs, truncation, and — the regression this table
+// exists for — sums of large durations that overflow a naive int64
+// accumulator on long sweeps.
+func TestMeanDurationEdgeCases(t *testing.T) {
+	const maxD = time.Duration(math.MaxInt64)
+	const minD = time.Duration(math.MinInt64)
+	big := make([]time.Duration, 1000)
+	for i := range big {
+		big[i] = maxD - time.Duration(i)
+	}
+	cases := []struct {
+		name string
+		in   []time.Duration
+		want time.Duration
+	}{
+		{"empty", nil, 0},
+		{"single", []time.Duration{42 * time.Hour}, 42 * time.Hour},
+		{"single max", []time.Duration{maxD}, maxD},
+		{"truncates toward zero", []time.Duration{1, 2}, 1},
+		{"negative truncates toward zero", []time.Duration{-1, -2}, -1},
+		{"mixed signs", []time.Duration{-3 * time.Second, time.Second}, -time.Second},
+		// A naive sum wraps to -2 here and reports -1.
+		{"two max durations", []time.Duration{maxD, maxD}, maxD},
+		{"thousand near-max durations", big, maxD - 500},
+		{"two min durations", []time.Duration{minD, minD}, minD},
+		{"cancelling extremes", []time.Duration{maxD, -maxD, 6}, 2},
+	}
+	for _, c := range cases {
+		if got := MeanDuration(c.in); got != c.want {
+			t.Errorf("%s: MeanDuration = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestMeanDurationMatchesNaive cross-checks the 128-bit accumulator against
+// the straightforward sum on inputs that cannot overflow.
+func TestMeanDurationMatchesNaive(t *testing.T) {
+	f := func(ns []int32) bool {
+		ds := make([]time.Duration, len(ns))
+		var sum time.Duration
+		for i, n := range ns {
+			ds[i] = time.Duration(n)
+			sum += time.Duration(n)
+		}
+		if len(ds) == 0 {
+			return MeanDuration(ds) == 0
+		}
+		return MeanDuration(ds) == sum/time.Duration(len(ds))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestStddev(t *testing.T) {
 	if Stddev([]float64{5}) != 0 {
 		t.Error("stddev of singleton != 0")
@@ -53,6 +108,40 @@ func TestPercentile(t *testing.T) {
 	Percentile(orig, 50)
 	if orig[0] != 3 {
 		t.Error("Percentile mutated its input")
+	}
+}
+
+// TestPercentileEdgeCases pins the nearest-rank indexing on the boundaries
+// the harness hits: singletons, out-of-range and sub-1% percentiles, ranks
+// that fall exactly on an element, and NaN (whose int conversion is
+// platform-defined and must never reach the index computation).
+func TestPercentileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"empty", nil, 50, 0},
+		{"single p0", []float64{7}, 0, 7},
+		{"single p50", []float64{7}, 50, 7},
+		{"single p100", []float64{7}, 100, 7},
+		{"below range clamps to min", []float64{1, 2, 3}, -10, 1},
+		{"above range clamps to max", []float64{1, 2, 3}, 110, 3},
+		{"tiny p selects min", []float64{1, 2, 3, 4}, 1e-9, 1},
+		// Nearest-rank on 4 elements: P25 is the 1st, P26 the 2nd.
+		{"exact rank boundary", []float64{1, 2, 3, 4}, 25, 1},
+		{"just past rank boundary", []float64{1, 2, 3, 4}, 26, 2},
+		{"p50 even count takes lower", []float64{1, 2, 3, 4}, 50, 2},
+		{"unsorted input", []float64{9, 1, 5}, 50, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(c.xs, c.p); got != c.want {
+			t.Errorf("%s: P%v(%v) = %v, want %v", c.name, c.p, c.xs, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{1, 2}, math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Percentile(NaN) = %v, want NaN", got)
 	}
 }
 

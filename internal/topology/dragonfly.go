@@ -1,0 +1,224 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dragonfly is a balanced dragonfly fabric (Kim et al.'s canonical
+// parameters): G groups of A routers, each router with P terminals and H
+// global links, G = A*H + 1 so every pair of groups is connected by exactly
+// one global cable and the routers of a group form a complete local graph.
+//
+// Routing is minimal — at most one local hop to the global port, the global
+// hop, one local hop to the destination router — with a random
+// intermediate-group option: inter-group routes draw one intermediate group
+// uniformly at random (Valiant spreading); drawing the source or destination
+// group degenerates to the minimal route. A nil RNG always routes minimally.
+type Dragonfly struct {
+	P, A, H int // terminals per router, routers per group, global links per router
+	G       int // groups; A*H+1 (balanced)
+
+	Terminals []*Node
+	Routers   [][]*Node // Routers[g][i] is router i of group g
+
+	links  []*Link
+	cables int
+
+	local     [][][]*Link // local[g][i][j]: directed link router i -> j in group g (nil when i==j)
+	globalOut [][]*Link   // globalOut[g][t]: directed link from group g to group t (nil when g==t)
+}
+
+// NewDragonfly builds the balanced dragonfly with p terminals per router, a
+// routers per group and h global links per router (g = a*h+1 groups,
+// g*a*p terminals).
+func NewDragonfly(p, a, h int) (*Dragonfly, error) {
+	if p < 1 || a < 1 || h < 1 {
+		return nil, fmt.Errorf("topology: non-positive dragonfly arity p=%d a=%d h=%d", p, a, h)
+	}
+	d := &Dragonfly{P: p, A: a, H: h, G: a*h + 1}
+	nextID := 0
+	mkNode := func(kind NodeKind, level int) *Node {
+		n := &Node{ID: nextID, Kind: kind, Level: level}
+		nextID++
+		return n
+	}
+	cable := func(from, to *Node, up bool) *Link {
+		c := d.cables
+		d.cables++
+		fwd := &Link{ID: len(d.links), From: from, To: to, Cable: c, IsUp: up}
+		rev := &Link{ID: len(d.links) + 1, From: to, To: from, Cable: c}
+		d.links = append(d.links, fwd, rev)
+		return fwd
+	}
+
+	// Routers and their terminals.
+	d.Routers = make([][]*Node, d.G)
+	for g := 0; g < d.G; g++ {
+		d.Routers[g] = make([]*Node, a)
+		for i := 0; i < a; i++ {
+			r := mkNode(KindSwitch, 1)
+			d.Routers[g][i] = r
+			for k := 0; k < p; k++ {
+				t := mkNode(KindTerminal, 0)
+				d.Terminals = append(d.Terminals, t)
+				up := cable(t, r, true)
+				t.Up = append(t.Up, up)
+				r.Down = append(r.Down, d.links[up.ID+1])
+			}
+		}
+	}
+	// Local links: complete graph inside every group.
+	d.local = make([][][]*Link, d.G)
+	for g := 0; g < d.G; g++ {
+		d.local[g] = make([][]*Link, a)
+		for i := range d.local[g] {
+			d.local[g][i] = make([]*Link, a)
+		}
+		for i := 0; i < a; i++ {
+			for j := i + 1; j < a; j++ {
+				fwd := cable(d.Routers[g][i], d.Routers[g][j], false)
+				d.local[g][i][j] = fwd
+				d.local[g][j][i] = d.links[fwd.ID+1]
+			}
+		}
+	}
+	// Global links: slot s = i*h+k of group g reaches group (g+s+1) mod G;
+	// with G = a*h+1 every unordered group pair gets exactly one cable. The
+	// cable is created once, from the lower-numbered group.
+	d.globalOut = make([][]*Link, d.G)
+	for g := range d.globalOut {
+		d.globalOut[g] = make([]*Link, d.G)
+	}
+	for g := 0; g < d.G; g++ {
+		for s := 0; s < a*h; s++ {
+			t := (g + s + 1) % d.G
+			if g > t {
+				continue // created from the other side
+			}
+			// Slot of group t that reaches back to g.
+			st := (g - t - 1 + d.G) % d.G
+			fwd := cable(d.Routers[g][s/h], d.Routers[t][st/h], false)
+			d.globalOut[g][t] = fwd
+			d.globalOut[t][g] = d.links[fwd.ID+1]
+		}
+	}
+	return d, nil
+}
+
+// Name describes the instance.
+func (d *Dragonfly) Name() string {
+	return fmt.Sprintf("dragonfly(p=%d,a=%d,h=%d,g=%d)", d.P, d.A, d.H, d.G)
+}
+
+// NumTerminals returns the terminal count (G*A*P).
+func (d *Dragonfly) NumTerminals() int { return len(d.Terminals) }
+
+// NumSwitches returns the router count (G*A).
+func (d *Dragonfly) NumSwitches() int { return d.G * d.A }
+
+// NumCables returns the physical cable count.
+func (d *Dragonfly) NumCables() int { return d.cables }
+
+// Links returns all directed links, indexed by Link.ID.
+func (d *Dragonfly) Links() []*Link { return d.links }
+
+// HostLink returns the directed link from terminal t into its router.
+func (d *Dragonfly) HostLink(t int) *Link { return d.Terminals[t].Up[0] }
+
+// group and router locate terminal t's attachment point.
+func (d *Dragonfly) group(t int) int  { return t / (d.A * d.P) }
+func (d *Dragonfly) router(t int) int { return (t / d.P) % d.A }
+
+// Route returns a freshly allocated path from terminal src to terminal dst.
+func (d *Dragonfly) Route(src, dst int, rng *rand.Rand) []*Link {
+	return d.RouteInto(nil, src, dst, rng)
+}
+
+// RouteInto appends the path from src to dst, drawing the intermediate-group
+// choice from rng for inter-group routes.
+func (d *Dragonfly) RouteInto(buf []*Link, src, dst int, rng *rand.Rand) []*Link {
+	return d.route(buf, src, dst, d.drawGroup(src, dst, rng))
+}
+
+// drawGroup makes the one RNG draw of an inter-group route and returns the
+// chosen intermediate group (the source group encodes "minimal"). Intra-group
+// routes and nil RNGs draw nothing.
+func (d *Dragonfly) drawGroup(src, dst int, rng *rand.Rand) int {
+	gs := d.group(src)
+	if gs == d.group(dst) || rng == nil {
+		return gs
+	}
+	return rng.Intn(d.G)
+}
+
+// RouteDraws appends the picks RouteInto would draw: exactly one Intn(G) for
+// an inter-group route with a non-nil rng, nothing otherwise.
+func (d *Dragonfly) RouteDraws(draws []int, src, dst int, rng *rand.Rand) []int {
+	gs := d.group(src)
+	if src == dst || gs == d.group(dst) || rng == nil {
+		return draws
+	}
+	return append(draws, rng.Intn(d.G))
+}
+
+// RouteFromDraws appends the path a recorded draw sequence selects: an empty
+// sequence is the minimal (or intra-group) route, a one-pick sequence names
+// the intermediate group.
+func (d *Dragonfly) RouteFromDraws(buf []*Link, src, dst int, draws []int) []*Link {
+	gi := d.group(src)
+	if len(draws) > 0 {
+		gi = draws[0]
+	}
+	return d.route(buf, src, dst, gi)
+}
+
+// route appends the path that detours through group gi (gi equal to either
+// endpoint group degenerates to the minimal route).
+func (d *Dragonfly) route(buf []*Link, src, dst int, gi int) []*Link {
+	if src == dst {
+		return buf
+	}
+	ts, td := d.Terminals[src], d.Terminals[dst]
+	gs, gd := d.group(src), d.group(dst)
+	rd := d.Routers[gd][d.router(dst)]
+	buf = append(buf, ts.Up[0])
+	cur := ts.Up[0].To
+	if gs != gd {
+		if gi != gs && gi != gd {
+			buf, cur = d.hop(buf, cur, gs, gi)
+			buf, cur = d.hop(buf, cur, gi, gd)
+		} else {
+			buf, cur = d.hop(buf, cur, gs, gd)
+		}
+	}
+	if cur != rd {
+		local := d.local[gd][d.routerIndex(gd, cur)][d.router(dst)]
+		buf = append(buf, local)
+		cur = local.To
+	}
+	// Down-link of the destination terminal: its host cable's reverse.
+	buf = append(buf, d.links[td.Up[0].ID+1])
+	return buf
+}
+
+// hop appends the (at most one local plus one global) links taking cur, a
+// router of group g, into group t, and returns the entry router there.
+func (d *Dragonfly) hop(buf []*Link, cur *Node, g, t int) ([]*Link, *Node) {
+	out := d.globalOut[g][t]
+	if owner := out.From; owner != cur {
+		local := d.local[g][d.routerIndex(g, cur)][d.routerIndex(g, owner)]
+		buf = append(buf, local)
+	}
+	return append(buf, out), out.To
+}
+
+// routerIndex returns r's index within group g.
+func (d *Dragonfly) routerIndex(g int, r *Node) int {
+	for i, n := range d.Routers[g] {
+		if n == r {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("topology: node %d is not a router of dragonfly group %d", r.ID, g))
+}

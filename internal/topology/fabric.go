@@ -1,0 +1,184 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Fabric is the interconnect abstraction the network model times transfers
+// over. The paper evaluates its mechanism on a single XGFT(2;18,14;1,18) fat
+// tree, but the prediction mechanism itself is topology-agnostic: everything
+// above this package only needs terminals, directed links, and a routing
+// function. Implementations are immutable after construction, so one instance
+// can be shared by every replay engine and concurrent sweep point.
+//
+// Routing is split into three methods so the RouteCache can memoize paths
+// without disturbing the random-routing draw sequence:
+//
+//   - RouteInto computes a path directly, drawing any random choices from
+//     rng (the plain, uncached entry point).
+//   - RouteDraws consumes from rng exactly the draws RouteInto would make
+//     for (src, dst) — same count, same order, same Intn arguments — and
+//     records each pick. Timings driven by a shared RNG therefore stay
+//     bit-identical whether or not a cache sits in front of the fabric.
+//   - RouteFromDraws deterministically reconstructs the path a recorded
+//     draw sequence selects. For any rng state,
+//     RouteFromDraws(nil, s, d, RouteDraws(nil, s, d, rng)) must equal
+//     RouteInto(nil, s, d, rng') where rng' started in the same state.
+//
+// A nil rng must route deterministically (pick 0 / minimal), still recording
+// the picks that reproduce that path.
+type Fabric interface {
+	// Name describes the concrete fabric instance (e.g. "xgft(2;18,14;1,18)").
+	Name() string
+	// NumTerminals returns the number of compute endpoints. Terminals are
+	// addressed 0..NumTerminals()-1 and carry one MPI process each.
+	NumTerminals() int
+	// NumSwitches returns the number of switching elements.
+	NumSwitches() int
+	// NumCables returns the number of physical cables; every cable is two
+	// directed links.
+	NumCables() int
+	// Links returns all directed links. Link IDs are dense indexes into this
+	// slice, so per-link state arrays can be sized by len(Links()).
+	Links() []*Link
+	// HostLink returns the directed link from terminal t into its first-hop
+	// switch — the link the power mechanism manages.
+	HostLink(t int) *Link
+	// RouteInto appends the directed links of a valid adjacent-link path
+	// from terminal src to terminal dst and returns the extended slice.
+	// src == dst appends nothing.
+	RouteInto(buf []*Link, src, dst int, rng *rand.Rand) []*Link
+	// RouteDraws appends the random picks RouteInto would draw from rng for
+	// (src, dst), consuming rng identically, and returns the extended slice.
+	RouteDraws(draws []int, src, dst int, rng *rand.Rand) []int
+	// RouteFromDraws appends the path selected by a draw sequence previously
+	// recorded by RouteDraws for the same (src, dst).
+	RouteFromDraws(buf []*Link, src, dst int, draws []int) []*Link
+}
+
+// Route returns a freshly allocated path over f (convenience wrapper over
+// RouteInto, mirroring XGFT.Route).
+func Route(f Fabric, src, dst int, rng *rand.Rand) []*Link {
+	return f.RouteInto(nil, src, dst, rng)
+}
+
+// DefaultFabric is the registry entry used when no fabric is named: the
+// paper's XGFT(2;18,14;1,18).
+const DefaultFabric = "xgft"
+
+// fabricEntry lazily builds and memoizes one registered fabric. Fabrics are
+// immutable after construction, so all callers share the instance.
+type fabricEntry struct {
+	build func() (Fabric, error)
+	once  sync.Once
+	f     Fabric
+	err   error
+}
+
+var (
+	fabMu      sync.RWMutex
+	fabricsReg = make(map[string]*fabricEntry)
+)
+
+// Register adds a fabric constructor under name. It panics on an empty name,
+// a nil constructor, or a duplicate registration — registry collisions are
+// programmer errors and must fail loudly at init time, not resolve silently
+// to whichever init ran last. The built instance is memoized: Named returns
+// the same shared Fabric for every lookup of name.
+func Register(name string, build func() (Fabric, error)) {
+	if name == "" {
+		panic("topology: Register with empty name")
+	}
+	if build == nil {
+		panic("topology: Register with nil constructor for " + name)
+	}
+	fabMu.Lock()
+	defer fabMu.Unlock()
+	if _, dup := fabricsReg[name]; dup {
+		panic("topology: duplicate registration of " + name)
+	}
+	fabricsReg[name] = &fabricEntry{build: build}
+}
+
+// Registered reports whether name resolves in the registry; the empty string
+// resolves to DefaultFabric.
+func Registered(name string) bool {
+	if name == "" {
+		name = DefaultFabric
+	}
+	fabMu.RLock()
+	defer fabMu.RUnlock()
+	_, ok := fabricsReg[name]
+	return ok
+}
+
+// Names returns the registered fabric names, sorted.
+func Names() []string {
+	fabMu.RLock()
+	defer fabMu.RUnlock()
+	names := make([]string, 0, len(fabricsReg))
+	for n := range fabricsReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CheckRegistered returns a descriptive error naming the whole registry when
+// name does not resolve (the empty name resolves to DefaultFabric), so a
+// typo'd -topo flag tells the user what would have worked. It is the single
+// validation every layer (replay config, harness, CLI) shares.
+func CheckRegistered(name string) error {
+	if Registered(name) {
+		return nil
+	}
+	return fmt.Errorf("unknown fabric %q (registered: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// Named returns the shared instance of the named fabric, building it on
+// first use; the empty name selects DefaultFabric.
+func Named(name string) (Fabric, error) {
+	if name == "" {
+		name = DefaultFabric
+	}
+	fabMu.RLock()
+	e, ok := fabricsReg[name]
+	fabMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("topology: %w", CheckRegistered(name))
+	}
+	e.once.Do(func() { e.f, e.err = e.build() })
+	return e.f, e.err
+}
+
+// MustNamed is Named, panicking on errors (for preset names validated up
+// front).
+func MustNamed(name string) Fabric {
+	f, err := Named(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// The preset registry. Every non-paper preset has at least 144 terminals so
+// the full evaluation grid (up to 128 processes) runs on any of them.
+func init() {
+	// The paper's fabric (Table II).
+	Register(DefaultFabric, func() (Fabric, error) { return Paper(), nil })
+	// A three-level fat tree: XGFT(3;6,6,4;1,4,4), 144 terminals. Cross-tree
+	// routes draw up-link choices at two levels, exercising multi-draw route
+	// keys in the cache.
+	Register("xgft3", func() (Fabric, error) { return New(3, []int{6, 6, 4}, []int{1, 4, 4}) })
+	// A balanced dragonfly: 4 terminals per router, 4 routers per group,
+	// 2 global links per router -> 9 fully connected groups, 144 terminals.
+	Register("dragonfly", func() (Fabric, error) { return NewDragonfly(4, 4, 2) })
+	// Tori with dimension-order routing, 144 routers x 1 terminal each.
+	Register("torus2d", func() (Fabric, error) { return NewTorus([]int{12, 12}, 1) })
+	Register("torus3d", func() (Fabric, error) { return NewTorus([]int{6, 6, 4}, 1) })
+}

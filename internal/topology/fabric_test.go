@@ -1,0 +1,491 @@
+package topology
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestRegistryPresets asserts every preset builds, satisfies the size floor
+// for the evaluation grid (up to 128 processes), and is memoized.
+func TestRegistryPresets(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"xgft", "xgft3", "dragonfly", "torus2d", "torus3d"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("preset %q not registered (have %v)", want, names)
+		}
+	}
+	for _, n := range names {
+		f, err := Named(n)
+		if err != nil {
+			t.Fatalf("Named(%q): %v", n, err)
+		}
+		if f.NumTerminals() < 128 {
+			t.Errorf("%s: %d terminals, want >= 128 for the evaluation grid", n, f.NumTerminals())
+		}
+		if again, _ := Named(n); again != f {
+			t.Errorf("%s: Named returned a different instance on second lookup", n)
+		}
+		if len(f.Links()) != 2*f.NumCables() {
+			t.Errorf("%s: %d directed links, want %d (2 per cable)", n, len(f.Links()), 2*f.NumCables())
+		}
+	}
+	if f, err := Named(""); err != nil || f != MustNamed(DefaultFabric) {
+		t.Errorf("empty name must resolve to the default fabric (err=%v)", err)
+	}
+	if MustNamed(DefaultFabric).(*XGFT) != Paper() {
+		t.Error("default fabric is not the shared paper instance")
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	if _, err := Named("nosuch"); err == nil || !strings.Contains(err.Error(), "dragonfly") {
+		t.Errorf("unknown fabric error %v must list the registry", err)
+	}
+	if err := CheckRegistered("nosuch"); err == nil {
+		t.Error("CheckRegistered accepted an unknown name")
+	}
+	if err := CheckRegistered(""); err != nil {
+		t.Errorf("empty name must resolve to the default: %v", err)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty name", func() { Register("", func() (Fabric, error) { return Paper(), nil }) })
+	mustPanic("nil constructor", func() { Register("x-nil", nil) })
+	mustPanic("duplicate", func() {
+		Register(DefaultFabric, func() (Fabric, error) { return Paper(), nil })
+	})
+}
+
+// TestCableClosedForms pins each preset's cable count to its closed form.
+func TestCableClosedForms(t *testing.T) {
+	cases := []struct {
+		name      string
+		terminals int
+		cables    int
+	}{
+		// XGFT(2;18,14;1,18): 252 host + 14*18 leaf-top.
+		{"xgft", 252, 252 + 14*18},
+		// XGFT(3;6,6,4;1,4,4): 144 host + 24 L1-switches*4 + 16 L2-switches*4.
+		{"xgft3", 144, 144 + 24*4 + 16*4},
+		// Dragonfly(p=4,a=4,h=2): 9 groups; 144 host + 9*C(4,2) local + C(9,2) global.
+		{"dragonfly", 144, 144 + 9*6 + 36},
+		// 12x12 torus: 144 host + 144 routers * 2 dimensions.
+		{"torus2d", 144, 144 + 144*2},
+		// 6x6x4 torus: 144 host + 144 routers * 3 dimensions.
+		{"torus3d", 144, 144 + 144*3},
+	}
+	for _, c := range cases {
+		f := MustNamed(c.name)
+		if got := f.NumTerminals(); got != c.terminals {
+			t.Errorf("%s: terminals = %d, want %d", c.name, got, c.terminals)
+		}
+		if got := f.NumCables(); got != c.cables {
+			t.Errorf("%s: cables = %d, want %d", c.name, got, c.cables)
+		}
+	}
+}
+
+// checkPath asserts path is a valid adjacent-link walk from terminal src to
+// terminal dst over f's own links, and returns it for fabric-specific checks.
+func checkPath(t *testing.T, f Fabric, src, dst int, path []*Link) {
+	t.Helper()
+	if src == dst {
+		if len(path) != 0 {
+			t.Fatalf("%s: self route %d has %d links, want 0", f.Name(), src, len(path))
+		}
+		return
+	}
+	if len(path) == 0 {
+		t.Fatalf("%s: empty route %d->%d", f.Name(), src, dst)
+	}
+	if path[0].From != f.HostLink(src).From {
+		t.Fatalf("%s: route %d->%d does not start at src terminal", f.Name(), src, dst)
+	}
+	if path[len(path)-1].To != f.HostLink(dst).From {
+		t.Fatalf("%s: route %d->%d does not end at dst terminal", f.Name(), src, dst)
+	}
+	cur := path[0].From
+	for i, l := range path {
+		if f.Links()[l.ID] != l {
+			t.Fatalf("%s: route %d->%d hop %d is not a fabric link", f.Name(), src, dst, i)
+		}
+		if l.From != cur {
+			t.Fatalf("%s: route %d->%d discontiguous at hop %d", f.Name(), src, dst, i)
+		}
+		if i > 0 && i < len(path)-1 && l.To.Kind == KindTerminal {
+			t.Fatalf("%s: route %d->%d passes through terminal %d mid-path", f.Name(), src, dst, l.To.ID)
+		}
+		cur = l.To
+	}
+}
+
+// TestRouteValidityAllFabrics is the cross-fabric structural property: every
+// route over every registered fabric is a valid adjacent-link path from src
+// to dst, with and without random routing.
+func TestRouteValidityAllFabrics(t *testing.T) {
+	for _, name := range Names() {
+		f := MustNamed(name)
+		rng := rand.New(rand.NewSource(7))
+		pick := rand.New(rand.NewSource(13))
+		n := f.NumTerminals()
+		for i := 0; i < 400; i++ {
+			src, dst := pick.Intn(n), pick.Intn(n)
+			checkPath(t, f, src, dst, f.RouteInto(nil, src, dst, rng))
+			checkPath(t, f, src, dst, f.RouteInto(nil, src, dst, nil))
+		}
+	}
+}
+
+// TestXGFT3UpDownInvariant asserts three-level routes ascend then descend —
+// never up again after the first down link.
+func TestXGFT3UpDownInvariant(t *testing.T) {
+	f := MustNamed("xgft3").(*XGFT)
+	rng := rand.New(rand.NewSource(3))
+	pick := rand.New(rand.NewSource(17))
+	for i := 0; i < 400; i++ {
+		src, dst := pick.Intn(144), pick.Intn(144)
+		if src == dst {
+			continue
+		}
+		path := f.RouteInto(nil, src, dst, rng)
+		descending := false
+		for j, l := range path {
+			if l.IsUp && descending {
+				t.Fatalf("route %d->%d goes up at hop %d after descending", src, dst, j)
+			}
+			if !l.IsUp {
+				descending = true
+			}
+		}
+	}
+}
+
+// TestDragonflyInvariants asserts dragonfly routes use at most two global
+// hops (minimal or one Valiant detour) and that random intermediate-group
+// routing actually spreads traffic over the groups.
+func TestDragonflyInvariants(t *testing.T) {
+	f := MustNamed("dragonfly").(*Dragonfly)
+	rng := rand.New(rand.NewSource(5))
+	pick := rand.New(rand.NewSource(23))
+	isGlobal := func(l *Link) bool {
+		return l.From.Kind == KindSwitch && l.To.Kind == KindSwitch &&
+			f.groupOfRouter(l.From) != f.groupOfRouter(l.To)
+	}
+	globalsUsed := map[int]bool{}
+	for i := 0; i < 600; i++ {
+		src, dst := pick.Intn(144), pick.Intn(144)
+		if src == dst {
+			continue
+		}
+		path := f.RouteInto(nil, src, dst, rng)
+		globals := 0
+		for _, l := range path {
+			if isGlobal(l) {
+				globals++
+			}
+		}
+		if globals > 2 {
+			t.Fatalf("route %d->%d crossed %d global links, want <= 2", src, dst, globals)
+		}
+		if f.group(src) != f.group(dst) {
+			if globals == 0 {
+				t.Fatalf("inter-group route %d->%d used no global link", src, dst)
+			}
+			globals = 0
+			minimal := f.RouteInto(nil, src, dst, nil)
+			for _, l := range minimal {
+				if isGlobal(l) {
+					globals++
+				}
+			}
+			if globals != 1 {
+				t.Fatalf("minimal route %d->%d crossed %d global links, want 1", src, dst, globals)
+			}
+		}
+		for _, l := range path {
+			if isGlobal(l) {
+				globalsUsed[l.Cable] = true
+			}
+		}
+	}
+	if len(globalsUsed) < 10 {
+		t.Errorf("random intermediate groups exercised only %d global cables", len(globalsUsed))
+	}
+}
+
+// groupOfRouter locates a router's group (test helper).
+func (d *Dragonfly) groupOfRouter(r *Node) int {
+	for g := range d.Routers {
+		for _, n := range d.Routers[g] {
+			if n == r {
+				return g
+			}
+		}
+	}
+	return -1
+}
+
+// TestTorusDimensionOrder asserts torus routes correct dimensions strictly
+// in order, one ±1 ring step at a time along the shorter arc, and are fully
+// deterministic.
+func TestTorusDimensionOrder(t *testing.T) {
+	f := MustNamed("torus3d").(*Torus)
+	pick := rand.New(rand.NewSource(29))
+	coords := func(r int) []int {
+		c := make([]int, len(f.Dims))
+		for d := range f.Dims {
+			c[d] = (r / f.stride[d]) % f.Dims[d]
+		}
+		return c
+	}
+	routerOf := func(n *Node) int {
+		for i, r := range f.Routers {
+			if r == n {
+				return i
+			}
+		}
+		t.Fatalf("node %d is not a router", n.ID)
+		return -1
+	}
+	for i := 0; i < 400; i++ {
+		src, dst := pick.Intn(144), pick.Intn(144)
+		if src == dst {
+			continue
+		}
+		path := f.RouteInto(nil, src, dst, rand.New(rand.NewSource(int64(i))))
+		if again := f.RouteInto(nil, src, dst, nil); len(again) != len(path) {
+			t.Fatalf("route %d->%d depends on the RNG", src, dst)
+		}
+		// Interior hops are router->router ring steps.
+		highest := 0
+		expectedLen := 2
+		sc, dc := coords(src/f.P), coords(dst/f.P)
+		for d := range f.Dims {
+			delta := (dc[d] - sc[d] + f.Dims[d]) % f.Dims[d]
+			if delta > f.Dims[d]-delta {
+				delta = f.Dims[d] - delta
+			}
+			expectedLen += delta
+		}
+		if len(path) != expectedLen {
+			t.Fatalf("route %d->%d has %d links, want %d (shortest arcs)", src, dst, len(path), expectedLen)
+		}
+		for _, l := range path[1 : len(path)-1] {
+			a, b := coords(routerOf(l.From)), coords(routerOf(l.To))
+			changed := -1
+			for d := range a {
+				if a[d] != b[d] {
+					if changed >= 0 {
+						t.Fatalf("route %d->%d: hop changes two dimensions", src, dst)
+					}
+					changed = d
+					diff := (b[d] - a[d] + f.Dims[d]) % f.Dims[d]
+					if diff != 1 && diff != f.Dims[d]-1 {
+						t.Fatalf("route %d->%d: hop jumps %d in dimension %d", src, dst, diff, d)
+					}
+				}
+			}
+			if changed < 0 {
+				t.Fatalf("route %d->%d: hop changes no dimension", src, dst)
+			}
+			if changed < highest {
+				t.Fatalf("route %d->%d: dimension %d corrected after dimension %d", src, dst, changed, highest)
+			}
+			highest = changed
+		}
+	}
+}
+
+// TestRouteCacheMatchesAllFabrics asserts cached routing over every
+// registered fabric returns the exact uncached path and consumes the RNG
+// identically — the contract RouteDraws/RouteFromDraws exist for.
+func TestRouteCacheMatchesAllFabrics(t *testing.T) {
+	for _, name := range Names() {
+		f := MustNamed(name)
+		cache := NewRouteCache(f)
+		rngA := rand.New(rand.NewSource(11))
+		rngB := rand.New(rand.NewSource(11))
+		pick := rand.New(rand.NewSource(5))
+		n := f.NumTerminals()
+		for i := 0; i < 1500; i++ {
+			src, dst := pick.Intn(n), pick.Intn(n)
+			want := f.RouteInto(nil, src, dst, rngA)
+			got := cache.Route(src, dst, rngB)
+			if len(want) != len(got) {
+				t.Fatalf("%s (%d,%d): lengths differ: %d vs %d", name, src, dst, len(want), len(got))
+			}
+			for j := range want {
+				if want[j] != got[j] {
+					t.Fatalf("%s (%d,%d): hop %d differs", name, src, dst, j)
+				}
+			}
+		}
+		if a, b := rngA.Int63(), rngB.Int63(); a != b {
+			t.Errorf("%s: RNG states diverged after cached routing", name)
+		}
+		if cache.Len() == 0 {
+			t.Errorf("%s: cache memoized no routes", name)
+		}
+		if cache.Fabric() != f {
+			t.Errorf("%s: cache reports wrong fabric", name)
+		}
+	}
+}
+
+// collideFabric is a minimal Fabric whose routing draw deliberately exceeds
+// the cache's packed-key field width: fan-out 300 means picks 1 and 257
+// alias under naive 8-bit packing (257 & 0xff == 1). Paths are one synthetic
+// link per pick, so a collision would return the wrong link. It can also
+// vary the number of draws per route (variable=true draws a second pick when
+// the first is zero), aliasing [0, x] with [x] under count-free packing.
+type collideFabric struct {
+	links    []*Link
+	fan      int
+	variable bool
+}
+
+func newCollideFabric(fan int, variable bool) *collideFabric {
+	f := &collideFabric{fan: fan, variable: variable}
+	host := &Node{ID: 0, Kind: KindTerminal}
+	sw := &Node{ID: 1, Kind: KindSwitch, Level: 1}
+	for i := 0; i < fan; i++ {
+		l := &Link{ID: i, From: host, To: sw, Cable: i, IsUp: true}
+		f.links = append(f.links, l)
+	}
+	host.Up = append(host.Up, f.links[0])
+	return f
+}
+
+func (f *collideFabric) Name() string         { return "collide" }
+func (f *collideFabric) NumTerminals() int    { return 2 }
+func (f *collideFabric) NumSwitches() int     { return 1 }
+func (f *collideFabric) NumCables() int       { return f.fan }
+func (f *collideFabric) Links() []*Link       { return f.links }
+func (f *collideFabric) HostLink(t int) *Link { return f.links[0] }
+func (f *collideFabric) RouteInto(buf []*Link, src, dst int, rng *rand.Rand) []*Link {
+	return f.RouteFromDraws(buf, src, dst, f.RouteDraws(nil, src, dst, rng))
+}
+func (f *collideFabric) RouteDraws(draws []int, src, dst int, rng *rand.Rand) []int {
+	if src == dst || rng == nil {
+		return draws
+	}
+	pick := rng.Intn(f.fan)
+	draws = append(draws, pick)
+	if f.variable && pick == 0 {
+		draws = append(draws, rng.Intn(f.fan))
+	}
+	return draws
+}
+func (f *collideFabric) RouteFromDraws(buf []*Link, src, dst int, draws []int) []*Link {
+	for _, p := range draws {
+		buf = append(buf, f.links[p])
+	}
+	return buf
+}
+
+// fixedSeq is a rand.Source replaying a fixed Int63 sequence.
+type fixedSeq struct {
+	vals []int64
+	i    int
+}
+
+func (s *fixedSeq) Int63() int64 {
+	v := s.vals[s.i%len(s.vals)]
+	s.i++
+	return v
+}
+func (s *fixedSeq) Seed(int64) {}
+
+// drawRNG returns a Rand whose next Intn(fan) calls yield exactly picks.
+// rand.Intn's rejection-free path for non-power-of-two n maps Int63 values
+// by modulo after masking to 31 bits via Int31n; feeding v*? is brittle, so
+// instead binary-search an Int63 value that produces each pick.
+func drawRNG(fan int, picks ...int) *rand.Rand {
+	vals := make([]int64, len(picks))
+	for i, want := range picks {
+		found := false
+		for v := int64(0); v < int64(4*fan); v++ {
+			if int(rand.New(&fixedSeq{vals: []int64{v << 32}}).Intn(fan)) == want {
+				vals[i] = v << 32
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic("drawRNG: no source value found")
+		}
+	}
+	return rand.New(&fixedSeq{vals: vals})
+}
+
+// TestRouteCacheCollisionRegression is the packed-key audit: draw values too
+// wide for the key's per-pick field, and draw sequences of different
+// lengths, must never silently collide two routes. Before the guard, pick
+// 257 aliased pick 1 (both pack to 0x01) and [0,5] aliased [5].
+func TestRouteCacheCollisionRegression(t *testing.T) {
+	// Wide picks: 1 then 257 for the same (src, dst).
+	f := newCollideFabric(300, false)
+	cache := NewRouteCache(f)
+	first := cache.Route(0, 1, drawRNG(300, 1))
+	if len(first) != 1 || first[0] != f.links[1] {
+		t.Fatalf("pick 1 routed to %v", first)
+	}
+	second := cache.Route(0, 1, drawRNG(300, 257))
+	if len(second) != 1 || second[0] != f.links[257] {
+		t.Fatalf("pick 257 returned link %d — aliased with pick 1's cached route", second[0].ID)
+	}
+
+	// Variable-length sequences: [5] then [0, 5] for the same (src, dst).
+	fv := newCollideFabric(16, true)
+	cachev := NewRouteCache(fv)
+	one := cachev.Route(0, 1, drawRNG(16, 5))
+	if len(one) != 1 || one[0] != fv.links[5] {
+		t.Fatalf("draw [5] routed to %v", one)
+	}
+	two := cachev.Route(0, 1, drawRNG(16, 0, 5))
+	if len(two) != 2 || two[0] != fv.links[0] || two[1] != fv.links[5] {
+		t.Fatalf("draw [0,5] returned %d link(s) — aliased with draw [5]'s cached route", len(two))
+	}
+	// In-range draws on the same fabric still memoize.
+	if cachev.Len() == 0 {
+		t.Error("in-range draws were not cached")
+	}
+}
+
+// TestRouteCachePackGuard pins packDraws's fit contract directly.
+func TestRouteCachePackGuard(t *testing.T) {
+	if _, ok := packDraws([]int{0, 1, 255}); !ok {
+		t.Error("in-range draws rejected")
+	}
+	if _, ok := packDraws([]int{256}); ok {
+		t.Error("pick 256 accepted: would alias pick 0")
+	}
+	if _, ok := packDraws([]int{-1}); ok {
+		t.Error("negative pick accepted")
+	}
+	if _, ok := packDraws(make([]int, maxCachedDraws+1)); ok {
+		t.Error("draw sequence longer than the key accepted")
+	}
+	a, _ := packDraws([]int{1, 2})
+	b, _ := packDraws([]int{2, 1})
+	if a == b {
+		t.Error("packing is order-insensitive")
+	}
+}

@@ -2,104 +2,93 @@ package topology
 
 import "math/rand"
 
-// maxCachedDraws bounds how many up-link choices a cached route may encode:
-// one byte per switch level, packed into a uint64. Fabrics taller than that,
-// or with more than 256 parallel up-links per node, bypass the cache; the
-// paper's XGFT(2;18,14;1,18) uses a single one-byte draw.
-const maxCachedDraws = 8
+// Packing limits for cached route keys: up to maxCachedDraws picks of
+// drawBits bits each, packed into a uint64. A draw sequence that does not
+// fit — more draws, or a pick too large for its field — is routed without
+// memoization rather than risk two sequences colliding on one key. The
+// paper's XGFT(2;18,14;1,18) uses a single one-byte draw; the dragonfly's
+// intermediate-group draw and the XGFT(3;...) per-level draws fit comfortably.
+const (
+	maxCachedDraws = 8
+	drawBits       = 8
+	maxDraw        = 1<<drawBits - 1
+)
 
 // routeKey identifies a route by its endpoints and the packed sequence of
-// up-link choices drawn for it. Given the same draws, the path is a pure
-// function of (src, dst), so equal keys always map to the identical path.
+// routing draws made for it. The draw count is part of the key, so two
+// sequences of different lengths can never alias; within one length the
+// fixed-width fields make packing injective. Given the same draws, the path
+// is a pure function of (src, dst), so equal keys always map to the
+// identical path.
 type routeKey struct {
 	src, dst int
+	n        int
 	choice   uint64
 }
 
-// RouteCache memoizes routes per (src, dst, up-link-choice sequence) so that
-// steady-state routing performs no allocation and no down-walk: the cache
-// draws from the RNG exactly as XGFT.Route does (same number of Intn calls in
-// the same order, so timings driven by the shared RNG stay bit-identical),
-// then returns the memoized path for that draw.
+// packDraws packs a draw sequence into a fixed-width key, reporting whether
+// it fits (at most maxCachedDraws picks, each at most maxDraw).
+func packDraws(draws []int) (uint64, bool) {
+	if len(draws) > maxCachedDraws {
+		return 0, false
+	}
+	var key uint64
+	for _, p := range draws {
+		if p < 0 || p > maxDraw {
+			return 0, false
+		}
+		key = key<<drawBits | uint64(p)
+	}
+	return key, true
+}
+
+// RouteCache memoizes routes per (src, dst, routing-draw sequence) so that
+// steady-state routing performs no allocation and no path walk: the cache
+// consumes the RNG exactly as the fabric's RouteInto does (same number of
+// Intn calls in the same order, so timings driven by the shared RNG stay
+// bit-identical), then returns the memoized path for that draw.
 //
 // Returned paths are shared and must be treated as read-only; they remain
 // valid for the lifetime of the cache. A RouteCache is not safe for
 // concurrent use — use one per replay engine, like the RNG it consumes.
 type RouteCache struct {
-	t      *XGFT
-	m      map[routeKey][]*Link
-	bypass bool
+	f     Fabric
+	m     map[routeKey][]*Link
+	draws []int // scratch for RouteDraws; reused across calls
 }
 
-// NewRouteCache returns an empty route cache over t.
-func NewRouteCache(t *XGFT) *RouteCache {
-	bypass := t.H > maxCachedDraws
-	if !bypass {
-		// An up-link fan-out beyond one byte would overflow the packed
-		// choice encoding; such fabrics route without memoization.
-		for _, n := range t.Terminals {
-			if len(n.Up) > 256 {
-				bypass = true
-			}
-		}
-		for l := 0; l < t.H-1 && !bypass; l++ {
-			for _, sw := range t.Switches[l] {
-				if len(sw.Up) > 256 {
-					bypass = true
-				}
-			}
-		}
+// NewRouteCache returns an empty route cache over f.
+func NewRouteCache(f Fabric) *RouteCache {
+	return &RouteCache{
+		f:     f,
+		m:     make(map[routeKey][]*Link),
+		draws: make([]int, 0, maxCachedDraws),
 	}
-	return &RouteCache{t: t, m: make(map[routeKey][]*Link), bypass: bypass}
 }
 
-// Topology returns the fabric the cache routes over.
-func (c *RouteCache) Topology() *XGFT { return c.t }
+// Fabric returns the fabric the cache routes over.
+func (c *RouteCache) Fabric() Fabric { return c.f }
 
 // Len returns the number of memoized routes.
 func (c *RouteCache) Len() int { return len(c.m) }
 
 // Route returns the directed links of a path from terminal src to terminal
-// dst, drawing the random up-link choices from rng exactly as XGFT.Route
-// would. The returned slice is shared with the cache: callers must not
-// mutate it. src == dst yields an empty path.
+// dst, drawing the random routing choices from rng exactly as the fabric's
+// RouteInto would. The returned slice is shared with the cache: callers must
+// not mutate it. src == dst yields an empty path.
 func (c *RouteCache) Route(src, dst int, rng *rand.Rand) []*Link {
-	if c.bypass {
-		return c.t.RouteInto(nil, src, dst, rng)
+	c.draws = c.f.RouteDraws(c.draws[:0], src, dst, rng)
+	choice, ok := packDraws(c.draws)
+	if !ok {
+		// The sequence does not fit the packed key: compute the path for
+		// these draws directly instead of caching under an ambiguous key.
+		return c.f.RouteFromDraws(nil, src, dst, c.draws)
 	}
-	a, b := c.t.Terminals[src], c.t.Terminals[dst]
-	top := c.t.divergeLevel(a, b)
-	if top == 0 {
-		return nil
-	}
-	// Walk up, drawing the choices Route would draw and recording the chosen
-	// links; the walk itself is allocation-free (fixed-size scratch).
-	var ups [maxCachedDraws]*Link
-	var choice uint64
-	nup := 0
-	cur := a
-	for cur.Level < top {
-		pick := 0
-		if len(cur.Up) > 1 && rng != nil {
-			pick = rng.Intn(len(cur.Up))
-		}
-		up := cur.Up[pick]
-		ups[nup] = up
-		choice = choice<<8 | uint64(pick)
-		nup++
-		cur = up.To
-	}
-	k := routeKey{src: src, dst: dst, choice: choice}
+	k := routeKey{src: src, dst: dst, n: len(c.draws), choice: choice}
 	if path, ok := c.m[k]; ok {
 		return path
 	}
-	path := make([]*Link, 0, nup+top)
-	path = append(path, ups[:nup]...)
-	for cur.Level > 0 {
-		next := c.t.childToward(cur, b)
-		path = append(path, next)
-		cur = next.To
-	}
+	path := c.f.RouteFromDraws(nil, src, dst, c.draws)
 	c.m[k] = path
 	return path
 }

@@ -1,0 +1,185 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Torus is a k-ary n-dimensional torus of routers with P terminals each and
+// deterministic dimension-order routing: each route corrects dimension 0
+// first, then dimension 1, and so on, always travelling around the shorter
+// arc of the ring (ties break toward +). Routing consumes no RNG draws, so
+// every (src, dst) pair has exactly one path.
+type Torus struct {
+	Dims []int // ring length per dimension; each >= 2
+	P    int   // terminals per router
+
+	Terminals []*Node
+	Routers   []*Node // row-major over Dims
+
+	links  []*Link
+	cables int
+
+	plus, minus [][]*Link // per router, per dimension: directed ring links
+	stride      []int     // row-major stride per dimension
+}
+
+// NewTorus builds the torus with the given per-dimension ring lengths and p
+// terminals per router.
+func NewTorus(dims []int, p int) (*Torus, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("topology: torus needs at least one dimension")
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("topology: non-positive terminals per router %d", p)
+	}
+	n := 1
+	for i, d := range dims {
+		if d < 2 {
+			return nil, fmt.Errorf("topology: torus dimension %d has length %d < 2", i, d)
+		}
+		n *= d
+	}
+	t := &Torus{Dims: append([]int(nil), dims...), P: p, stride: make([]int, len(dims))}
+	s := 1
+	for i := range dims {
+		t.stride[i] = s
+		s *= dims[i]
+	}
+
+	nextID := 0
+	mkNode := func(kind NodeKind, level int) *Node {
+		nd := &Node{ID: nextID, Kind: kind, Level: level}
+		nextID++
+		return nd
+	}
+	cable := func(from, to *Node, up bool) *Link {
+		c := t.cables
+		t.cables++
+		fwd := &Link{ID: len(t.links), From: from, To: to, Cable: c, IsUp: up}
+		rev := &Link{ID: len(t.links) + 1, From: to, To: from, Cable: c}
+		t.links = append(t.links, fwd, rev)
+		return fwd
+	}
+
+	for r := 0; r < n; r++ {
+		router := mkNode(KindSwitch, 1)
+		t.Routers = append(t.Routers, router)
+		for k := 0; k < p; k++ {
+			term := mkNode(KindTerminal, 0)
+			t.Terminals = append(t.Terminals, term)
+			up := cable(term, router, true)
+			term.Up = append(term.Up, up)
+			router.Down = append(router.Down, t.links[up.ID+1])
+		}
+	}
+	// Ring cables: one +1-direction cable per (router, dimension); the -1
+	// neighbour's link is the reverse direction of that neighbour's cable.
+	// A length-2 ring yields two parallel cables between the pair (one per
+	// endpoint), the standard double-link degenerate torus.
+	t.plus = make([][]*Link, n)
+	t.minus = make([][]*Link, n)
+	for r := range t.plus {
+		t.plus[r] = make([]*Link, len(dims))
+		t.minus[r] = make([]*Link, len(dims))
+	}
+	for r := 0; r < n; r++ {
+		for d := range dims {
+			next := t.neighbor(r, d, +1)
+			t.plus[r][d] = cable(t.Routers[r], t.Routers[next], false)
+		}
+	}
+	for r := 0; r < n; r++ {
+		for d := range dims {
+			prev := t.neighbor(r, d, -1)
+			// prev's +1 cable points at r; its reverse runs r -> prev.
+			t.minus[r][d] = t.links[t.plus[prev][d].ID+1]
+		}
+	}
+	return t, nil
+}
+
+// neighbor returns the row-major index of r's neighbour along dimension d.
+func (t *Torus) neighbor(r, d, dir int) int {
+	size := t.Dims[d]
+	coord := (r / t.stride[d]) % size
+	next := (coord + dir + size) % size
+	return r + (next-coord)*t.stride[d]
+}
+
+// Name describes the instance.
+func (t *Torus) Name() string {
+	name := "torus("
+	for i, d := range t.Dims {
+		if i > 0 {
+			name += "x"
+		}
+		name += fmt.Sprint(d)
+	}
+	return fmt.Sprintf("%s,p=%d)", name, t.P)
+}
+
+// NumTerminals returns the terminal count.
+func (t *Torus) NumTerminals() int { return len(t.Terminals) }
+
+// NumSwitches returns the router count.
+func (t *Torus) NumSwitches() int { return len(t.Routers) }
+
+// NumCables returns the physical cable count.
+func (t *Torus) NumCables() int { return t.cables }
+
+// Links returns all directed links, indexed by Link.ID.
+func (t *Torus) Links() []*Link { return t.links }
+
+// HostLink returns the directed link from terminal i into its router.
+func (t *Torus) HostLink(i int) *Link { return t.Terminals[i].Up[0] }
+
+// Route returns a freshly allocated path from terminal src to terminal dst.
+func (t *Torus) Route(src, dst int, rng *rand.Rand) []*Link {
+	return t.RouteInto(nil, src, dst, rng)
+}
+
+// RouteInto appends the dimension-order path from src to dst. The rng is
+// never consulted: dimension-order routing is deterministic.
+func (t *Torus) RouteInto(buf []*Link, src, dst int, _ *rand.Rand) []*Link {
+	if src == dst {
+		return buf
+	}
+	ts, td := t.Terminals[src], t.Terminals[dst]
+	buf = append(buf, ts.Up[0])
+	cur := src / t.P
+	target := dst / t.P
+	for d := range t.Dims {
+		size := t.Dims[d]
+		delta := ((target/t.stride[d])%size - (cur/t.stride[d])%size + size) % size
+		if delta == 0 {
+			continue
+		}
+		// Travel the shorter arc; an exact half-ring tie keeps the +
+		// direction so routing stays deterministic.
+		steps, dir := delta, +1
+		if size-delta < delta {
+			steps, dir = size-delta, -1
+		}
+		for s := 0; s < steps; s++ {
+			var l *Link
+			if dir > 0 {
+				l = t.plus[cur][d]
+			} else {
+				l = t.minus[cur][d]
+			}
+			buf = append(buf, l)
+			cur = t.neighbor(cur, d, dir)
+		}
+	}
+	buf = append(buf, t.links[td.Up[0].ID+1])
+	return buf
+}
+
+// RouteDraws appends nothing: torus routing never consumes the RNG.
+func (t *Torus) RouteDraws(draws []int, _, _ int, _ *rand.Rand) []int { return draws }
+
+// RouteFromDraws appends the (unique) dimension-order path.
+func (t *Torus) RouteFromDraws(buf []*Link, src, dst int, _ []int) []*Link {
+	return t.RouteInto(buf, src, dst, nil)
+}

@@ -1,6 +1,9 @@
-// Package topology builds Extended Generalized Fat Trees (XGFT), the
-// interconnect used in the paper's simulations: XGFT(2;18,14;1,18) — a
-// two-level fat tree with 252 terminal nodes (Table II).
+// Package topology builds interconnect fabrics and routes over them. The
+// paper simulates a single Extended Generalized Fat Tree — XGFT(2;18,14;1,18),
+// a two-level fat tree with 252 terminal nodes (Table II) — but the
+// prediction mechanism is topology-agnostic, so the fabrics here are
+// pluggable: XGFT fat trees, dragonflies and tori all implement the Fabric
+// interface and register under names the CLI's -topo flag selects.
 //
 // XGFT(h; m1..mh; w1..wh) has h switch levels above the terminal level 0.
 // Every level-l node (l < h) has w_{l+1} parents and every level-l node
@@ -47,14 +50,16 @@ type Link struct {
 	IsUp  bool // true when To is the higher level
 }
 
-// XGFT is a built fat tree.
+// XGFT is a built fat tree. It implements Fabric; the concrete type
+// additionally exposes the level structure (Switches) and arities.
 type XGFT struct {
 	H         int   // number of switch levels
 	M, W      []int // child counts m_1..m_h and parent counts w_1..w_h
 	Terminals []*Node
 	Switches  [][]*Node // Switches[l-1] holds level-l switches
-	Links     []*Link
 	Cables    int
+
+	links []*Link
 }
 
 // New builds XGFT(h; m...; w...). len(m) and len(w) must equal h and all
@@ -120,10 +125,10 @@ func New(h int, m, w []int) (*XGFT, error) {
 			}
 			cable := t.Cables
 			t.Cables++
-			up := &Link{ID: len(t.Links), From: child, To: parent, Cable: cable, IsUp: true}
-			t.Links = append(t.Links, up)
-			down := &Link{ID: len(t.Links), From: parent, To: child, Cable: cable, IsUp: false}
-			t.Links = append(t.Links, down)
+			up := &Link{ID: len(t.links), From: child, To: parent, Cable: cable, IsUp: true}
+			t.links = append(t.links, up)
+			down := &Link{ID: len(t.links), From: parent, To: child, Cable: cable, IsUp: false}
+			t.links = append(t.links, down)
 			child.Up = append(child.Up, up)
 			parent.Down = append(parent.Down, down)
 		}
@@ -164,6 +169,22 @@ func Paper() *XGFT {
 	return paperTopo
 }
 
+// Name describes the tree in XGFT(h; m...; w...) notation.
+func (t *XGFT) Name() string {
+	return fmt.Sprintf("xgft(%d;%s;%s)", t.H, digits(t.M), digits(t.W))
+}
+
+func digits(vs []int) string {
+	b := make([]byte, 0, 3*len(vs))
+	for i, v := range vs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = fmt.Appendf(b, "%d", v)
+	}
+	return string(b)
+}
+
 // NumTerminals returns the terminal count.
 func (t *XGFT) NumTerminals() int { return len(t.Terminals) }
 
@@ -175,6 +196,15 @@ func (t *XGFT) NumSwitches() int {
 	}
 	return n
 }
+
+// NumCables returns the physical cable count.
+func (t *XGFT) NumCables() int { return t.Cables }
+
+// Links returns all directed links, indexed by Link.ID.
+func (t *XGFT) Links() []*Link { return t.links }
+
+// HostLink returns the directed link from terminal i into its leaf switch.
+func (t *XGFT) HostLink(i int) *Link { return t.Terminals[i].Up[0] }
 
 // divergeLevel returns the smallest level L such that the down-digits of the
 // two terminals agree above L; terminals in the same leaf subtree diverge at
@@ -222,6 +252,44 @@ func (t *XGFT) RouteInto(buf []*Link, src, dst int, rng *rand.Rand) []*Link {
 	for cur.Level > 0 {
 		// Choose the child whose subtree contains dst: digit x_l of dst
 		// selects among the m_l children, combined with matching y digits.
+		next := t.childToward(cur, b)
+		buf = append(buf, next)
+		cur = next.To
+	}
+	return buf
+}
+
+// RouteDraws appends the up-link picks RouteInto would draw from rng for
+// (src, dst), consuming rng identically: one recorded pick per ascended
+// level, with Intn consulted only when the fan-out exceeds one and rng is
+// non-nil (pick 0 otherwise).
+func (t *XGFT) RouteDraws(draws []int, src, dst int, rng *rand.Rand) []int {
+	a, b := t.Terminals[src], t.Terminals[dst]
+	top := t.divergeLevel(a, b)
+	cur := a
+	for cur.Level < top {
+		pick := 0
+		if len(cur.Up) > 1 && rng != nil {
+			pick = rng.Intn(len(cur.Up))
+		}
+		draws = append(draws, pick)
+		cur = cur.Up[pick].To
+	}
+	return draws
+}
+
+// RouteFromDraws appends the path a recorded up-link pick sequence selects:
+// up through the drawn parents, then deterministically down to dst.
+func (t *XGFT) RouteFromDraws(buf []*Link, src, dst int, draws []int) []*Link {
+	a, b := t.Terminals[src], t.Terminals[dst]
+	top := t.divergeLevel(a, b)
+	cur := a
+	for i := 0; cur.Level < top; i++ {
+		up := cur.Up[draws[i]]
+		buf = append(buf, up)
+		cur = up.To
+	}
+	for cur.Level > 0 {
 		next := t.childToward(cur, b)
 		buf = append(buf, next)
 		cur = next.To

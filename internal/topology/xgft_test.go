@@ -21,7 +21,7 @@ func TestPaperTopologyShape(t *testing.T) {
 	if got := x.Cables; got != 252+14*18 {
 		t.Errorf("cables = %d, want %d", got, 252+14*18)
 	}
-	if got := len(x.Links); got != 2*x.Cables {
+	if got := len(x.Links()); got != 2*x.Cables {
 		t.Errorf("directed links = %d, want %d", got, 2*x.Cables)
 	}
 	// Every terminal has exactly one uplink (w1 = 1).
@@ -184,7 +184,7 @@ func TestThreeLevelXGFT(t *testing.T) {
 func TestCablePairing(t *testing.T) {
 	x := Paper()
 	byCable := map[int][]*Link{}
-	for _, l := range x.Links {
+	for _, l := range x.Links() {
 		byCable[l.Cable] = append(byCable[l.Cable], l)
 	}
 	for c, ls := range byCable {
