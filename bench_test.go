@@ -1,6 +1,6 @@
 // Benchmarks regenerating every table and figure of the paper's evaluation,
 // plus microbenchmarks of the mechanism's hot paths and the ablation studies
-// called out in DESIGN.md §7. Each Benchmark* that maps to a paper artifact
+// called out in DESIGN.md §8. Each Benchmark* that maps to a paper artifact
 // reports the headline metric of that artifact as a custom unit so that
 // `go test -bench=. -benchmem` doubles as the reproduction run.
 package ibpower_test
@@ -215,7 +215,7 @@ func BenchmarkFig3_PPAWalkthrough(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §7) ---
+// --- Ablations (DESIGN.md §8) ---
 
 // BenchmarkAblationNetFidelity compares the message-level fast path against
 // segment-level store-and-forward on the same workload.
@@ -414,6 +414,10 @@ func BenchmarkDragonflyTransfer(b *testing.B) { benchio.BenchDragonflyTransfer(b
 func BenchmarkRouteCrossLeaf(b *testing.B) { benchio.BenchRouteCrossLeaf(b) }
 
 func BenchmarkReplayAlya16(b *testing.B) { benchio.BenchReplayAlya16(b) }
+
+// BenchmarkMultijob times the shared-fabric engine: a gromacs + alya mix
+// round-robin-interleaved across the paper XGFT's leaf switches.
+func BenchmarkMultijob(b *testing.B) { benchio.BenchMultijob(b) }
 
 // BenchmarkDetectorAddGram measures the steady-state PPA gram path: a
 // detected pattern being predicted over interned grams (zero allocations).

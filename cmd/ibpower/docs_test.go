@@ -1,0 +1,146 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ibpower/internal/multijob"
+	"ibpower/internal/predictor"
+	"ibpower/internal/topology"
+)
+
+// buildBinary builds the ibpower binary once per test.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ibpower")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// subcommandList derives the subcommand names from the binary's own usage
+// line (`usage: ibpower <a|b|...> [flags]`), so a subcommand added to the
+// dispatch switch and usage() is scraped automatically — no hand-maintained
+// list to forget.
+func subcommandList(t *testing.T, bin string) []string {
+	t.Helper()
+	out, _ := exec.Command(bin).CombinedOutput() // no args prints usage
+	m := regexp.MustCompile(`<([A-Za-z|]+)>`).FindSubmatch(out)
+	if m == nil {
+		t.Fatalf("could not parse subcommands from usage output:\n%s", out)
+	}
+	subs := strings.Split(string(m[1]), "|")
+	if len(subs) < 10 {
+		t.Fatalf("only %d subcommands parsed from usage (%v); the scraper is broken", len(subs), subs)
+	}
+	return subs
+}
+
+// helpFlags scrapes the flag names every subcommand advertises in its -help
+// output.
+func helpFlags(t *testing.T, bin string, subcommands []string) map[string]bool {
+	t.Helper()
+	flagLine := regexp.MustCompile(`^\s+-([A-Za-z][A-Za-z0-9]*)\b`)
+	flags := map[string]bool{}
+	for _, sub := range subcommands {
+		out, _ := exec.Command(bin, sub, "-h").CombinedOutput()
+		found := false
+		for _, line := range strings.Split(string(out), "\n") {
+			if m := flagLine.FindStringSubmatch(line); m != nil {
+				flags[m[1]] = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("ibpower %s -h advertised no flags; is the subcommand wired?", sub)
+		}
+	}
+	return flags
+}
+
+// readme reads the repository README.
+func readme(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestReadmeFlagsExist asserts every `-flag` the README mentions — inline
+// code spans and the sh examples — exists in some subcommand's -help output,
+// and that every subcommand appears in the usage table. Documentation that
+// names a flag the binary does not accept is worse than no documentation.
+func TestReadmeFlagsExist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary; skipped in -short mode")
+	}
+	md := readme(t)
+	bin := buildBinary(t)
+	subcommands := subcommandList(t, bin)
+	have := helpFlags(t, bin, subcommands)
+	mention := regexp.MustCompile("`-([A-Za-z][A-Za-z0-9]*)[ `]")
+	seen := map[string]bool{}
+	for _, m := range mention.FindAllStringSubmatch(md, -1) {
+		seen[m[1]] = true
+	}
+	// Flags in the ```sh fences, e.g. "go run ./cmd/ibpower figures -d 0.01".
+	cli := regexp.MustCompile(`(?m)^\s*go run \./cmd/ibpower\s+(.*)$`)
+	arg := regexp.MustCompile(`(^|\s)-([A-Za-z][A-Za-z0-9]*)\b`)
+	for _, m := range cli.FindAllStringSubmatch(md, -1) {
+		for _, a := range arg.FindAllStringSubmatch(m[1], -1) {
+			seen[a[2]] = true
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("README mentions no flags; the scanner is broken")
+	}
+	for f := range seen {
+		if f == "h" {
+			continue // flag package built-in
+		}
+		if !have[f] {
+			t.Errorf("README mentions -%s but no ibpower subcommand accepts it (have: %v)", f, keys(have))
+		}
+	}
+	for _, sub := range subcommands {
+		if !strings.Contains(md, "`"+sub+"`") {
+			t.Errorf("README's subcommand table is missing `%s`", sub)
+		}
+	}
+}
+
+// TestReadmeListsRegistries asserts the README's registry overview stays in
+// sync with the code: every name the predictor, fabric and placement
+// registries report via Names() must appear in the README.
+func TestReadmeListsRegistries(t *testing.T) {
+	md := readme(t)
+	for _, reg := range []struct {
+		kind  string
+		names []string
+	}{
+		{"predictor", predictor.Names()},
+		{"fabric", topology.Names()},
+		{"placement", multijob.Names()},
+	} {
+		for _, name := range reg.names {
+			if !strings.Contains(md, "`"+name+"`") {
+				t.Errorf("README does not mention %s registry entry `%s`; update the registry overview table", reg.kind, name)
+			}
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

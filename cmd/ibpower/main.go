@@ -7,6 +7,7 @@
 //	overheads         measured PPA overheads at 16 processes (Table IV)
 //	figures           power savings and execution-time increase (Figures 7–9)
 //	compare           every registered predictor over every workload (E14)
+//	multijob          concurrent workloads sharing one fabric (E15)
 //	timeline          per-rank link power timeline (Figure 6)
 //	ppa               PPA walkthrough on the Figure 2/3 event stream
 //	energy            Section VI extension: deep modes + fabric energy
@@ -20,7 +21,9 @@
 // the simulated fabric from the topology registry (xgft — the paper's
 // XGFT(2;18,14;1,18) and the default — xgft3, dragonfly, torus2d, torus3d),
 // so e.g. "ibpower compare -topo dragonfly" reruns the full predictor sweep
-// on a dragonfly. Run "ibpower <subcommand> -h" for flags.
+// on a dragonfly. The multijob subcommand additionally takes -jobs (an
+// app:np,... mix) and -placement (linear, random, roundrobin) from the
+// placement registry. Run "ibpower <subcommand> -h" for flags.
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"ibpower/internal/benchio"
 	"ibpower/internal/dvs"
 	"ibpower/internal/harness"
+	"ibpower/internal/multijob"
 	"ibpower/internal/ngram"
 	"ibpower/internal/power"
 	"ibpower/internal/predictor"
@@ -62,6 +66,8 @@ func main() {
 		err = cmdFigures(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
+	case "multijob":
+		err = cmdMultijob(os.Args[2:])
 	case "timeline":
 		err = cmdTimeline(os.Args[2:])
 	case "ppa":
@@ -88,7 +94,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ibpower <tableI|gt|overheads|figures|compare|timeline|ppa|energy|dvs|weak|bench> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: ibpower <tableI|gt|overheads|figures|compare|multijob|timeline|ppa|energy|dvs|weak|bench> [flags]`)
 }
 
 // cmdBench runs the headline benchmark suite (internal/benchio) and writes a
@@ -452,6 +458,48 @@ func cmdCompare(args []string) error {
 		return err
 	}
 	return harness.WriteCompare(os.Stdout, *d, rows)
+}
+
+// cmdMultijob simulates concurrent workloads sharing one fabric (experiment
+// E15): each job of the -jobs mix gets its own trace, Table III grouping
+// threshold, predictor and placement-assigned terminals, and the shared
+// replay times the union of all jobs' traffic. With -sweep it runs every
+// registered placement over the default job mixes instead of one scenario.
+func cmdMultijob(args []string) error {
+	fs := flag.NewFlagSet("multijob", flag.ExitOnError)
+	opt := optFlags(fs)
+	par := parFlag(fs)
+	pred := predFlag(fs, predictor.DefaultName)
+	topo := topoFlag(fs)
+	jobsStr := fs.String("jobs", "gromacs:16,alya:16", "job mix as app:np,... (e.g. gromacs:64,alya:16)")
+	placement := fs.String("placement", multijob.DefaultPlacement,
+		"placement policy (one of: "+strings.Join(multijob.Names(), ", ")+")")
+	d := fs.Float64("d", 0.01, "displacement factor")
+	sweepAll := fs.Bool("sweep", false, "run every placement over the default job mixes (ignores -jobs/-placement)")
+	fs.Parse(args)
+	if err := checkFlags(*pred, *topo); err != nil {
+		return err
+	}
+	if err := multijob.CheckRegistered(*placement); err != nil {
+		return err
+	}
+	runner := harness.NewRunner(*opt, configWith(*par, *pred, *topo))
+	if *sweepAll {
+		rows, err := runner.MultijobSweep(nil, nil, *d)
+		if err != nil {
+			return err
+		}
+		return harness.WriteMultijobSweep(os.Stdout, rows)
+	}
+	jobs, err := multijob.ParseJobs(*jobsStr)
+	if err != nil {
+		return err
+	}
+	res, err := runner.Multijob(jobs, *placement, *d)
+	if err != nil {
+		return err
+	}
+	return multijob.WriteResult(os.Stdout, res)
 }
 
 func filterRows(rows []harness.FigureRow, apps string) []harness.FigureRow {

@@ -15,6 +15,7 @@ func TestUnknownPredictorRejectedEverywhere(t *testing.T) {
 		"overheads": cmdOverheads,
 		"figures":   cmdFigures,
 		"compare":   cmdCompare,
+		"multijob":  cmdMultijob,
 		"timeline":  cmdTimeline,
 		"ppa":       cmdPPA,
 		"energy":    cmdEnergy,
@@ -45,6 +46,7 @@ func TestUnknownTopoRejectedEverywhere(t *testing.T) {
 		"overheads": cmdOverheads,
 		"figures":   cmdFigures,
 		"compare":   cmdCompare,
+		"multijob":  cmdMultijob,
 		"timeline":  cmdTimeline,
 		"ppa":       cmdPPA,
 		"energy":    cmdEnergy,
@@ -61,6 +63,22 @@ func TestUnknownTopoRejectedEverywhere(t *testing.T) {
 		if !strings.Contains(err.Error(), "unknown fabric") ||
 			!strings.Contains(err.Error(), "dragonfly") {
 			t.Errorf("%s: error %q must reject the name and list the registry", name, err)
+		}
+	}
+}
+
+// TestMultijobRejectsBadFlags asserts the multijob-specific flags are
+// validated up front: a typo'd -placement fails fast with the placement
+// registry listed, and a malformed -jobs mix fails before any simulation.
+func TestMultijobRejectsBadFlags(t *testing.T) {
+	err := cmdMultijob([]string{"-placement", "nosuch"})
+	if err == nil || !strings.Contains(err.Error(), "unknown placement") ||
+		!strings.Contains(err.Error(), "roundrobin") {
+		t.Errorf("unknown placement: error %q must reject the name and list the registry", err)
+	}
+	for _, jobs := range []string{"", "gromacs", "gromacs:1", "gromacs:x"} {
+		if err := cmdMultijob([]string{"-jobs", jobs}); err == nil {
+			t.Errorf("malformed -jobs %q accepted", jobs)
 		}
 	}
 }

@@ -15,6 +15,7 @@ var exampleArgs = map[string][]string{
 	"stencil":     {"-np", "4", "-steps", "30", "-cells", "2048"},
 	"gtsweep":     {"-app", "gromacs", "-np", "8", "-scale", "0.05"},
 	"tracedriven": {"-app", "alya", "-np", "8", "-scale", "0.05"},
+	"multijob":    {"-jobs", "gromacs:8,alya:8", "-scale", "0.05"},
 }
 
 // TestExamplesSmoke executes every examples/ program with tiny iteration

@@ -1,0 +1,76 @@
+package ibpower_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocComments walks every package in the module — the root
+// facade, every internal/ package, the commands, the examples — and fails on
+// any package without a doc comment ("// Package xxx ..." or, for main
+// packages, a comment block above the package clause). The codebase's
+// self-description lives in these comments (go doc ./... is the API tour
+// DESIGN.md links into); this test keeps a new package from shipping
+// undocumented.
+func TestPackageDocComments(t *testing.T) {
+	dirs := map[string]bool{}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip testdata and, per Go tool convention, dot- and
+			// underscore-prefixed directories (worktrees, editor scratch):
+			// their Go files are not part of this module's build.
+			name := d.Name()
+			if name == "testdata" || (path != "." &&
+				(strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_"))) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 10 {
+		t.Fatalf("only %d package directories found; the walker is broken", len(dirs))
+	}
+	var sorted []string
+	for dir := range dirs {
+		sorted = append(sorted, dir)
+	}
+	sort.Strings(sorted)
+	for _, dir := range sorted {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Errorf("%s: %v", dir, err)
+			continue
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (%s) has no package doc comment; add '// Package %s ...' (or a '// Command ...' comment for main packages) above one package clause",
+					name, dir, name)
+			}
+		}
+	}
+}

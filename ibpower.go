@@ -25,6 +25,11 @@
 //     XGFT, a dragonfly and 2D/3D tori register next to it. Select by name
 //     with ReplayConfig.WithFabric, enumerate with Fabrics, and add
 //     implementations with RegisterFabric.
+//   - RunMultijob — the multi-tenant extension: several independent
+//     workloads sharing one fabric, placed by a pluggable policy ("linear",
+//     "random", "roundrobin"; select with MultijobConfig.Placement,
+//     enumerate with Placements, add implementations with
+//     RegisterPlacement), with per-job and fabric-wide energy accounting.
 //   - RunSPMD / PowerLayer — the mini-MPI runtime with the mechanism
 //     installed in the PMPI profiling layer, the paper's deployment model.
 //
@@ -40,6 +45,7 @@ import (
 
 	"ibpower/internal/harness"
 	"ibpower/internal/mpi"
+	"ibpower/internal/multijob"
 	"ibpower/internal/pmpi"
 	"ibpower/internal/power"
 	"ibpower/internal/predictor"
@@ -114,6 +120,23 @@ type (
 	// times transfers over (terminals, directed links, routing with an
 	// explicit RNG-draw contract for the route cache).
 	Fabric = topology.Fabric
+)
+
+// Multi-job (shared fabric) simulation types.
+type (
+	// JobSpec names one workload of a multi-job mix ("gromacs" at 64
+	// processes).
+	JobSpec = multijob.JobSpec
+	// MultijobConfig parameterises a shared-fabric simulation: the job mix,
+	// the placement policy, and the replay configuration every job shares.
+	MultijobConfig = multijob.Config
+	// MultijobResult carries per-job statistics (runtime, energy, hit rate,
+	// sharing overhead vs a dedicated fabric) and fabric-wide aggregates
+	// (per-link utilization, decomposed switch power saving).
+	MultijobResult = multijob.Result
+	// PlacementFunc maps a job mix onto fabric terminals; implementations
+	// register with RegisterPlacement.
+	PlacementFunc = multijob.PlaceFunc
 )
 
 // Runtime (deployment path) types.
@@ -193,6 +216,27 @@ func RegisterFabric(name string, build func() (Fabric, error)) { topology.Regist
 // Replay re-executes the trace under cfg. Enable the mechanism with
 // cfg.WithPower(gt, displacement).
 func Replay(tr *Trace, cfg ReplayConfig) (*ReplayResult, error) { return replay.Run(tr, cfg) }
+
+// ParseJobs parses a multi-job mix in the "app:np,app:np" form the ibpower
+// multijob -jobs flag uses, e.g. "gromacs:64,alya:16".
+func ParseJobs(s string) ([]JobSpec, error) { return multijob.ParseJobs(s) }
+
+// Placements returns the registered placement policy names, sorted
+// ("linear", "random", "roundrobin", plus anything added via
+// RegisterPlacement).
+func Placements() []string { return multijob.Names() }
+
+// RegisterPlacement adds a placement policy to the registry; it panics on
+// duplicate names. Registered policies are selectable by RunMultijob, the
+// harness sharing sweep, and the ibpower command's -placement flag.
+func RegisterPlacement(name string, fn PlacementFunc) { multijob.Register(name, fn) }
+
+// RunMultijob simulates several independent workloads concurrently on one
+// shared fabric: each job gets its own trace, predictor and
+// placement-assigned terminals, links observe the union of all jobs'
+// traffic, and results are reported per job and fabric-wide. Results are
+// deterministic for a given configuration at any Parallelism setting.
+func RunMultijob(cfg MultijobConfig) (*MultijobResult, error) { return multijob.Run(cfg) }
 
 // ChooseGT selects the grouping threshold for a trace by sweeping the
 // Figure 10 grid, trading MPI-call hit rate against low-power opportunity

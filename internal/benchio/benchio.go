@@ -1,7 +1,7 @@
 // Package benchio runs the repository's headline benchmarks outside `go
 // test` and persists the results as BENCH_<label>.json trajectory files, so
 // every PR can append a point to the performance history and CI can fail on
-// regressions against the checked-in baseline (DESIGN.md §7).
+// regressions against the checked-in baseline (DESIGN.md §8).
 //
 // A report records ns/op, allocs/op, B/op and each benchmark's custom
 // metrics. Reports are deliberately flat JSON: append-only trajectory

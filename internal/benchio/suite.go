@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ibpower/internal/harness"
+	"ibpower/internal/multijob"
 	"ibpower/internal/network"
 	"ibpower/internal/ngram"
 	"ibpower/internal/predictor"
@@ -32,6 +33,7 @@ type Bench struct {
 func Suite() []Bench {
 	return []Bench{
 		{Name: "BenchmarkReplayAlya16", Fn: BenchReplayAlya16},
+		{Name: "BenchmarkMultijob", Fn: BenchMultijob},
 		{Name: "BenchmarkNetworkTransfer", Fn: BenchNetworkTransfer},
 		{Name: "BenchmarkDragonflyTransfer", Fn: BenchDragonflyTransfer},
 		{Name: "BenchmarkRouteCrossLeaf", Fn: BenchRouteCrossLeaf},
@@ -100,6 +102,44 @@ func BenchReplayAlya16(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := replay.Run(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(calls*float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+}
+
+// BenchMultijob times the shared-fabric engine on a two-job mix: gromacs and
+// alya interleaved across the paper XGFT's leaf switches by the roundrobin
+// placement, both with the mechanism on. It measures replay.RunJobs itself —
+// placement and trace generation happen once outside the loop — so the
+// number gates the multi-job engine's merged-timeline hot path.
+func BenchMultijob(b *testing.B) {
+	mix := []multijob.JobSpec{{App: "gromacs", NP: 8}, {App: "alya", NP: 8}}
+	opt := workloads.Options{IterScale: 0.1}
+	var jobs []replay.Job
+	var calls float64
+	pw := replay.DefaultConfig().WithPower(20*time.Microsecond, 0.01).Power
+	sizes := make([]int, len(mix))
+	for i, js := range mix {
+		sizes[i] = js.NP
+	}
+	terms, err := multijob.Place("roundrobin", topology.Paper(), sizes, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, js := range mix {
+		tr, err := workloads.Generate(js.App, js.NP, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		calls += float64(tr.NumCalls())
+		jobs = append(jobs, replay.Job{Trace: tr, Terminals: terms[i], Power: &pw})
+	}
+	cfg := replay.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := replay.RunJobs(jobs, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"ibpower/internal/multijob"
 	"ibpower/internal/power"
 	"ibpower/internal/replay"
 	"ibpower/internal/stats"
@@ -78,38 +79,24 @@ func Energy(app string, np int, displacement float64, opt workloads.Options, dee
 	return row, nil
 }
 
-// fabricSaving groups the per-rank host-link accountings by first-hop switch
-// of the simulated fabric and applies the decomposed switch power model. On
-// the paper's XGFT the first-hop switches are the leaf switches and the
-// always-on count is their uplinks; on a dragonfly or torus it is the
-// routers and their local/global (ring) links — in every fabric, exactly the
-// switch-to-switch links the mechanism does not manage.
+// fabricSaving applies the decomposed switch power model to a single-job
+// run, where rank r occupies terminal r (the identity placement replay.Run
+// uses). On the paper's XGFT the first-hop switches are the leaf switches
+// and the always-on count is their uplinks; on a dragonfly or torus it is
+// the routers and their local/global (ring) links — in every fabric, exactly
+// the switch-to-switch links the mechanism does not manage. The grouping and
+// model live in multijob.FabricSavingPct, shared with the multi-tenant
+// fabric summary.
 func fabricSaving(topo topology.Fabric, res *replay.Result, np int) float64 {
-	// Count each first-hop switch's unmanaged (switch-to-switch) out-links.
-	alwaysOn := map[int]int{}
-	for _, l := range topo.Links() {
-		if l.From.Kind == topology.KindSwitch && l.To.Kind == topology.KindSwitch {
-			alwaysOn[l.From.ID]++
-		}
+	n := np
+	if len(res.Acct) < n {
+		n = len(res.Acct)
 	}
-	groups := map[int][]power.Accounting{}
-	var order []int // switch IDs in first-use order, for deterministic output
-	for r := 0; r < np && r < len(res.Acct); r++ {
-		sw := topo.HostLink(r).To.ID
-		if _, ok := groups[sw]; !ok {
-			order = append(order, sw)
-		}
-		groups[sw] = append(groups[sw], res.Acct[r])
+	terms := make([]int, n)
+	for r := range terms {
+		terms[r] = r
 	}
-	// Only switches actually hosting ranks are counted, as the paper's
-	// savings are reported over the used part of the fabric.
-	used := make([][]power.Accounting, 0, len(order))
-	usedOn := make([]int, 0, len(order))
-	for _, sw := range order {
-		used = append(used, groups[sw])
-		usedOn = append(usedOn, alwaysOn[sw])
-	}
-	return power.FabricPower(used, usedOn).SavingPct
+	return multijob.FabricSavingPct(topo, terms, res.Acct[:n])
 }
 
 // WriteEnergy renders energy rows.

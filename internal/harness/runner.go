@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"ibpower/internal/multijob"
 	"ibpower/internal/predictor"
 	"ibpower/internal/replay"
 	"ibpower/internal/sweep"
@@ -36,6 +37,7 @@ type Runner struct {
 	traces map[traceKey]*traceEntry
 	gts    map[gtKey]*gtEntry
 	bases  map[traceKey]*baseEntry
+	deds   map[dedKey]*baseEntry
 }
 
 // NewRunner returns a Runner over the given generation options and replay
@@ -47,6 +49,7 @@ func NewRunner(opt workloads.Options, cfg replay.Config) *Runner {
 		traces: make(map[traceKey]*traceEntry),
 		gts:    make(map[gtKey]*gtEntry),
 		bases:  make(map[traceKey]*baseEntry),
+		deds:   make(map[dedKey]*baseEntry),
 	}
 }
 
@@ -87,6 +90,15 @@ type baseEntry struct {
 	once sync.Once
 	res  *replay.Result
 	err  error
+}
+
+// dedKey identifies a cached dedicated-fabric mechanism run: one workload
+// alone on the Runner's fabric at a specific grouping threshold and
+// displacement (the multijob sharing-overhead denominator).
+type dedKey struct {
+	traceKey
+	gt time.Duration
+	d  float64
 }
 
 // workers sizes the pool for n points.
@@ -158,6 +170,36 @@ func (r *Runner) baseline(app string, np int) (*replay.Result, error) {
 		}
 		bcfg := r.Cfg
 		bcfg.Power = replay.PowerConfig{}
+		e.res, e.err = replay.Run(tr, bcfg)
+	})
+	return e.res, e.err
+}
+
+// dedicated returns the cached dedicated-fabric run for (app, np) at
+// (gt, d) under r.Opt and r.Cfg: the same job alone with the mechanism on,
+// the denominator of the multijob sharing overhead. The baseline is
+// placement-independent, so one replay serves every placement cell of a
+// MultijobSweep.
+func (r *Runner) dedicated(app string, np int, gt time.Duration, d float64) (*replay.Result, error) {
+	k := dedKey{traceKey: traceKey{app: app, np: np, opt: r.Opt}, gt: gt, d: d}
+	r.mu.Lock()
+	e, ok := r.deds[k]
+	if !ok {
+		e = &baseEntry{}
+		r.deds[k] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		tr, err := r.traceOpt(app, np, r.Opt)
+		if err != nil {
+			e.err = err
+			return
+		}
+		// Build the power block exactly as the shared run does
+		// (multijob.JobPower preserves deep sleep, overheads and predictor
+		// tuning from r.Cfg), so the overhead compares like with like.
+		bcfg := r.Cfg
+		bcfg.Power = multijob.JobPower(r.Cfg, gt, d)
 		e.res, e.err = replay.Run(tr, bcfg)
 	})
 	return e.res, e.err

@@ -1,0 +1,50 @@
+package multijob
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// JobSpec names one workload of a job mix: a generatable application and its
+// process count.
+type JobSpec struct {
+	App string
+	NP  int
+}
+
+// String renders the spec in the "app:np" form ParseJobs reads.
+func (s JobSpec) String() string { return fmt.Sprintf("%s:%d", s.App, s.NP) }
+
+// ParseJobs parses a comma-separated job mix such as "gromacs:64,alya:16"
+// (the ibpower multijob -jobs syntax). Application names are validated at
+// generation time, not here, so embedding programs can parse mixes of their
+// own registered workloads.
+func ParseJobs(s string) ([]JobSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("multijob: empty job list")
+	}
+	var jobs []JobSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		app, npStr, ok := strings.Cut(part, ":")
+		if !ok || app == "" {
+			return nil, fmt.Errorf("multijob: job %q: want app:np (e.g. gromacs:64)", part)
+		}
+		np, err := strconv.Atoi(npStr)
+		if err != nil || np < 2 {
+			return nil, fmt.Errorf("multijob: job %q: process count must be an integer >= 2", part)
+		}
+		jobs = append(jobs, JobSpec{App: app, NP: np})
+	}
+	return jobs, nil
+}
+
+// FormatJobs renders a mix back into the -jobs syntax.
+func FormatJobs(jobs []JobSpec) string {
+	parts := make([]string, len(jobs))
+	for i, j := range jobs {
+		parts[i] = j.String()
+	}
+	return strings.Join(parts, ",")
+}

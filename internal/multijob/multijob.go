@@ -1,0 +1,405 @@
+// Package multijob simulates several independent MPI workloads sharing one
+// interconnect fabric — the multi-tenant scenario the paper leaves open: it
+// evaluates one application at a time on a dedicated XGFT, but on a real
+// cluster a job's switch neighbors shrink, displace, or (when they idle)
+// widen the link idle windows the prediction mechanism exploits.
+//
+// Each job of a mix gets its own trace, grouping threshold, predictor, and
+// rank→terminal mapping; the shared replay engine (replay.RunJobs) merges
+// every job's events into one timeline so links observe the union of
+// traffic. Where jobs land is a pluggable placement policy behind a named
+// registry mirroring the predictor and fabric registries: "linear"
+// (contiguous terminal blocks, the default), "random" (seeded shuffle of the
+// whole fabric), and "roundrobin" (jobs interleaved across first-hop
+// switches). Results are reported per job — runtime, host-link energy, hit
+// rate, and sharing overhead against a dedicated-fabric baseline of the same
+// job — and fabric-wide (per-link utilization, decomposed switch power).
+//
+// Everything is deterministic for a given Config: placement is a pure
+// function of (fabric, sizes, seed), the shared engine is single-threaded,
+// and the Parallelism knob only distributes independent runs (per-job
+// baselines, harness sweep cells) over the worker pool in input order.
+package multijob
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ibpower/internal/power"
+	"ibpower/internal/predictor"
+	"ibpower/internal/replay"
+	"ibpower/internal/sweep"
+	"ibpower/internal/topology"
+	"ibpower/internal/trace"
+	"ibpower/internal/workloads"
+)
+
+// Config parameterises one shared-fabric simulation.
+type Config struct {
+	// Jobs is the mix to co-schedule, in placement order.
+	Jobs []JobSpec
+	// Placement selects the policy from the placement registry ("linear",
+	// "random", "roundrobin", or anything registered by the embedding
+	// program); empty selects DefaultPlacement.
+	Placement string
+	// Opt tunes trace generation; Opt.Seed also seeds the "random"
+	// placement, so one seed pins the whole scenario.
+	Opt workloads.Options
+	// Displacement is the Algorithm 3 safety factor, applied to every job.
+	// Zero is a valid (maximally aggressive) setting, as on every other
+	// experiment; the CLI default is the paper's conservative 1 %.
+	Displacement float64
+	// Replay carries the network parameters, fabric and predictor selection,
+	// and the Parallelism bound for the independent per-job baseline runs.
+	// Each job runs with Replay.Power re-armed at the job's own grouping
+	// threshold and Displacement; any other mechanism settings in the block
+	// (deep sleep, custom overheads, timeline recording, predictor tuning)
+	// are preserved per job.
+	Replay replay.Config
+	// SelectGT chooses the grouping threshold for one job's trace; nil uses
+	// the minimum admissible threshold 2·Treact. The harness and CLI install
+	// the Table III selection here (harness.ChooseGT).
+	SelectGT func(tr *trace.Trace) (time.Duration, error)
+	// Generate overrides trace generation, letting callers reuse cached
+	// traces (harness.Runner does); nil generates fresh with Opt.
+	Generate func(app string, np int) (*trace.Trace, error)
+	// Dedicated overrides the dedicated-fabric baseline replay of one job
+	// (the denominator of the sharing overhead). The baseline is
+	// placement-independent, so callers sweeping placements cache it per
+	// (job, GT) — harness.Runner does; nil replays fresh.
+	Dedicated func(tr *trace.Trace, gt time.Duration, displacement float64) (*replay.Result, error)
+}
+
+// JobStats is the per-job slice of a shared-fabric run.
+type JobStats struct {
+	App       string
+	NP        int
+	Predictor string
+	GT        time.Duration
+
+	// Exec is the job's completion time on the shared fabric; Dedicated is
+	// the same job replayed alone on the same fabric (linear placement from
+	// terminal 0), and SharingOverheadPct the relative slowdown between the
+	// two — the price of the neighbors.
+	Exec               time.Duration
+	Dedicated          time.Duration
+	SharingOverheadPct float64
+
+	// Per-job mechanism outcome on the shared fabric.
+	SavingPct  float64 // switch power saving over the job's host links
+	HitRatePct float64
+
+	// Host-link energy over the job's execution, in link-seconds: joules at
+	// a nominal link power of 1 W, so multiplying by the deployment's real
+	// per-link wattage gives joules. SavedLinkSeconds is the reduction
+	// against the same links never leaving full power.
+	EnergyLinkSeconds float64
+	SavedLinkSeconds  float64
+
+	// Switches is the number of distinct first-hop switches the job spans
+	// (1 for a fully packed small job, more as placement scatters it).
+	Switches int
+
+	Transfers  int
+	BytesMoved int64
+}
+
+// FabricStats aggregates the shared fabric.
+type FabricStats struct {
+	Fabric     string
+	MakeSpan   time.Duration // completion time of the slowest job
+	Transfers  int
+	BytesMoved int64
+
+	// Link utilization over the makespan, across the directed links that
+	// carried any traffic.
+	LinksUsed   int
+	MeanUtilPct float64
+	MaxUtilPct  float64
+
+	// SavingPct applies the decomposed switch power model (links 64 % of
+	// switch draw, unmanaged uplinks always on) over the first-hop switches
+	// occupied by any job — the fabric-wide energy the mechanism saved with
+	// all tenants accounted together.
+	SavingPct float64
+}
+
+// Result is the outcome of a multi-job run.
+type Result struct {
+	Placement string
+	Jobs      []JobStats
+	Fabric    FabricStats
+	// Terminals records the placement that ran: Terminals[j][r] is the
+	// fabric terminal of job j's rank r.
+	Terminals [][]int
+}
+
+// Run simulates the configured job mix on one shared fabric and returns
+// per-job and fabric-wide statistics. The result is deterministic for a
+// given Config at any Replay.Parallelism setting.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Jobs) == 0 {
+		return nil, fmt.Errorf("multijob: no jobs configured")
+	}
+	if err := CheckRegistered(cfg.Placement); err != nil {
+		return nil, fmt.Errorf("multijob: %w", err)
+	}
+	if err := predictor.CheckRegistered(cfg.Replay.Power.PredictorName); err != nil {
+		return nil, fmt.Errorf("multijob: %w", err)
+	}
+	fabric, err := cfg.Replay.Fabric()
+	if err != nil {
+		return nil, err
+	}
+	d := cfg.Displacement
+	workers := sweep.Workers(cfg.Replay.Parallelism, len(cfg.Jobs))
+
+	// Generate every job's trace and choose its grouping threshold on the
+	// worker pool (input order, so results are parallelism-independent).
+	type prep struct {
+		tr *trace.Trace
+		gt time.Duration
+	}
+	preps, err := sweep.Map(context.Background(), workers, cfg.Jobs,
+		func(_ context.Context, _ int, js JobSpec) (prep, error) {
+			tr, err := cfg.generate(js)
+			if err != nil {
+				return prep{}, err
+			}
+			gt, err := cfg.selectGT(tr)
+			if err != nil {
+				return prep{}, err
+			}
+			return prep{tr: tr, gt: gt}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	sizes := make([]int, len(cfg.Jobs))
+	for j, p := range preps {
+		sizes[j] = p.tr.NP
+	}
+	terms, err := Place(cfg.Placement, fabric, sizes, cfg.Opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// The shared run: every job carries its own power block (its GT), the
+	// run-level power block stays disabled.
+	rjobs := make([]replay.Job, len(cfg.Jobs))
+	pws := make([]replay.PowerConfig, len(cfg.Jobs))
+	for j, p := range preps {
+		pws[j] = cfg.jobPower(p.gt, d)
+		rjobs[j] = replay.Job{Trace: p.tr, Terminals: terms[j], Power: &pws[j]}
+	}
+
+	// The dedicated-fabric baselines — each job alone on the same fabric,
+	// same GT and predictor — are independent of the shared run, so they
+	// sweep on the pool while the single-threaded shared engine drains;
+	// both are pure functions of (preps, cfg), so the overlap cannot
+	// affect results.
+	type dedOut struct {
+		res []*replay.Result
+		err error
+	}
+	dedCh := make(chan dedOut, 1)
+	go func() {
+		res, err := sweep.Map(context.Background(), workers, preps,
+			func(_ context.Context, j int, p prep) (*replay.Result, error) {
+				return cfg.runDedicated(p.tr, p.gt, d)
+			})
+		dedCh <- dedOut{res: res, err: err}
+	}()
+	shared, err := replay.RunJobs(rjobs, cfg.Replay)
+	ded := <-dedCh
+	if err != nil {
+		return nil, err
+	}
+	if ded.err != nil {
+		return nil, ded.err
+	}
+	dedicated := ded.res
+
+	res := &Result{Placement: placementName(cfg.Placement), Terminals: terms}
+	predName := predictorName(cfg.Replay.Power.PredictorName)
+	for j, p := range preps {
+		sh := shared.Jobs[j]
+		st := JobStats{
+			App: p.tr.App, NP: p.tr.NP, Predictor: predName, GT: p.gt,
+			Exec:       sh.ExecTime,
+			Dedicated:  dedicated[j].ExecTime,
+			SavingPct:  sh.AvgSavingPct(),
+			HitRatePct: sh.AvgHitRatePct(),
+			Switches:   countSwitches(fabric, terms[j]),
+			Transfers:  sh.Transfers,
+			BytesMoved: sh.BytesMoved,
+		}
+		if dedicated[j].ExecTime > 0 {
+			st.SharingOverheadPct = 100 * (float64(sh.ExecTime) - float64(dedicated[j].ExecTime)) /
+				float64(dedicated[j].ExecTime)
+		}
+		for _, a := range sh.Acct {
+			st.EnergyLinkSeconds += a.Energy(1.0)
+			st.SavedLinkSeconds += a.Total().Seconds() - a.Energy(1.0)
+		}
+		res.Jobs = append(res.Jobs, st)
+	}
+	res.Fabric = fabricStats(fabric, shared, terms)
+	return res, nil
+}
+
+func (c Config) generate(js JobSpec) (*trace.Trace, error) {
+	if c.Generate != nil {
+		return c.Generate(js.App, js.NP)
+	}
+	return workloads.Generate(js.App, js.NP, c.Opt)
+}
+
+func (c Config) selectGT(tr *trace.Trace) (time.Duration, error) {
+	if c.SelectGT != nil {
+		return c.SelectGT(tr)
+	}
+	return 2 * power.Treact, nil
+}
+
+func (c Config) runDedicated(tr *trace.Trace, gt time.Duration, d float64) (*replay.Result, error) {
+	if c.Dedicated != nil {
+		return c.Dedicated(tr, gt, d)
+	}
+	bcfg := c.Replay
+	bcfg.Power = JobPower(c.Replay, gt, d)
+	return replay.Run(tr, bcfg)
+}
+
+// JobPower builds one job's effective power block from a replay
+// configuration: the caller's Power settings — deep sleep, overheads,
+// timeline recording, predictor tuning — re-armed at the job's grouping
+// threshold and the run's displacement. A configuration that never enabled
+// the mechanism gets the standard block (Table IV overheads, paper Treact),
+// exactly as replay's WithPower constructs it. Both the shared run and every
+// dedicated baseline — including harness.Runner's cached ones — must build
+// their blocks here, so the sharing overhead always compares runs of the
+// same mechanism.
+func JobPower(rc replay.Config, gt time.Duration, d float64) replay.PowerConfig {
+	if !rc.Power.Enabled {
+		return rc.WithPower(gt, d).Power
+	}
+	pw := rc.Power
+	pw.Predictor.GT = gt
+	pw.Predictor.Displacement = d
+	if pw.Predictor.Treact == 0 {
+		pw.Predictor.Treact = power.Treact
+	}
+	return pw
+}
+
+func (c Config) jobPower(gt time.Duration, d float64) replay.PowerConfig {
+	return JobPower(c.Replay, gt, d)
+}
+
+func placementName(name string) string {
+	if name == "" {
+		return DefaultPlacement
+	}
+	return name
+}
+
+func predictorName(name string) string {
+	if name == "" {
+		return predictor.DefaultName
+	}
+	return name
+}
+
+// countSwitches returns the number of distinct first-hop switches hosting
+// the given terminals.
+func countSwitches(f topology.Fabric, terms []int) int {
+	seen := make(map[int]bool)
+	for _, t := range terms {
+		seen[f.HostLink(t).To.ID] = true
+	}
+	return len(seen)
+}
+
+// fabricStats summarises link utilization and fabric-wide power over the
+// shared run.
+func fabricStats(f topology.Fabric, m *replay.MultiResult, terms [][]int) FabricStats {
+	fs := FabricStats{
+		Fabric:     f.Name(),
+		MakeSpan:   m.MakeSpan,
+		Transfers:  m.Transfers,
+		BytesMoved: m.BytesMoved,
+	}
+	var mean, maxU float64
+	for _, busy := range m.LinkBusy {
+		if busy <= 0 {
+			continue
+		}
+		fs.LinksUsed++
+		u := 100 * float64(busy) / float64(m.MakeSpan)
+		mean += u
+		if u > maxU {
+			maxU = u
+		}
+	}
+	if fs.LinksUsed > 0 {
+		fs.MeanUtilPct = mean / float64(fs.LinksUsed)
+	}
+	fs.MaxUtilPct = maxU
+
+	// Decomposed switch power over every occupied first-hop switch, all
+	// tenants' host links grouped together (the power.FabricPower model the
+	// single-job energy experiment uses, extended to the union of jobs).
+	var flatTerms []int
+	var flatAccts []power.Accounting
+	for j, ts := range terms {
+		for r, t := range ts {
+			if r >= len(m.Jobs[j].Acct) {
+				continue // job ran without the mechanism
+			}
+			flatTerms = append(flatTerms, t)
+			flatAccts = append(flatAccts, m.Jobs[j].Acct[r])
+		}
+	}
+	fs.SavingPct = FabricSavingPct(f, flatTerms, flatAccts)
+	return fs
+}
+
+// FabricSavingPct groups per-terminal host-link accountings by first-hop
+// switch of the fabric and applies the decomposed switch power model
+// (power.FabricPower): links take 64 % of switch draw, and each first-hop
+// switch's unmanaged switch-to-switch out-links stay at full power. Only
+// switches hosting an accounted terminal are counted, as the paper's savings
+// are reported over the used part of the fabric. Both the single-job energy
+// experiment (harness.Energy) and the multi-job fabric summary share this
+// one implementation, so the model cannot silently diverge between them.
+// terms[i] is the fabric terminal whose host link accts[i] accounts for.
+func FabricSavingPct(f topology.Fabric, terms []int, accts []power.Accounting) float64 {
+	if len(terms) == 0 {
+		return 0
+	}
+	alwaysOn := map[int]int{}
+	for _, l := range f.Links() {
+		if l.From.Kind == topology.KindSwitch && l.To.Kind == topology.KindSwitch {
+			alwaysOn[l.From.ID]++
+		}
+	}
+	groups := map[int][]power.Accounting{}
+	var order []int // switch IDs in first-use order, for deterministic output
+	for i, t := range terms {
+		sw := f.HostLink(t).To.ID
+		if _, ok := groups[sw]; !ok {
+			order = append(order, sw)
+		}
+		groups[sw] = append(groups[sw], accts[i])
+	}
+	used := make([][]power.Accounting, 0, len(order))
+	usedOn := make([]int, 0, len(order))
+	for _, sw := range order {
+		used = append(used, groups[sw])
+		usedOn = append(usedOn, alwaysOn[sw])
+	}
+	return power.FabricPower(used, usedOn).SavingPct
+}

@@ -1,0 +1,148 @@
+package multijob
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ibpower/internal/topology"
+)
+
+// TestPlacementInvariants runs every registered policy over every registered
+// fabric and checks the contract Place enforces: every rank mapped, all
+// terminals in range, no terminal shared between ranks or jobs.
+func TestPlacementInvariants(t *testing.T) {
+	sizes := []int{16, 9, 32, 8}
+	for _, fname := range topology.Names() {
+		f, err := topology.Named(fname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pname := range Names() {
+			terms, err := Place(pname, f, sizes, 7)
+			if err != nil {
+				t.Errorf("%s on %s: %v", pname, fname, err)
+				continue
+			}
+			seen := make(map[int]bool)
+			for j, ts := range terms {
+				if len(ts) != sizes[j] {
+					t.Errorf("%s on %s: job %d got %d terminals, want %d",
+						pname, fname, j, len(ts), sizes[j])
+				}
+				for _, term := range ts {
+					if term < 0 || term >= f.NumTerminals() {
+						t.Errorf("%s on %s: terminal %d out of range", pname, fname, term)
+					}
+					if seen[term] {
+						t.Errorf("%s on %s: terminal %d assigned twice", pname, fname, term)
+					}
+					seen[term] = true
+				}
+			}
+		}
+	}
+}
+
+// TestRandomPlacementDeterministicPerSeed pins the "random" policy's
+// reproducibility contract: same seed, same placement; different seed,
+// different placement.
+func TestRandomPlacementDeterministicPerSeed(t *testing.T) {
+	f := topology.Paper()
+	sizes := []int{64, 16}
+	a, err := Place("random", f, sizes, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place("random", f, sizes, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("random placement differs for identical seeds")
+	}
+	c, err := Place("random", f, sizes, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("random placement identical across different seeds")
+	}
+}
+
+// TestLinearPlacementIsContiguous asserts linear hands out contiguous
+// terminal blocks in job order — the identity placement replay.Run uses when
+// a single job has the fabric to itself.
+func TestLinearPlacementIsContiguous(t *testing.T) {
+	f := topology.Paper()
+	terms, err := Place("linear", f, []int{8, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for j, ts := range terms {
+		for r, term := range ts {
+			if term != next {
+				t.Fatalf("job %d rank %d on terminal %d, want %d", j, r, term, next)
+			}
+			next++
+		}
+	}
+}
+
+// TestRoundRobinSpreadsAcrossSwitches asserts consecutive ranks land on
+// distinct first-hop switches (while distinct switches remain), the whole
+// point of the interleaving policy.
+func TestRoundRobinSpreadsAcrossSwitches(t *testing.T) {
+	f := topology.Paper() // 14 leaf switches, 18 terminals each
+	terms, err := Place("roundrobin", f, []int{14}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for r, term := range terms[0] {
+		sw := f.HostLink(term).To.ID
+		if seen[sw] {
+			t.Errorf("rank %d landed on already-used switch %d before all switches were visited", r, sw)
+		}
+		seen[sw] = true
+	}
+	if len(seen) != 14 {
+		t.Errorf("14 interleaved ranks span %d switches, want 14", len(seen))
+	}
+}
+
+// TestPlaceErrors covers the registry and capacity error paths.
+func TestPlaceErrors(t *testing.T) {
+	f := topology.Paper()
+	if _, err := Place("nosuch", f, []int{8}, 0); err == nil ||
+		!strings.Contains(err.Error(), "unknown placement") ||
+		!strings.Contains(err.Error(), "roundrobin") {
+		t.Errorf("unknown policy: error %v, want the registry listed", err)
+	}
+	if _, err := Place("linear", f, []int{200, 200}, 0); err == nil ||
+		!strings.Contains(err.Error(), "exceed") {
+		t.Errorf("overcommit: error %v, want capacity complaint", err)
+	}
+	if err := CheckRegistered(""); err != nil {
+		t.Errorf("empty name must resolve to the default: %v", err)
+	}
+}
+
+// TestRegisterPanics mirrors the predictor/fabric registry edge cases.
+func TestRegisterPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty name": func() { Register("", func(topology.Fabric, []int, int64) ([][]int, error) { return nil, nil }) },
+		"nil policy": func() { Register("x-nil", nil) },
+		"duplicate":  func() { Register("linear", func(topology.Fabric, []int, int64) ([][]int, error) { return nil, nil }) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register with %s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

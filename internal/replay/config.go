@@ -122,27 +122,3 @@ func (c Config) Fabric() (topology.Fabric, error) {
 	}
 	return f, nil
 }
-
-func (c Config) validate(np int) error {
-	if err := c.Net.Validate(); err != nil {
-		return err
-	}
-	if c.Power.Enabled {
-		if err := c.Power.Predictor.Validate(); err != nil {
-			return err
-		}
-		if err := predictor.CheckRegistered(c.Power.PredictorName); err != nil {
-			return fmt.Errorf("replay: %w", err)
-		}
-	}
-	if c.Topo == nil {
-		if err := topology.CheckRegistered(c.FabricName); err != nil {
-			return fmt.Errorf("replay: %w", err)
-		}
-	}
-	if c.Topo != nil && c.Topo.NumTerminals() < np {
-		return fmt.Errorf("replay: fabric %s has %d terminals, need %d",
-			c.Topo.Name(), c.Topo.NumTerminals(), np)
-	}
-	return nil
-}

@@ -11,9 +11,16 @@ import (
 	"ibpower/internal/trace"
 )
 
-// rankState is one MPI process during replay.
+// rankState is one MPI process during replay. Ranks are job-local (peers in
+// the op stream address the job's communicator); the engine places the rank
+// on a fabric terminal and gives it a dense global index so several jobs can
+// share one timeline.
 type rankState struct {
-	r    int
+	r    int // job-local rank (index into the job's trace)
+	g    int // global rank index across all jobs (index into engine.rk)
+	base int // global index of the job's rank 0
+	np   int // the job's communicator size
+	term int // fabric terminal hosting the rank
 	ops  []trace.Op
 	pc   int
 	clk  time.Duration
@@ -34,6 +41,7 @@ type rankState struct {
 
 	pred predictor.Predictor
 	ctrl *power.Controller
+	jb   *jobState
 }
 
 // pendingPt is one side of an unmatched point-to-point operation.
@@ -83,16 +91,31 @@ type pairQueues struct {
 	recv ptQueue // posted receives waiting for a matching send
 }
 
-// engine holds global replay state.
-type engine struct {
-	tr  *trace.Trace
-	cfg Config
-	net *network.Network
-	rk  []*rankState
-	pt  map[pairKey]*pairQueues
+// jobState is one placed workload during a (possibly multi-job) replay.
+type jobState struct {
+	tr   *trace.Trace
+	pw   PowerConfig // the job's effective power configuration
+	base int         // global index of the job's rank 0
 
-	// work is a fixed-capacity ring of runnable ranks. inWork dedupes, so at
-	// most NP ranks are ever queued and the ring never grows.
+	// Per-job traffic attribution: every transfer is between ranks of one
+	// job, counted at resolve time against the sender's job.
+	transfers int
+	bytes     int64
+}
+
+// engine holds global replay state. Run-level configuration is consumed up
+// front (network construction, per-job effective power blocks); the engine
+// itself only reads per-job state, so jobs with different power configs
+// coexist on one timeline.
+type engine struct {
+	net  *network.Network
+	jobs []*jobState
+	rk   []*rankState // all jobs' ranks, dense in global index order
+	pt   map[pairKey]*pairQueues
+
+	// work is a fixed-capacity ring of runnable ranks (global indexes).
+	// inWork dedupes, so at most len(rk) ranks are ever queued and the ring
+	// never grows.
 	work     []int
 	workHead int
 	workLen  int
@@ -109,75 +132,41 @@ func (e *engine) pair(k pairKey) *pairQueues {
 	return q
 }
 
-// Run replays the trace under cfg and returns the measured result.
+// Run replays the trace under cfg and returns the measured result. The
+// single job occupies terminals 0..NP-1 of the fabric, exactly as before the
+// engine learned to share its fabric between jobs (RunJobs); results are
+// bit-identical to that dedicated-fabric engine. All validation (trace,
+// network, registries, capacity) happens in RunJobs.
 func Run(tr *trace.Trace, cfg Config) (*Result, error) {
-	if err := tr.Validate(); err != nil {
-		return nil, err
-	}
-	if err := cfg.validate(tr.NP); err != nil {
-		return nil, err
-	}
-	topo, err := cfg.Fabric()
+	mr, err := RunJobs([]Job{{Trace: tr}}, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if topo.NumTerminals() < tr.NP {
-		return nil, fmt.Errorf("replay: fabric %s has %d terminals, need %d",
-			topo.Name(), topo.NumTerminals(), tr.NP)
-	}
-	net, err := network.New(topo, cfg.Net)
-	if err != nil {
-		return nil, err
-	}
-	e := &engine{
-		tr:     tr,
-		cfg:    cfg,
-		net:    net,
-		rk:     make([]*rankState, tr.NP),
-		pt:     make(map[pairKey]*pairQueues),
-		work:   make([]int, tr.NP),
-		inWork: make([]bool, tr.NP),
-	}
-	for r := 0; r < tr.NP; r++ {
-		rs := &rankState{r: r, ops: tr.Ranks[r]}
-		if cfg.Power.Enabled {
-			p, err := predictor.NewNamed(cfg.Power.PredictorName, cfg.Power.Predictor)
-			if err != nil {
-				return nil, err
-			}
-			predictor.Prime(p, tr.Ranks[r])
-			rs.pred = p
-			rs.ctrl = power.NewController(cfg.Power.Predictor.Treact)
-			if cfg.Power.DeepSleep {
-				rs.ctrl.EnableDeep(cfg.Power.Deep)
-			}
-			if cfg.Power.RecordTimelines {
-				rs.ctrl.RecordTimeline(fmt.Sprintf("rank %d", r))
-			}
-		}
-		e.rk[r] = rs
-		e.push(r)
-	}
+	return mr.Jobs[0], nil
+}
+
+// run drains the engine's work queue and collects the result.
+func (e *engine) run() (*MultiResult, error) {
 	for e.workLen > 0 {
-		r := e.work[e.workHead]
+		g := e.work[e.workHead]
 		e.workHead = (e.workHead + 1) % len(e.work)
 		e.workLen--
-		e.inWork[r] = false
-		e.advance(e.rk[r])
+		e.inWork[g] = false
+		e.advance(e.rk[g])
 	}
 	for _, rs := range e.rk {
 		if !rs.done {
-			return nil, fmt.Errorf("replay: deadlock: rank %d blocked at op %d/%d (micro %d/%d)",
-				rs.r, rs.pc, len(rs.ops), rs.mi, len(rs.micro))
+			return nil, fmt.Errorf("replay: deadlock: %s rank %d blocked at op %d/%d (micro %d/%d)",
+				rs.jb.tr.App, rs.r, rs.pc, len(rs.ops), rs.mi, len(rs.micro))
 		}
 	}
 	return e.collect(), nil
 }
 
-func (e *engine) push(r int) {
-	if !e.inWork[r] {
-		e.inWork[r] = true
-		e.work[(e.workHead+e.workLen)%len(e.work)] = r
+func (e *engine) push(g int) {
+	if !e.inWork[g] {
+		e.inWork[g] = true
+		e.work[(e.workHead+e.workLen)%len(e.work)] = g
 		e.workLen++
 	}
 }
@@ -208,12 +197,12 @@ func (e *engine) advance(rs *rankState) {
 			rs.pc++
 		case trace.OpCall:
 			if rs.pred != nil {
-				rs.clk += e.cfg.Power.Overheads.Interception
+				rs.clk += rs.jb.pw.Overheads.Interception
 			}
 			rs.callStart = rs.clk
 			// Shared read-only decomposition: identical call shapes across
 			// ranks, iterations and concurrent runs reuse one sequence.
-			rs.micro = expandCached(op, rs.r, e.tr.NP)
+			rs.micro = expandCached(op, rs.r, rs.np)
 			rs.mi = 0
 			rs.issued = false
 			rs.inCall = true
@@ -238,10 +227,10 @@ func (e *engine) stepMicro(rs *rankState) bool {
 		rs.haveSend = !rs.needSend
 		rs.haveRecv = !rs.needRecv
 		if rs.needSend {
-			e.postSend(rs.r, m.sendPeer, m.bytes, rs.clk)
+			e.postSend(rs.g, rs.base+m.sendPeer, m.bytes, rs.clk)
 		}
 		if rs.needRecv {
-			e.postRecv(rs.r, m.recvPeer, rs.clk)
+			e.postRecv(rs.g, rs.base+m.recvPeer, rs.clk)
 		}
 	}
 	if !rs.haveSend || !rs.haveRecv {
@@ -275,7 +264,7 @@ func (e *engine) finishCall(rs *rankState) {
 	act := rs.pred.OnCall(ngram.EventID(op.Call), rs.callStart, rs.clk)
 	if act.PPAInvoked {
 		st := rs.pred.Stats().Detector
-		rs.clk += e.cfg.Power.Overheads.PPACost(max(st.MaxPatternFrozen, 2), st.PatternListSize)
+		rs.clk += rs.jb.pw.Overheads.PPACost(max(st.MaxPatternFrozen, 2), st.PatternListSize)
 	}
 	if act.Shutdown {
 		rs.ctrl.Shutdown(rs.clk, act.PredictedIdle)
@@ -283,7 +272,9 @@ func (e *engine) finishCall(rs *rankState) {
 }
 
 // postSend registers the send side of a point-to-point exchange and resolves
-// it if the matching receive is already posted.
+// it if the matching receive is already posted. src and dst are global rank
+// indexes (both halves of an exchange always belong to one job, because op
+// peers are job-local).
 func (e *engine) postSend(src, dst, bytes int, ready time.Duration) {
 	q := e.pair(pairKey{src, dst})
 	if q.recv.n > 0 {
@@ -305,7 +296,9 @@ func (e *engine) postRecv(dst, src int, ready time.Duration) {
 	q.recv.push(pendingPt{rank: dst, ready: ready})
 }
 
-// resolve times the matched transfer and unblocks both ranks.
+// resolve times the matched transfer and unblocks both ranks. The message
+// travels between the ranks' fabric terminals, so links observe the union of
+// every job's traffic.
 func (e *engine) resolve(src, dst, bytes int, sendReady, recvReady time.Duration) {
 	s, d := e.rk[src], e.rk[dst]
 	s0, r0 := sendReady, recvReady
@@ -321,7 +314,9 @@ func (e *engine) resolve(src, dst, bytes int, sendReady, recvReady time.Duration
 	if r0 > t0 {
 		t0 = r0
 	}
-	arrival := e.net.Transfer(src, dst, bytes, t0)
+	arrival := e.net.Transfer(s.term, d.term, bytes, t0)
+	s.jb.transfers++
+	s.jb.bytes += int64(bytes)
 	sendDone := t0 + e.net.SerTime(bytes)
 	s.sendDone, s.haveSend = sendDone, true
 	d.recvDone, d.haveRecv = arrival, true

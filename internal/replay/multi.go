@@ -1,0 +1,222 @@
+package replay
+
+import (
+	"fmt"
+	"time"
+
+	"ibpower/internal/network"
+	"ibpower/internal/power"
+	"ibpower/internal/predictor"
+	"ibpower/internal/topology"
+	"ibpower/internal/trace"
+)
+
+// Job is one placed workload of a multi-job replay: a trace plus the fabric
+// terminals its ranks occupy. Rank r of the job runs on Terminals[r]; op
+// peers stay job-local, so the same trace replays unchanged whether the job
+// has the fabric to itself or shares it.
+type Job struct {
+	Trace *trace.Trace
+	// Terminals maps job-local rank -> fabric terminal. Terminals of all
+	// jobs in one RunJobs call must be disjoint (one MPI process per
+	// terminal). nil places the job's ranks contiguously after the previous
+	// job's block (the linear placement); for a single job that is the
+	// identity mapping Run has always used.
+	Terminals []int
+	// Power overrides the run-level Config.Power for this job when non-nil,
+	// so each job can carry its own grouping threshold and predictor (the
+	// multi-tenant scenario: every tenant tunes its own mechanism).
+	Power *PowerConfig
+}
+
+// MultiResult is the outcome of a shared-fabric multi-job replay.
+type MultiResult struct {
+	// Jobs holds one Result per job, in input order. Each Result is scoped
+	// to its own job: exec time and RankFinish over the job's ranks, power
+	// accounting for the job's host links, transfer counters for the job's
+	// own traffic.
+	Jobs []*Result
+
+	// MakeSpan is the completion time of the slowest job.
+	MakeSpan time.Duration
+
+	// Fabric-wide counters: the union of all jobs' traffic.
+	Transfers  int
+	BytesMoved int64
+	// LinkBusy is the accumulated busy time per directed link (indexed by
+	// topology link ID), observing every job's messages — the signal that
+	// distinguishes fabric sharing from dedicated runs.
+	LinkBusy []time.Duration
+}
+
+// RunJobs replays several independent jobs concurrently on one shared
+// fabric. Every job advances through the same event timeline and every
+// message is timed by one network instance, so links observe the union of
+// all jobs' traffic: a switch neighbor's communication phase can shrink or
+// displace the idle windows another job's predictor is trying to exploit.
+//
+// The engine is single-threaded and processes ranks in deterministic order,
+// so results are a pure function of (jobs, cfg) — bit-identical across
+// repeated runs and unaffected by Config.Parallelism, which only harness
+// sweeps consume.
+func RunJobs(jobs []Job, cfg Config) (*MultiResult, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("replay: no jobs")
+	}
+	if err := cfg.Net.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Topo == nil {
+		if err := topology.CheckRegistered(cfg.FabricName); err != nil {
+			return nil, fmt.Errorf("replay: %w", err)
+		}
+	}
+	topo, err := cfg.Fabric()
+	if err != nil {
+		return nil, err
+	}
+	nt := topo.NumTerminals()
+
+	// Validate traces and placements: every rank on a distinct terminal.
+	owner := make(map[int]int) // terminal -> job index
+	total := 0
+	for j := range jobs {
+		tr := jobs[j].Trace
+		if tr == nil {
+			return nil, fmt.Errorf("replay: job %d has no trace", j)
+		}
+		if err := tr.Validate(); err != nil {
+			return nil, err
+		}
+		total += tr.NP
+		if jobs[j].Terminals == nil {
+			continue // placed linearly below, after total is known
+		}
+		if len(jobs[j].Terminals) != tr.NP {
+			return nil, fmt.Errorf("replay: job %d (%s): %d terminals for %d ranks",
+				j, tr.App, len(jobs[j].Terminals), tr.NP)
+		}
+	}
+	if total > nt {
+		return nil, fmt.Errorf("replay: fabric %s has %d terminals, need %d",
+			topo.Name(), nt, total)
+	}
+	// Two passes: explicitly placed jobs claim their terminals first, then
+	// nil-Terminals jobs fill the lowest free terminals in job order — so a
+	// mix of explicit and automatic placement never collides and never runs
+	// out of terminals while free ones remain (the capacity check above
+	// already guaranteed the mix fits).
+	terms := make([][]int, len(jobs))
+	for j := range jobs {
+		if jobs[j].Terminals == nil {
+			continue
+		}
+		terms[j] = jobs[j].Terminals
+		for r, t := range terms[j] {
+			if t < 0 || t >= nt {
+				return nil, fmt.Errorf("replay: job %d (%s) rank %d: terminal %d out of range [0,%d)",
+					j, jobs[j].Trace.App, r, t, nt)
+			}
+			if prev, taken := owner[t]; taken {
+				if prev == j {
+					return nil, fmt.Errorf("replay: job %d (%s) places two ranks on terminal %d",
+						j, jobs[j].Trace.App, t)
+				}
+				return nil, fmt.Errorf("replay: jobs %d and %d both placed on terminal %d",
+					prev, j, t)
+			}
+			owner[t] = j
+		}
+	}
+	next := 0 // lowest candidate free terminal for automatic placement
+	for j := range jobs {
+		if jobs[j].Terminals != nil {
+			continue
+		}
+		terms[j] = make([]int, jobs[j].Trace.NP)
+		for r := range terms[j] {
+			for {
+				if _, taken := owner[next]; !taken {
+					break
+				}
+				next++
+			}
+			terms[j][r] = next
+			owner[next] = j
+			next++
+		}
+	}
+
+	// Resolve each job's effective power configuration.
+	pws := make([]PowerConfig, len(jobs))
+	for j := range jobs {
+		pw := cfg.Power
+		if jobs[j].Power != nil {
+			pw = *jobs[j].Power
+		}
+		if pw.Enabled {
+			if err := pw.Predictor.Validate(); err != nil {
+				return nil, err
+			}
+			if err := predictor.CheckRegistered(pw.PredictorName); err != nil {
+				return nil, fmt.Errorf("replay: %w", err)
+			}
+		}
+		pws[j] = pw
+	}
+
+	net, err := network.New(topo, cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		net:  net,
+		jobs: make([]*jobState, len(jobs)),
+		rk:   make([]*rankState, 0, total),
+		pt:   make(map[pairKey]*pairQueues),
+		work: make([]int, total),
+	}
+	for j := range jobs {
+		tr := jobs[j].Trace
+		js := &jobState{tr: tr, pw: pws[j], base: len(e.rk)}
+		e.jobs[j] = js
+		for r := 0; r < tr.NP; r++ {
+			rs := &rankState{
+				r: r, g: js.base + r, base: js.base, np: tr.NP,
+				term: terms[j][r], ops: tr.Ranks[r], jb: js,
+			}
+			if js.pw.Enabled {
+				p, err := predictor.NewNamed(js.pw.PredictorName, js.pw.Predictor)
+				if err != nil {
+					return nil, err
+				}
+				predictor.Prime(p, tr.Ranks[r])
+				rs.pred = p
+				rs.ctrl = power.NewController(js.pw.Predictor.Treact)
+				if js.pw.DeepSleep {
+					rs.ctrl.EnableDeep(js.pw.Deep)
+				}
+				if js.pw.RecordTimelines {
+					rs.ctrl.RecordTimeline(timelineLabel(len(jobs), j, tr.App, r))
+				}
+			}
+			e.rk = append(e.rk, rs)
+		}
+	}
+	e.inWork = make([]bool, len(e.rk))
+	for g := range e.rk {
+		e.push(g)
+	}
+	return e.run()
+}
+
+// timelineLabel names a recorded per-rank timeline; single-job runs keep the
+// historical "rank N" labels so rendered output is unchanged, multi-job runs
+// carry the job index so two tenants of the same application stay
+// distinguishable.
+func timelineLabel(njobs, j int, app string, r int) string {
+	if njobs == 1 {
+		return fmt.Sprintf("rank %d", r)
+	}
+	return fmt.Sprintf("job %d %s rank %d", j, app, r)
+}

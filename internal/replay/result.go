@@ -76,33 +76,52 @@ func (r *Result) TimeIncreasePct(base *Result) float64 {
 	return 100 * (float64(r.ExecTime) - float64(base.ExecTime)) / float64(base.ExecTime)
 }
 
-// collect builds the Result after the run has drained.
-func (e *engine) collect() *Result {
-	res := &Result{RankFinish: make([]time.Duration, e.tr.NP)}
-	for r, rs := range e.rk {
-		res.RankFinish[r] = rs.clk
-		if rs.clk > res.ExecTime {
-			res.ExecTime = rs.clk
+// collect builds the per-job Results and fabric-wide counters after the run
+// has drained. Each job's Result is indexed by job-local rank and its power
+// accounting closes at the job's own completion time, exactly as a dedicated
+// single-job run would report it.
+func (e *engine) collect() *MultiResult {
+	m := &MultiResult{Jobs: make([]*Result, len(e.jobs))}
+	for j, js := range e.jobs {
+		np := js.tr.NP
+		res := &Result{RankFinish: make([]time.Duration, np)}
+		for r := 0; r < np; r++ {
+			rs := e.rk[js.base+r]
+			res.RankFinish[r] = rs.clk
+			if rs.clk > res.ExecTime {
+				res.ExecTime = rs.clk
+			}
 		}
-	}
-	if e.cfg.Power.Enabled {
-		res.Acct = make([]power.Accounting, e.tr.NP)
-		res.PredStats = make([]predictor.Stats, e.tr.NP)
-		for r, rs := range e.rk {
-			rs.ctrl.Finish(res.ExecTime)
-			res.Acct[r] = rs.ctrl.Accounting()
-			res.PredStats[r] = rs.pred.Stats()
-			res.Shutdowns += rs.ctrl.Shutdowns
-			res.DemandWakes += rs.ctrl.DemandWakes
-			res.TimerWakes += rs.ctrl.TimerWakes
-			res.TotalDelay += rs.ctrl.TotalDelay
-			if e.cfg.Power.RecordTimelines {
-				if tl := rs.ctrl.Timeline(); tl != nil {
-					res.Timelines = append(res.Timelines, tl)
+		if js.pw.Enabled {
+			res.Acct = make([]power.Accounting, np)
+			res.PredStats = make([]predictor.Stats, np)
+			for r := 0; r < np; r++ {
+				rs := e.rk[js.base+r]
+				rs.ctrl.Finish(res.ExecTime)
+				res.Acct[r] = rs.ctrl.Accounting()
+				res.PredStats[r] = rs.pred.Stats()
+				res.Shutdowns += rs.ctrl.Shutdowns
+				res.DemandWakes += rs.ctrl.DemandWakes
+				res.TimerWakes += rs.ctrl.TimerWakes
+				res.TotalDelay += rs.ctrl.TotalDelay
+				if js.pw.RecordTimelines {
+					if tl := rs.ctrl.Timeline(); tl != nil {
+						res.Timelines = append(res.Timelines, tl)
+					}
 				}
 			}
 		}
+		res.Transfers, res.BytesMoved = js.transfers, js.bytes
+		m.Jobs[j] = res
+		if res.ExecTime > m.MakeSpan {
+			m.MakeSpan = res.ExecTime
+		}
 	}
-	res.Transfers, res.BytesMoved = e.net.Stats()
-	return res
+	m.Transfers, m.BytesMoved = e.net.Stats()
+	links := e.net.Topology().Links()
+	m.LinkBusy = make([]time.Duration, len(links))
+	for i := range links {
+		m.LinkBusy[i] = e.net.LinkBusy(i)
+	}
+	return m
 }
