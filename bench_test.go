@@ -413,6 +413,14 @@ func BenchmarkDragonflyTransfer(b *testing.B) { benchio.BenchDragonflyTransfer(b
 
 func BenchmarkRouteCrossLeaf(b *testing.B) { benchio.BenchRouteCrossLeaf(b) }
 
+// BenchmarkBigFabricRoutes reports routes/s over the 8000-terminal xgft3-big
+// preset through the bounded route cache (steady-state clock eviction).
+func BenchmarkBigFabricRoutes(b *testing.B) { benchio.BenchBigFabricRoutes(b) }
+
+// BenchmarkBigFabricReplay reports replay calls/s with ranks on the
+// 8000-terminal xgft3-big preset.
+func BenchmarkBigFabricReplay(b *testing.B) { benchio.BenchBigFabricReplay(b) }
+
 func BenchmarkReplayAlya16(b *testing.B) { benchio.BenchReplayAlya16(b) }
 
 // BenchmarkMultijob times the shared-fabric engine: a gromacs + alya mix

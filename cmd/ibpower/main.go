@@ -14,14 +14,17 @@
 //	dvs               related-work baseline: history-based link DVS vs WRPS
 //	weak              claim check: weak vs strong scaling (Section III)
 //	bench             headline benchmarks -> BENCH_<label>.json trajectory point
+//	topos             registered fabrics with size and compact-table memory
 //
 // Every subcommand accepts -predictor to select the idle predictor from the
 // registry (ngram, oracle, offline, lastvalue, ewma, static-gt); compare
 // runs them all side by side. Every subcommand also accepts -topo to select
 // the simulated fabric from the topology registry (xgft — the paper's
-// XGFT(2;18,14;1,18) and the default — xgft3, dragonfly, torus2d, torus3d),
-// so e.g. "ibpower compare -topo dragonfly" reruns the full predictor sweep
-// on a dragonfly. The multijob subcommand additionally takes -jobs (an
+// XGFT(2;18,14;1,18) and the default — xgft3, dragonfly, torus2d, torus3d,
+// and the supercomputer-scale xgft3-big and dragonfly-big at ~8000
+// terminals), so e.g. "ibpower compare -topo dragonfly" reruns the full
+// predictor sweep on a dragonfly; "ibpower topos" lists every fabric with
+// its size and compact-table memory. The multijob subcommand additionally takes -jobs (an
 // app:np,... mix) and -placement (linear, random, roundrobin) from the
 // placement registry. Run "ibpower <subcommand> -h" for flags.
 package main
@@ -80,6 +83,8 @@ func main() {
 		err = cmdWeak(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "topos":
+		err = cmdTopos(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -94,7 +99,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ibpower <tableI|gt|overheads|figures|compare|multijob|timeline|ppa|energy|dvs|weak|bench> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: ibpower <tableI|gt|overheads|figures|compare|multijob|timeline|ppa|energy|dvs|weak|bench|topos> [flags]`)
 }
 
 // cmdBench runs the headline benchmark suite (internal/benchio) and writes a
@@ -108,7 +113,7 @@ func cmdBench(args []string) error {
 	out := fs.String("o", "", "output path (default BENCH_<label>.json)")
 	baseline := fs.String("baseline", "", "baseline BENCH_*.json to gate against (empty: no gate)")
 	maxRatio := fs.Float64("maxratio", 2.0, "fail when a gated benchmark's ns/op exceeds baseline by this factor")
-	check := fs.String("check", "BenchmarkReplayAlya16,BenchmarkNetworkTransfer,BenchmarkDragonflyTransfer",
+	check := fs.String("check", "BenchmarkReplayAlya16,BenchmarkNetworkTransfer,BenchmarkDragonflyTransfer,BenchmarkBigFabricRoutes",
 		"comma-separated benchmarks gated against the baseline")
 	// The suite pins its own fabrics (paper XGFT and dragonfly entries); the
 	// flag exists for interface uniformity and is validated only.
@@ -155,8 +160,35 @@ func cmdBench(args []string) error {
 		}
 		return fmt.Errorf("bench: %d benchmark(s) regressed more than %.1fx vs %s", len(regs), *maxRatio, *baseline)
 	}
-	fmt.Printf("no ns/op or allocs/op regression > %.1fx vs %s (%s)\n", *maxRatio, *baseline, strings.Join(names, ", "))
+	fmt.Printf("no ns/op, allocs/op or bytes/op regression > %.1fx vs %s (%s)\n", *maxRatio, *baseline, strings.Join(names, ", "))
 	return nil
+}
+
+// cmdTopos lists every registered fabric with its size and the resident
+// memory of its compact tables (the flat link table plus the fabric's own
+// routing arrays) — the quickest way to see what -topo accepts and what an
+// instance costs to hold.
+func cmdTopos(args []string) error {
+	fs := flag.NewFlagSet("topos", flag.ExitOnError)
+	topo := fs.String("topo", "", "list only this fabric (default: all registered)")
+	fs.Parse(args)
+	names := topology.Names()
+	if *topo != "" {
+		if err := checkTopo(*topo); err != nil {
+			return err
+		}
+		names = []string{*topo}
+	}
+	t := stats.NewTable("fabric", "instance", "terminals", "switches", "cables", "links", "compact KiB")
+	for _, name := range names {
+		f, err := topology.Named(name)
+		if err != nil {
+			return err
+		}
+		t.Row(name, f.Name(), f.NumTerminals(), f.NumSwitches(), f.NumCables(), f.NumLinks(),
+			fmt.Sprintf("%.1f", float64(topology.CompactBytes(f))/1024))
+	}
+	return t.Write(os.Stdout)
 }
 
 // cmdWeak tests the paper's Section III prediction that the mechanism is

@@ -53,6 +53,7 @@ func TestUnknownTopoRejectedEverywhere(t *testing.T) {
 		"dvs":       cmdDVS,
 		"weak":      cmdWeak,
 		"bench":     cmdBench,
+		"topos":     cmdTopos,
 	}
 	for name, fn := range cmds {
 		err := fn([]string{"-topo", "nosuch"})
@@ -64,6 +65,20 @@ func TestUnknownTopoRejectedEverywhere(t *testing.T) {
 			!strings.Contains(err.Error(), "dragonfly") {
 			t.Errorf("%s: error %q must reject the name and list the registry", name, err)
 		}
+	}
+}
+
+// TestToposListsEveryFabric asserts the listing covers the whole registry —
+// including the supercomputer-scale presets — and that the single-fabric
+// filter works (cmdTopos writes to stdout; here only success and the
+// registry walk are checked, the table contents are pinned by the topology
+// package's own structural tests).
+func TestToposListsEveryFabric(t *testing.T) {
+	if err := cmdTopos(nil); err != nil {
+		t.Errorf("topos over the full registry failed: %v", err)
+	}
+	if err := cmdTopos([]string{"-topo", "xgft3-big"}); err != nil {
+		t.Errorf("topos -topo xgft3-big failed: %v", err)
 	}
 }
 

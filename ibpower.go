@@ -117,9 +117,12 @@ type (
 	// mechanism counters.
 	ReplayResult = replay.Result
 	// Fabric is the pluggable interconnect abstraction the network model
-	// times transfers over (terminals, directed links, routing with an
-	// explicit RNG-draw contract for the route cache).
+	// times transfers over (terminals, a flat LinkID-indexed link table,
+	// routing with an explicit RNG-draw contract for the route cache).
 	Fabric = topology.Fabric
+	// LinkID is a compact directed-link index into a Fabric's link table;
+	// Fabric paths and per-link state are keyed by it.
+	LinkID = topology.LinkID
 )
 
 // Multi-job (shared fabric) simulation types.
@@ -198,8 +201,8 @@ func WriteTrace(w io.Writer, tr *Trace) error { return tr.Write(w) }
 func DefaultReplayConfig() ReplayConfig { return replay.DefaultConfig() }
 
 // Fabrics returns the registered interconnect fabric names, sorted
-// ("dragonfly", "torus2d", "torus3d", "xgft", "xgft3", plus anything added
-// via RegisterFabric).
+// ("dragonfly", "dragonfly-big", "torus2d", "torus3d", "xgft", "xgft3",
+// "xgft3-big", plus anything added via RegisterFabric).
 func Fabrics() []string { return topology.Names() }
 
 // NamedFabric returns the shared immutable instance of a registered fabric;

@@ -97,7 +97,7 @@ func LoadFile(path string) (*Report, error) {
 // Regression is one benchmark metric that degraded beyond the allowed ratio.
 type Regression struct {
 	Name    string
-	Metric  string // "ns/op" or "allocs/op"
+	Metric  string // "ns/op", "allocs/op" or "bytes/op"
 	Base    float64
 	Current float64
 	Ratio   float64
@@ -109,10 +109,10 @@ func (g Regression) String() string {
 }
 
 // Compare checks cur against base for the named benchmarks and returns every
-// one whose ns/op — or allocs/op, which is deterministic and therefore
-// machine-independent (the ns/op gate needs its 2x margin for runner
-// hardware variance; the allocation count needs none) — regressed by more
-// than maxRatio. Benchmarks missing from either report are reported as
+// one whose ns/op — or allocs/op and bytes/op, which are deterministic and
+// therefore machine-independent (the ns/op gate needs its 2x margin for
+// runner hardware variance; the allocation counters need none) — regressed by
+// more than maxRatio. Benchmarks missing from either report are reported as
 // regressions (a silently dropped benchmark must not pass the gate).
 // maxRatio <= 0 selects 2.0.
 func Compare(base, cur *Report, names []string, maxRatio float64) []Regression {
@@ -142,6 +142,16 @@ func Compare(base, cur *Report, names []string, maxRatio float64) []Regression {
 				// allocation (>1/op tolerates amortized growth rounding) fails.
 				regs = append(regs, Regression{Name: name, Metric: "allocs/op",
 					Base: 0, Current: float64(c.AllocsPerOp), Ratio: float64(c.AllocsPerOp)})
+			}
+			// bytes/op only gates against a non-trivial baseline: a tiny
+			// baseline (a few words of rounding noise) would make the ratio
+			// meaningless, and a zero-byte baseline is already covered by the
+			// zero-alloc invariant above.
+			if b.BytesPerOp >= 64 {
+				if ratio := float64(c.BytesPerOp) / float64(b.BytesPerOp); ratio > maxRatio {
+					regs = append(regs, Regression{Name: name, Metric: "bytes/op",
+						Base: float64(b.BytesPerOp), Current: float64(c.BytesPerOp), Ratio: ratio})
+				}
 			}
 		}
 	}

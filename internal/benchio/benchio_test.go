@@ -104,11 +104,31 @@ func TestCompare(t *testing.T) {
 			t.Errorf("regression metric = %q, want allocs/op", g.Metric)
 		}
 	}
+	// bytes/op is gated the same way when the baseline is non-trivial: a 3x
+	// growth fails with ns/op and allocs/op flat. BenchmarkA's zero-byte
+	// baseline stays exempt (covered by the zero-alloc invariant instead).
+	fat := sample("bytes", 100)
+	fat.Find("BenchmarkB").BytesPerOp = 192
+	regs = Compare(base, fat, names, 2.0)
+	if len(regs) != 1 || regs[0].Metric != "bytes/op" || regs[0].Ratio != 3.0 {
+		t.Fatalf("bytes/op regression not flagged: %v", regs)
+	}
+	small := sample("smallbytes", 100)
+	small.Find("BenchmarkA").BytesPerOp = 32 // below the 64-byte gate floor
+	small.Find("BenchmarkA").AllocsPerOp = 1
+	if regs := Compare(base, small, names, 2.0); len(regs) != 0 {
+		t.Errorf("trivial bytes baseline gated: %v", regs)
+	}
 }
 
 func TestSuiteNames(t *testing.T) {
 	names := Names()
-	want := map[string]bool{"BenchmarkReplayAlya16": true, "BenchmarkNetworkTransfer": true}
+	want := map[string]bool{
+		"BenchmarkReplayAlya16":    true,
+		"BenchmarkNetworkTransfer": true,
+		"BenchmarkBigFabricRoutes": true,
+		"BenchmarkBigFabricReplay": true,
+	}
 	for _, n := range names {
 		delete(want, n)
 	}

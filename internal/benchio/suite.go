@@ -3,6 +3,7 @@ package benchio
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
@@ -37,6 +38,8 @@ func Suite() []Bench {
 		{Name: "BenchmarkNetworkTransfer", Fn: BenchNetworkTransfer},
 		{Name: "BenchmarkDragonflyTransfer", Fn: BenchDragonflyTransfer},
 		{Name: "BenchmarkRouteCrossLeaf", Fn: BenchRouteCrossLeaf},
+		{Name: "BenchmarkBigFabricRoutes", Fn: BenchBigFabricRoutes},
+		{Name: "BenchmarkBigFabricReplay", Fn: BenchBigFabricReplay},
 		{Name: "BenchmarkPredictorOnCall", Fn: BenchPredictorOnCall},
 		{Name: "BenchmarkDetectorAddGram", Fn: BenchDetectorAddGram},
 		{Name: "BenchmarkFig7_Displacement10", Heavy: true, Fn: BenchFig7},
@@ -181,11 +184,52 @@ func BenchDragonflyTransfer(b *testing.B) {
 
 func BenchRouteCrossLeaf(b *testing.B) {
 	topo := topology.Paper()
+	buf := make([]topology.LinkID, 0, 8)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		topo.Route(i%18, 250-(i%18), nil)
+		buf = topo.RouteIDsInto(buf[:0], i%18, 250-(i%18), nil)
 	}
+}
+
+// BenchBigFabricRoutes measures supercomputer-scale routing throughput: random
+// pairs over the 8000-terminal xgft3-big preset through the bounded route
+// cache, with live RNG draws (two per cross-tree route). The working set far
+// exceeds one cache shard, so the number includes steady-state clock eviction.
+func BenchBigFabricRoutes(b *testing.B) {
+	fabric, err := topology.Named("xgft3-big")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := topology.NewRouteCache(fabric)
+	rng := rand.New(rand.NewSource(1))
+	n := fabric.NumTerminals()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache.Route(i%n, (i*7919+13)%n, rng)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "routes/s")
+}
+
+// BenchBigFabricReplay replays alya at 16 processes spread over the
+// 8000-terminal xgft3-big preset: the full engine (routing, timing, power
+// mechanism) against per-LinkID state sized for 48000 directed links.
+func BenchBigFabricReplay(b *testing.B) {
+	tr, err := workloads.Generate("alya", 16, workloads.Options{IterScale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := replay.DefaultConfig().WithPower(20*time.Microsecond, 0.01).WithFabric("xgft3-big")
+	calls := float64(tr.NumCalls())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := replay.Run(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(calls*float64(b.N)/b.Elapsed().Seconds(), "calls/s")
 }
 
 func BenchPredictorOnCall(b *testing.B) {

@@ -316,9 +316,9 @@ func predictorName(name string) string {
 // countSwitches returns the number of distinct first-hop switches hosting
 // the given terminals.
 func countSwitches(f topology.Fabric, terms []int) int {
-	seen := make(map[int]bool)
+	seen := make(map[int32]bool)
 	for _, t := range terms {
-		seen[f.HostLink(t).To.ID] = true
+		seen[topology.HostSwitch(f, t)] = true
 	}
 	return len(seen)
 }
@@ -380,16 +380,17 @@ func FabricSavingPct(f topology.Fabric, terms []int, accts []power.Accounting) f
 	if len(terms) == 0 {
 		return 0
 	}
-	alwaysOn := map[int]int{}
-	for _, l := range f.Links() {
-		if l.From.Kind == topology.KindSwitch && l.To.Kind == topology.KindSwitch {
-			alwaysOn[l.From.ID]++
+	tab := f.Table()
+	alwaysOn := map[int32]int{}
+	for id := 0; id < tab.Len(); id++ {
+		if tab.SwitchToSwitch(topology.LinkID(id)) {
+			alwaysOn[tab.From[id]]++
 		}
 	}
-	groups := map[int][]power.Accounting{}
-	var order []int // switch IDs in first-use order, for deterministic output
+	groups := map[int32][]power.Accounting{}
+	var order []int32 // switch node IDs in first-use order, for deterministic output
 	for i, t := range terms {
-		sw := f.HostLink(t).To.ID
+		sw := topology.HostSwitch(f, t)
 		if _, ok := groups[sw]; !ok {
 			order = append(order, sw)
 		}

@@ -174,10 +174,10 @@ func init() {
 	// every job: maximum neighbor diversity, the adversarial case for
 	// idle-window prediction.
 	Register("roundrobin", func(f topology.Fabric, sizes []int, _ int64) ([][]int, error) {
-		groups := make(map[int][]int)
-		var sw []int // first-hop switch IDs in first-appearance order
+		groups := make(map[int32][]int)
+		var sw []int32 // first-hop switch node IDs in first-appearance order
 		for t := 0; t < f.NumTerminals(); t++ {
-			s := f.HostLink(t).To.ID
+			s := topology.HostSwitch(f, t)
 			if _, ok := groups[s]; !ok {
 				sw = append(sw, s)
 			}

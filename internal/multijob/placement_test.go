@@ -99,9 +99,9 @@ func TestRoundRobinSpreadsAcrossSwitches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seen := make(map[int]bool)
+	seen := make(map[int32]bool)
 	for r, term := range terms[0] {
-		sw := f.HostLink(term).To.ID
+		sw := topology.HostSwitch(f, term)
 		if seen[sw] {
 			t.Errorf("rank %d landed on already-used switch %d before all switches were visited", r, sw)
 		}

@@ -72,16 +72,17 @@ type Network struct {
 	topo   topology.Fabric
 	cfg    Config
 	rng    *rand.Rand
-	routes *topology.RouteCache // memoized paths; draws from rng like RouteInto
+	routes *topology.RouteCache // memoized paths; draws from rng like RouteIDsInto
 
 	nextFree []time.Duration // per directed link: earliest next use
 	busy     []time.Duration // per directed link: accumulated busy time
 	segReady []time.Duration // transferSegments scratch, reused across messages
 
 	// Optional per-link busy interval recording (host links, Table I from
-	// the network's perspective and the Figure 6 timeline).
+	// the network's perspective and the Figure 6 timeline): a flat slice
+	// indexed by LinkID, allocated only when recording is enabled.
 	record    bool
-	intervals map[int][][2]time.Duration
+	intervals [][][2]time.Duration
 
 	transfers int
 	bytes     int64
@@ -93,13 +94,12 @@ func New(topo topology.Fabric, cfg Config) (*Network, error) {
 		return nil, err
 	}
 	return &Network{
-		topo:      topo,
-		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		routes:    topology.NewRouteCache(topo),
-		nextFree:  make([]time.Duration, len(topo.Links())),
-		busy:      make([]time.Duration, len(topo.Links())),
-		intervals: make(map[int][][2]time.Duration),
+		topo:     topo,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		routes:   topology.NewRouteCache(topo),
+		nextFree: make([]time.Duration, topo.NumLinks()),
+		busy:     make([]time.Duration, topo.NumLinks()),
 	}, nil
 }
 
@@ -109,8 +109,15 @@ func (n *Network) Topology() topology.Fabric { return n.topo }
 // Config returns the active configuration.
 func (n *Network) Config() Config { return n.cfg }
 
-// RecordIntervals enables per-link busy interval recording.
-func (n *Network) RecordIntervals(on bool) { n.record = on }
+// RecordIntervals enables per-link busy interval recording. The flat
+// per-LinkID interval table is only allocated once recording is requested,
+// so the sweeps that never look at intervals pay nothing for it.
+func (n *Network) RecordIntervals(on bool) {
+	n.record = on
+	if on && n.intervals == nil {
+		n.intervals = make([][][2]time.Duration, n.topo.NumLinks())
+	}
+}
 
 // SerTime returns the serialization time of b bytes on one link at full
 // width (used for sender-side injection completion).
@@ -147,7 +154,7 @@ func (n *Network) Transfer(src, dst, b int, start time.Duration) time.Duration {
 // transferMessage advances the message head hop by hop; every link is
 // reserved for the full serialization time, so later messages queue behind
 // it, while the head advances after only one segment (cut-through).
-func (n *Network) transferMessage(path []*topology.Link, b int, head time.Duration) time.Duration {
+func (n *Network) transferMessage(path []topology.LinkID, b int, head time.Duration) time.Duration {
 	seg := b
 	if seg > n.cfg.SegmentSize {
 		seg = n.cfg.SegmentSize
@@ -157,10 +164,10 @@ func (n *Network) transferMessage(path []*topology.Link, b int, head time.Durati
 	var lastStart time.Duration
 	for _, l := range path {
 		txStart := head
-		if n.nextFree[l.ID] > txStart {
-			txStart = n.nextFree[l.ID]
+		if n.nextFree[l] > txStart {
+			txStart = n.nextFree[l]
 		}
-		n.reserve(l.ID, txStart, full)
+		n.reserve(l, txStart, full)
 		head = txStart + segT + n.cfg.WireLatency
 		lastStart = txStart
 	}
@@ -168,13 +175,13 @@ func (n *Network) transferMessage(path []*topology.Link, b int, head time.Durati
 }
 
 // transferSegments times each 2 KB segment store-and-forward.
-func (n *Network) transferSegments(path []*topology.Link, b int, head time.Duration) time.Duration {
+func (n *Network) transferSegments(path []topology.LinkID, b int, head time.Duration) time.Duration {
 	if b <= 0 {
 		// Pure control message: head advances through the path.
 		for _, l := range path {
 			txStart := head
-			if n.nextFree[l.ID] > txStart {
-				txStart = n.nextFree[l.ID]
+			if n.nextFree[l] > txStart {
+				txStart = n.nextFree[l]
 			}
 			head = txStart + n.cfg.WireLatency
 		}
@@ -202,10 +209,10 @@ func (n *Network) transferSegments(path []*topology.Link, b int, head time.Durat
 			if ready[i] > t {
 				t = ready[i]
 			}
-			if n.nextFree[l.ID] > t {
-				t = n.nextFree[l.ID]
+			if n.nextFree[l] > t {
+				t = n.nextFree[l]
 			}
-			n.reserve(l.ID, t, segT)
+			n.reserve(l, t, segT)
 			t += segT + n.cfg.WireLatency
 			ready[i+1] = t
 		}
@@ -214,7 +221,7 @@ func (n *Network) transferSegments(path []*topology.Link, b int, head time.Durat
 	return arrival
 }
 
-func (n *Network) reserve(link int, start, dur time.Duration) {
+func (n *Network) reserve(link topology.LinkID, start, dur time.Duration) {
 	n.nextFree[link] = start + dur
 	n.busy[link] += dur
 	if n.record && dur > 0 {
@@ -223,15 +230,24 @@ func (n *Network) reserve(link int, start, dur time.Duration) {
 }
 
 // LinkBusy returns the accumulated busy time of a directed link.
-func (n *Network) LinkBusy(link int) time.Duration { return n.busy[link] }
+func (n *Network) LinkBusy(link topology.LinkID) time.Duration { return n.busy[link] }
+
+// NumLinks returns the number of directed links of the underlying fabric;
+// per-link state slices (LinkBusy consumers) are sized by it.
+func (n *Network) NumLinks() int { return n.topo.NumLinks() }
 
 // BusyIntervals returns recorded busy intervals for a directed link (only
 // populated when RecordIntervals(true)).
-func (n *Network) BusyIntervals(link int) [][2]time.Duration { return n.intervals[link] }
+func (n *Network) BusyIntervals(link topology.LinkID) [][2]time.Duration {
+	if n.intervals == nil {
+		return nil
+	}
+	return n.intervals[link]
+}
 
-// HostUpLink returns the directed link from terminal t into its first-hop
+// HostLinkID returns the directed link from terminal t into its first-hop
 // switch.
-func (n *Network) HostUpLink(t int) *topology.Link { return n.topo.HostLink(t) }
+func (n *Network) HostLinkID(t int) topology.LinkID { return n.topo.HostLinkID(t) }
 
 // Stats returns transfer counters.
 func (n *Network) Stats() (transfers int, bytes int64) { return n.transfers, n.bytes }
@@ -242,7 +258,9 @@ func (n *Network) Reset() {
 		n.nextFree[i] = 0
 		n.busy[i] = 0
 	}
-	n.intervals = make(map[int][][2]time.Duration)
+	for i := range n.intervals {
+		n.intervals[i] = nil
+	}
 	n.transfers = 0
 	n.bytes = 0
 	n.rng = rand.New(rand.NewSource(n.cfg.Seed))

@@ -87,10 +87,13 @@ func TestNetworkOverEveryFabric(t *testing.T) {
 		if min := n.Config().MPILatency + n.SerTime(4096); arr < min {
 			t.Errorf("%s: arrival %v below floor %v", name, arr, min)
 		}
-		if up := n.HostUpLink(last); up.From != f.HostLink(last).From {
-			t.Errorf("%s: HostUpLink(%d) resolves the wrong terminal", name, last)
+		if up := n.HostLinkID(last); up != f.HostLinkID(last) || !f.Table().IsUp(up) {
+			t.Errorf("%s: HostLinkID(%d) resolves the wrong link", name, last)
 		}
-		if n.LinkBusy(n.HostUpLink(0).ID) <= 0 {
+		if n.NumLinks() != f.NumLinks() {
+			t.Errorf("%s: NumLinks = %d, want %d", name, n.NumLinks(), f.NumLinks())
+		}
+		if n.LinkBusy(n.HostLinkID(0)) <= 0 {
 			t.Errorf("%s: transfer left the source host link idle", name)
 		}
 	}
@@ -183,10 +186,10 @@ func TestSegmentLevelZeroBytes(t *testing.T) {
 
 func TestBusyAccounting(t *testing.T) {
 	n := newNet(t, MessageLevel)
-	up := n.HostUpLink(0)
+	up := n.HostLinkID(0)
 	n.Transfer(0, 1, 1<<20, 0)
-	if n.LinkBusy(up.ID) != n.SerTime(1<<20) {
-		t.Errorf("uplink busy = %v, want %v", n.LinkBusy(up.ID), n.SerTime(1<<20))
+	if n.LinkBusy(up) != n.SerTime(1<<20) {
+		t.Errorf("uplink busy = %v, want %v", n.LinkBusy(up), n.SerTime(1<<20))
 	}
 }
 
@@ -194,8 +197,7 @@ func TestRecordIntervals(t *testing.T) {
 	n := newNet(t, MessageLevel)
 	n.RecordIntervals(true)
 	n.Transfer(0, 1, 4096, 0)
-	up := n.HostUpLink(0)
-	ivs := n.BusyIntervals(up.ID)
+	ivs := n.BusyIntervals(n.HostLinkID(0))
 	if len(ivs) != 1 {
 		t.Fatalf("got %d busy intervals, want 1", len(ivs))
 	}
@@ -212,7 +214,7 @@ func TestReset(t *testing.T) {
 	if tr != 0 || by != 0 {
 		t.Error("stats not cleared by Reset")
 	}
-	if n.LinkBusy(n.HostUpLink(0).ID) != 0 {
+	if n.LinkBusy(n.HostLinkID(0)) != 0 {
 		t.Error("busy not cleared by Reset")
 	}
 }

@@ -90,3 +90,48 @@ func TestRunOnEveryFabric(t *testing.T) {
 		t.Error("all fabrics produced identical execution times — routing is fabric-independent")
 	}
 }
+
+// TestRunOnBigPresets replays a small workload spread across the whole
+// 8000-terminal presets, so routes cross the full tree (three up/down levels
+// on xgft3-big, global links on dragonfly-big) and per-LinkID state covers
+// tens of thousands of directed links. TestRunOnEveryFabric already runs the
+// big presets with the default contiguous placement; this pins the
+// wide-spread case and that it stays fast enough for plain `go test`.
+func TestRunOnBigPresets(t *testing.T) {
+	tr, err := workloads.Generate("alya", 8, workloads.Options{IterScale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := DefaultConfig().WithPower(20*time.Microsecond, 0.01).Power
+	for _, name := range []string{"xgft3-big", "dragonfly-big"} {
+		f := topology.MustNamed(name)
+		stride := f.NumTerminals() / 8
+		terms := make([]int, 8)
+		for r := range terms {
+			terms[r] = r * stride
+		}
+		res, err := RunJobs([]Job{{Trace: tr, Terminals: terms, Power: &pw}},
+			DefaultConfig().WithFabric(name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		job := res.Jobs[0]
+		if job.ExecTime <= 0 || job.Transfers == 0 {
+			t.Errorf("%s: implausible result %+v", name, job)
+		}
+		if len(res.LinkBusy) != f.NumLinks() {
+			t.Errorf("%s: LinkBusy over %d links, want %d", name, len(res.LinkBusy), f.NumLinks())
+		}
+		busy := 0
+		for _, b := range res.LinkBusy {
+			if b > 0 {
+				busy++
+			}
+		}
+		// Spread ranks must traverse switch-to-switch links, not just the 16
+		// host links (2 directed per occupied terminal).
+		if busy <= 16 {
+			t.Errorf("%s: only %d links saw traffic — spread placement did not cross the fabric", name, busy)
+		}
+	}
+}

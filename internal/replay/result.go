@@ -5,6 +5,7 @@ import (
 
 	"ibpower/internal/power"
 	"ibpower/internal/predictor"
+	"ibpower/internal/topology"
 	"ibpower/internal/trace"
 )
 
@@ -118,10 +119,9 @@ func (e *engine) collect() *MultiResult {
 		}
 	}
 	m.Transfers, m.BytesMoved = e.net.Stats()
-	links := e.net.Topology().Links()
-	m.LinkBusy = make([]time.Duration, len(links))
-	for i := range links {
-		m.LinkBusy[i] = e.net.LinkBusy(i)
+	m.LinkBusy = make([]time.Duration, e.net.NumLinks())
+	for i := range m.LinkBusy {
+		m.LinkBusy[i] = e.net.LinkBusy(topology.LinkID(i))
 	}
 	return m
 }

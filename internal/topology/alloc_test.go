@@ -5,18 +5,19 @@ import (
 	"testing"
 )
 
-// TestRouteIntoMatchesRoute asserts the append variant produces exactly the
-// same path as Route for the same RNG state, across random terminal pairs.
-func TestRouteIntoMatchesRoute(t *testing.T) {
+// TestRouteIDsIntoMatchesRouteIDs asserts the append variant produces exactly
+// the same path as the allocating wrapper for the same RNG state, across
+// random terminal pairs.
+func TestRouteIDsIntoMatchesRouteIDs(t *testing.T) {
 	topo := Paper()
 	rngA := rand.New(rand.NewSource(7))
 	rngB := rand.New(rand.NewSource(7))
-	buf := make([]*Link, 0, 8)
+	buf := make([]LinkID, 0, 8)
 	pick := rand.New(rand.NewSource(99))
 	for i := 0; i < 500; i++ {
 		src, dst := pick.Intn(252), pick.Intn(252)
-		want := topo.Route(src, dst, rngA)
-		buf = topo.RouteInto(buf[:0], src, dst, rngB)
+		want := RouteIDs(topo, src, dst, rngA)
+		buf = topo.RouteIDsInto(buf[:0], src, dst, rngB)
 		if len(want) != len(buf) {
 			t.Fatalf("pair (%d,%d): lengths differ: %d vs %d", src, dst, len(want), len(buf))
 		}
@@ -28,25 +29,25 @@ func TestRouteIntoMatchesRoute(t *testing.T) {
 	}
 }
 
-// TestRouteIntoNoAllocs is the hot-path regression test: routing into a
+// TestRouteIDsIntoNoAllocs is the hot-path regression test: routing into a
 // buffer with sufficient capacity must not allocate.
-func TestRouteIntoNoAllocs(t *testing.T) {
+func TestRouteIDsIntoNoAllocs(t *testing.T) {
 	topo := Paper()
-	buf := make([]*Link, 0, 8)
+	buf := make([]LinkID, 0, 8)
 	rng := rand.New(rand.NewSource(3))
 	i := 0
 	allocs := testing.AllocsPerRun(1000, func() {
-		buf = topo.RouteInto(buf[:0], i%252, (i*31+17)%252, rng)
+		buf = topo.RouteIDsInto(buf[:0], i%252, (i*31+17)%252, rng)
 		i++
 	})
 	if allocs != 0 {
-		t.Errorf("RouteInto into a reused buffer allocated %.1f/op, want 0", allocs)
+		t.Errorf("RouteIDsInto into a reused buffer allocated %.1f/op, want 0", allocs)
 	}
 }
 
 // TestRouteCacheMatchesRoute asserts cached routing is bit-identical to
 // uncached routing: same paths and, critically, the same RNG draw sequence
-// (the cache must consume exactly the draws Route would).
+// (the cache must consume exactly the draws RouteIDsInto would).
 func TestRouteCacheMatchesRoute(t *testing.T) {
 	topo := Paper()
 	cache := NewRouteCache(topo)
@@ -55,7 +56,7 @@ func TestRouteCacheMatchesRoute(t *testing.T) {
 	pick := rand.New(rand.NewSource(5))
 	for i := 0; i < 2000; i++ {
 		src, dst := pick.Intn(252), pick.Intn(252)
-		want := topo.Route(src, dst, rngA)
+		want := RouteIDs(topo, src, dst, rngA)
 		got := cache.Route(src, dst, rngB)
 		if len(want) != len(got) {
 			t.Fatalf("pair (%d,%d): lengths differ: %d vs %d", src, dst, len(want), len(got))

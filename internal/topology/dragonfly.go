@@ -15,18 +15,27 @@ import (
 // intermediate-group option: inter-group routes draw one intermediate group
 // uniformly at random (Valiant spreading); drawing the source or destination
 // group degenerates to the minimal route. A nil RNG always routes minimally.
+//
+// The representation is flat: terminals and routers are arithmetic indices,
+// and the local/global adjacency lives in dense LinkID arrays.
 type Dragonfly struct {
 	P, A, H int // terminals per router, routers per group, global links per router
 	G       int // groups; A*H+1 (balanced)
 
-	Terminals []*Node
-	Routers   [][]*Node // Routers[g][i] is router i of group g
+	tab LinkTable
 
-	links  []*Link
-	cables int
+	hostUp []LinkID // per terminal: the up-link into its router
 
-	local     [][][]*Link // local[g][i][j]: directed link router i -> j in group g (nil when i==j)
-	globalOut [][]*Link   // globalOut[g][t]: directed link from group g to group t (nil when g==t)
+	// local[(g*A+i)*A+j] is the directed link router i -> j inside group g
+	// (unset when i == j — no route reads the diagonal).
+	local []LinkID
+
+	// Per ordered group pair (g*G+t): the directed link from group g to
+	// group t, the index (within g) of the router owning it, and the index
+	// (within t) of the router it lands on. The diagonal is unset.
+	globalOut   []LinkID
+	globalOwner []int32
+	globalEntry []int32
 }
 
 // NewDragonfly builds the balanced dragonfly with p terminals per router, a
@@ -37,70 +46,54 @@ func NewDragonfly(p, a, h int) (*Dragonfly, error) {
 		return nil, fmt.Errorf("topology: non-positive dragonfly arity p=%d a=%d h=%d", p, a, h)
 	}
 	d := &Dragonfly{P: p, A: a, H: h, G: a*h + 1}
-	nextID := 0
-	mkNode := func(kind NodeKind, level int) *Node {
-		n := &Node{ID: nextID, Kind: kind, Level: level}
-		nextID++
-		return n
-	}
-	cable := func(from, to *Node, up bool) *Link {
-		c := d.cables
-		d.cables++
-		fwd := &Link{ID: len(d.links), From: from, To: to, Cable: c, IsUp: up}
-		rev := &Link{ID: len(d.links) + 1, From: to, To: from, Cable: c}
-		d.links = append(d.links, fwd, rev)
-		return fwd
-	}
+	// Node IDs follow construction order: router (g,i) at (g*a+i)*(p+1),
+	// immediately followed by its p terminals.
+	routerNode := func(g, i int) int32 { return int32((g*a + i) * (p + 1)) }
 
-	// Routers and their terminals.
-	d.Routers = make([][]*Node, d.G)
+	// Routers and their terminals (host cable index = terminal index).
+	d.hostUp = make([]LinkID, d.G*a*p)
+	t := 0
 	for g := 0; g < d.G; g++ {
-		d.Routers[g] = make([]*Node, a)
 		for i := 0; i < a; i++ {
-			r := mkNode(KindSwitch, 1)
-			d.Routers[g][i] = r
+			r := routerNode(g, i)
 			for k := 0; k < p; k++ {
-				t := mkNode(KindTerminal, 0)
-				d.Terminals = append(d.Terminals, t)
-				up := cable(t, r, true)
-				t.Up = append(t.Up, up)
-				r.Down = append(r.Down, d.links[up.ID+1])
+				d.hostUp[t] = d.tab.addCable(r+1+int32(k), r, LinkToSwitch|LinkUp)
+				t++
 			}
 		}
 	}
 	// Local links: complete graph inside every group.
-	d.local = make([][][]*Link, d.G)
+	d.local = make([]LinkID, d.G*a*a)
 	for g := 0; g < d.G; g++ {
-		d.local[g] = make([][]*Link, a)
-		for i := range d.local[g] {
-			d.local[g][i] = make([]*Link, a)
-		}
 		for i := 0; i < a; i++ {
 			for j := i + 1; j < a; j++ {
-				fwd := cable(d.Routers[g][i], d.Routers[g][j], false)
-				d.local[g][i][j] = fwd
-				d.local[g][j][i] = d.links[fwd.ID+1]
+				fwd := d.tab.addCable(routerNode(g, i), routerNode(g, j), LinkFromSwitch|LinkToSwitch)
+				d.local[(g*a+i)*a+j] = fwd
+				d.local[(g*a+j)*a+i] = Reverse(fwd)
 			}
 		}
 	}
 	// Global links: slot s = i*h+k of group g reaches group (g+s+1) mod G;
 	// with G = a*h+1 every unordered group pair gets exactly one cable. The
 	// cable is created once, from the lower-numbered group.
-	d.globalOut = make([][]*Link, d.G)
-	for g := range d.globalOut {
-		d.globalOut[g] = make([]*Link, d.G)
-	}
+	d.globalOut = make([]LinkID, d.G*d.G)
+	d.globalOwner = make([]int32, d.G*d.G)
+	d.globalEntry = make([]int32, d.G*d.G)
 	for g := 0; g < d.G; g++ {
 		for s := 0; s < a*h; s++ {
-			t := (g + s + 1) % d.G
-			if g > t {
+			tg := (g + s + 1) % d.G
+			if g > tg {
 				continue // created from the other side
 			}
-			// Slot of group t that reaches back to g.
-			st := (g - t - 1 + d.G) % d.G
-			fwd := cable(d.Routers[g][s/h], d.Routers[t][st/h], false)
-			d.globalOut[g][t] = fwd
-			d.globalOut[t][g] = d.links[fwd.ID+1]
+			// Slot of group tg that reaches back to g.
+			st := (g - tg - 1 + d.G) % d.G
+			fwd := d.tab.addCable(routerNode(g, s/h), routerNode(tg, st/h), LinkFromSwitch|LinkToSwitch)
+			d.globalOut[g*d.G+tg] = fwd
+			d.globalOwner[g*d.G+tg] = int32(s / h)
+			d.globalEntry[g*d.G+tg] = int32(st / h)
+			d.globalOut[tg*d.G+g] = Reverse(fwd)
+			d.globalOwner[tg*d.G+g] = int32(st / h)
+			d.globalEntry[tg*d.G+g] = int32(s / h)
 		}
 	}
 	return d, nil
@@ -112,32 +105,36 @@ func (d *Dragonfly) Name() string {
 }
 
 // NumTerminals returns the terminal count (G*A*P).
-func (d *Dragonfly) NumTerminals() int { return len(d.Terminals) }
+func (d *Dragonfly) NumTerminals() int { return len(d.hostUp) }
 
 // NumSwitches returns the router count (G*A).
 func (d *Dragonfly) NumSwitches() int { return d.G * d.A }
 
 // NumCables returns the physical cable count.
-func (d *Dragonfly) NumCables() int { return d.cables }
+func (d *Dragonfly) NumCables() int { return d.tab.NumCables() }
 
-// Links returns all directed links, indexed by Link.ID.
-func (d *Dragonfly) Links() []*Link { return d.links }
+// NumLinks returns the directed link count.
+func (d *Dragonfly) NumLinks() int { return d.tab.Len() }
 
-// HostLink returns the directed link from terminal t into its router.
-func (d *Dragonfly) HostLink(t int) *Link { return d.Terminals[t].Up[0] }
+// Table returns the fabric's compact link table.
+func (d *Dragonfly) Table() *LinkTable { return &d.tab }
+
+// RoutingBytes returns the resident size of the flat adjacency arrays.
+func (d *Dragonfly) RoutingBytes() int64 {
+	return int64(len(d.hostUp))*4 + int64(len(d.local))*4 +
+		int64(len(d.globalOut))*4 + int64(len(d.globalOwner))*4 + int64(len(d.globalEntry))*4
+}
+
+// HostLinkID returns the directed link from terminal t into its router.
+func (d *Dragonfly) HostLinkID(t int) LinkID { return d.hostUp[t] }
 
 // group and router locate terminal t's attachment point.
 func (d *Dragonfly) group(t int) int  { return t / (d.A * d.P) }
 func (d *Dragonfly) router(t int) int { return (t / d.P) % d.A }
 
-// Route returns a freshly allocated path from terminal src to terminal dst.
-func (d *Dragonfly) Route(src, dst int, rng *rand.Rand) []*Link {
-	return d.RouteInto(nil, src, dst, rng)
-}
-
-// RouteInto appends the path from src to dst, drawing the intermediate-group
-// choice from rng for inter-group routes.
-func (d *Dragonfly) RouteInto(buf []*Link, src, dst int, rng *rand.Rand) []*Link {
+// RouteIDsInto appends the path from src to dst, drawing the
+// intermediate-group choice from rng for inter-group routes.
+func (d *Dragonfly) RouteIDsInto(buf []LinkID, src, dst int, rng *rand.Rand) []LinkID {
 	return d.route(buf, src, dst, d.drawGroup(src, dst, rng))
 }
 
@@ -152,8 +149,8 @@ func (d *Dragonfly) drawGroup(src, dst int, rng *rand.Rand) int {
 	return rng.Intn(d.G)
 }
 
-// RouteDraws appends the picks RouteInto would draw: exactly one Intn(G) for
-// an inter-group route with a non-nil rng, nothing otherwise.
+// RouteDraws appends the picks RouteIDsInto would draw: exactly one Intn(G)
+// for an inter-group route with a non-nil rng, nothing otherwise.
 func (d *Dragonfly) RouteDraws(draws []int, src, dst int, rng *rand.Rand) []int {
 	gs := d.group(src)
 	if src == dst || gs == d.group(dst) || rng == nil {
@@ -162,10 +159,10 @@ func (d *Dragonfly) RouteDraws(draws []int, src, dst int, rng *rand.Rand) []int 
 	return append(draws, rng.Intn(d.G))
 }
 
-// RouteFromDraws appends the path a recorded draw sequence selects: an empty
-// sequence is the minimal (or intra-group) route, a one-pick sequence names
-// the intermediate group.
-func (d *Dragonfly) RouteFromDraws(buf []*Link, src, dst int, draws []int) []*Link {
+// RouteIDsFromDraws appends the path a recorded draw sequence selects: an
+// empty sequence is the minimal (or intra-group) route, a one-pick sequence
+// names the intermediate group.
+func (d *Dragonfly) RouteIDsFromDraws(buf []LinkID, src, dst int, draws []int) []LinkID {
 	gi := d.group(src)
 	if len(draws) > 0 {
 		gi = draws[0]
@@ -175,50 +172,35 @@ func (d *Dragonfly) RouteFromDraws(buf []*Link, src, dst int, draws []int) []*Li
 
 // route appends the path that detours through group gi (gi equal to either
 // endpoint group degenerates to the minimal route).
-func (d *Dragonfly) route(buf []*Link, src, dst int, gi int) []*Link {
+func (d *Dragonfly) route(buf []LinkID, src, dst int, gi int) []LinkID {
 	if src == dst {
 		return buf
 	}
-	ts, td := d.Terminals[src], d.Terminals[dst]
 	gs, gd := d.group(src), d.group(dst)
-	rd := d.Routers[gd][d.router(dst)]
-	buf = append(buf, ts.Up[0])
-	cur := ts.Up[0].To
+	buf = append(buf, d.hostUp[src])
+	cur := d.router(src)
 	if gs != gd {
 		if gi != gs && gi != gd {
-			buf, cur = d.hop(buf, cur, gs, gi)
-			buf, cur = d.hop(buf, cur, gi, gd)
+			buf, cur = d.hop(buf, gs, cur, gi)
+			buf, cur = d.hop(buf, gi, cur, gd)
 		} else {
-			buf, cur = d.hop(buf, cur, gs, gd)
+			buf, cur = d.hop(buf, gs, cur, gd)
 		}
 	}
-	if cur != rd {
-		local := d.local[gd][d.routerIndex(gd, cur)][d.router(dst)]
-		buf = append(buf, local)
-		cur = local.To
+	if rd := d.router(dst); cur != rd {
+		buf = append(buf, d.local[(gd*d.A+cur)*d.A+rd])
 	}
 	// Down-link of the destination terminal: its host cable's reverse.
-	buf = append(buf, d.links[td.Up[0].ID+1])
-	return buf
+	return append(buf, Reverse(d.hostUp[dst]))
 }
 
 // hop appends the (at most one local plus one global) links taking cur, a
-// router of group g, into group t, and returns the entry router there.
-func (d *Dragonfly) hop(buf []*Link, cur *Node, g, t int) ([]*Link, *Node) {
-	out := d.globalOut[g][t]
-	if owner := out.From; owner != cur {
-		local := d.local[g][d.routerIndex(g, cur)][d.routerIndex(g, owner)]
-		buf = append(buf, local)
+// router index of group g, into group t, and returns the entry router index
+// there.
+func (d *Dragonfly) hop(buf []LinkID, g, cur, t int) ([]LinkID, int) {
+	i := g*d.G + t
+	if owner := int(d.globalOwner[i]); owner != cur {
+		buf = append(buf, d.local[(g*d.A+cur)*d.A+owner])
 	}
-	return append(buf, out), out.To
-}
-
-// routerIndex returns r's index within group g.
-func (d *Dragonfly) routerIndex(g int, r *Node) int {
-	for i, n := range d.Routers[g] {
-		if n == r {
-			return i
-		}
-	}
-	panic(fmt.Sprintf("topology: node %d is not a router of dragonfly group %d", r.ID, g))
+	return append(buf, d.globalOut[i]), int(d.globalEntry[i])
 }

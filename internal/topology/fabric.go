@@ -15,19 +15,22 @@ import (
 // function. Implementations are immutable after construction, so one instance
 // can be shared by every replay engine and concurrent sweep point.
 //
+// Links are identified by dense LinkIDs into the fabric's LinkTable — paths
+// are []LinkID and per-link state lives in flat slices sized by NumLinks().
+//
 // Routing is split into three methods so the RouteCache can memoize paths
 // without disturbing the random-routing draw sequence:
 //
-//   - RouteInto computes a path directly, drawing any random choices from
+//   - RouteIDsInto computes a path directly, drawing any random choices from
 //     rng (the plain, uncached entry point).
-//   - RouteDraws consumes from rng exactly the draws RouteInto would make
+//   - RouteDraws consumes from rng exactly the draws RouteIDsInto would make
 //     for (src, dst) — same count, same order, same Intn arguments — and
 //     records each pick. Timings driven by a shared RNG therefore stay
 //     bit-identical whether or not a cache sits in front of the fabric.
-//   - RouteFromDraws deterministically reconstructs the path a recorded
+//   - RouteIDsFromDraws deterministically reconstructs the path a recorded
 //     draw sequence selects. For any rng state,
-//     RouteFromDraws(nil, s, d, RouteDraws(nil, s, d, rng)) must equal
-//     RouteInto(nil, s, d, rng') where rng' started in the same state.
+//     RouteIDsFromDraws(nil, s, d, RouteDraws(nil, s, d, rng)) must equal
+//     RouteIDsInto(nil, s, d, rng') where rng' started in the same state.
 //
 // A nil rng must route deterministically (pick 0 / minimal), still recording
 // the picks that reproduce that path.
@@ -42,28 +45,31 @@ type Fabric interface {
 	// NumCables returns the number of physical cables; every cable is two
 	// directed links.
 	NumCables() int
-	// Links returns all directed links. Link IDs are dense indexes into this
-	// slice, so per-link state arrays can be sized by len(Links()).
-	Links() []*Link
-	// HostLink returns the directed link from terminal t into its first-hop
-	// switch — the link the power mechanism manages.
-	HostLink(t int) *Link
-	// RouteInto appends the directed links of a valid adjacent-link path
+	// NumLinks returns the number of directed links (2*NumCables). LinkIDs
+	// are dense in [0, NumLinks()), so per-link state arrays are sized by it.
+	NumLinks() int
+	// Table returns the fabric's compact link table, shared and immutable.
+	Table() *LinkTable
+	// HostLinkID returns the directed link from terminal t into its
+	// first-hop switch — the link the power mechanism manages.
+	HostLinkID(t int) LinkID
+	// RouteIDsInto appends the directed links of a valid adjacent-link path
 	// from terminal src to terminal dst and returns the extended slice.
 	// src == dst appends nothing.
-	RouteInto(buf []*Link, src, dst int, rng *rand.Rand) []*Link
-	// RouteDraws appends the random picks RouteInto would draw from rng for
-	// (src, dst), consuming rng identically, and returns the extended slice.
+	RouteIDsInto(buf []LinkID, src, dst int, rng *rand.Rand) []LinkID
+	// RouteDraws appends the random picks RouteIDsInto would draw from rng
+	// for (src, dst), consuming rng identically, and returns the extended
+	// slice.
 	RouteDraws(draws []int, src, dst int, rng *rand.Rand) []int
-	// RouteFromDraws appends the path selected by a draw sequence previously
-	// recorded by RouteDraws for the same (src, dst).
-	RouteFromDraws(buf []*Link, src, dst int, draws []int) []*Link
+	// RouteIDsFromDraws appends the path selected by a draw sequence
+	// previously recorded by RouteDraws for the same (src, dst).
+	RouteIDsFromDraws(buf []LinkID, src, dst int, draws []int) []LinkID
 }
 
-// Route returns a freshly allocated path over f (convenience wrapper over
-// RouteInto, mirroring XGFT.Route).
-func Route(f Fabric, src, dst int, rng *rand.Rand) []*Link {
-	return f.RouteInto(nil, src, dst, rng)
+// RouteIDs returns a freshly allocated path over f (convenience wrapper over
+// RouteIDsInto).
+func RouteIDs(f Fabric, src, dst int, rng *rand.Rand) []LinkID {
+	return f.RouteIDsInto(nil, src, dst, rng)
 }
 
 // DefaultFabric is the registry entry used when no fabric is named: the
@@ -181,4 +187,13 @@ func init() {
 	// Tori with dimension-order routing, 144 routers x 1 terminal each.
 	Register("torus2d", func() (Fabric, error) { return NewTorus([]int{12, 12}, 1) })
 	Register("torus3d", func() (Fabric, error) { return NewTorus([]int{6, 6, 4}, 1) })
+	// Supercomputer-scale presets for the scale axis of the evaluation.
+	// xgft3-big: a full-bisection three-level fat tree XGFT(3;20,20,20;1,20,20)
+	// — 8000 terminals, 1200 switches, 24000 cables; cross-tree routes draw
+	// two Intn(20) picks, still well inside the cache's 8-bit draw fields.
+	Register("xgft3-big", func() (Fabric, error) { return New(3, []int{20, 20, 20}, []int{1, 20, 20}) })
+	// dragonfly-big: a balanced dragonfly with 8 terminals per router, 16
+	// routers per group and 4 global links per router -> 65 groups, 8320
+	// terminals, 18200 cables. The Valiant draw is Intn(65), cache-packable.
+	Register("dragonfly-big", func() (Fabric, error) { return NewDragonfly(8, 16, 4) })
 }

@@ -10,7 +10,7 @@ import (
 // for the evaluation grid (up to 128 processes), and is memoized.
 func TestRegistryPresets(t *testing.T) {
 	names := Names()
-	for _, want := range []string{"xgft", "xgft3", "dragonfly", "torus2d", "torus3d"} {
+	for _, want := range []string{"xgft", "xgft3", "dragonfly", "torus2d", "torus3d", "xgft3-big", "dragonfly-big"} {
 		found := false
 		for _, n := range names {
 			if n == want {
@@ -32,8 +32,11 @@ func TestRegistryPresets(t *testing.T) {
 		if again, _ := Named(n); again != f {
 			t.Errorf("%s: Named returned a different instance on second lookup", n)
 		}
-		if len(f.Links()) != 2*f.NumCables() {
-			t.Errorf("%s: %d directed links, want %d (2 per cable)", n, len(f.Links()), 2*f.NumCables())
+		if f.NumLinks() != 2*f.NumCables() {
+			t.Errorf("%s: %d directed links, want %d (2 per cable)", n, f.NumLinks(), 2*f.NumCables())
+		}
+		if tab := f.Table(); tab.Len() != f.NumLinks() {
+			t.Errorf("%s: table has %d links, NumLinks reports %d", n, tab.Len(), f.NumLinks())
 		}
 	}
 	if f, err := Named(""); err != nil || f != MustNamed(DefaultFabric) {
@@ -73,7 +76,9 @@ func TestRegisterPanics(t *testing.T) {
 	})
 }
 
-// TestCableClosedForms pins each preset's cable count to its closed form.
+// TestCableClosedForms pins each preset's cable count to its closed form —
+// including the supercomputer-scale presets, whose structure is checked here
+// in closed form rather than by exhaustive walks.
 func TestCableClosedForms(t *testing.T) {
 	cases := []struct {
 		name      string
@@ -90,6 +95,12 @@ func TestCableClosedForms(t *testing.T) {
 		{"torus2d", 144, 144 + 144*2},
 		// 6x6x4 torus: 144 host + 144 routers * 3 dimensions.
 		{"torus3d", 144, 144 + 144*3},
+		// XGFT(3;20,20,20;1,20,20): full bisection — 8000 host + 400 L1*20 +
+		// 400 L2*20.
+		{"xgft3-big", 8000, 8000 + 400*20 + 400*20},
+		// Dragonfly(p=8,a=16,h=4): 65 groups; 8320 host + 65*C(16,2) local +
+		// C(65,2) global.
+		{"dragonfly-big", 8320, 8320 + 65*120 + 65*64/2},
 	}
 	for _, c := range cases {
 		f := MustNamed(c.name)
@@ -102,10 +113,39 @@ func TestCableClosedForms(t *testing.T) {
 	}
 }
 
+// TestBigPresetSwitchCounts pins the big presets' switch populations and
+// host-link wiring in closed form.
+func TestBigPresetSwitchCounts(t *testing.T) {
+	xg := MustNamed("xgft3-big").(*XGFT)
+	if xg.NumSwitches() != 1200 {
+		t.Errorf("xgft3-big: switches = %d, want 1200", xg.NumSwitches())
+	}
+	for l := 1; l <= 3; l++ {
+		if got := xg.SwitchesAtLevel(l); got != 400 {
+			t.Errorf("xgft3-big: level-%d switches = %d, want 400", l, got)
+		}
+	}
+	df := MustNamed("dragonfly-big").(*Dragonfly)
+	if df.NumSwitches() != 65*16 {
+		t.Errorf("dragonfly-big: routers = %d, want %d", df.NumSwitches(), 65*16)
+	}
+	// 20 terminals per leaf switch on the fat tree, 8 per dragonfly router.
+	leaves := map[int32]int{}
+	for i := 0; i < xg.NumTerminals(); i++ {
+		leaves[HostSwitch(xg, i)]++
+	}
+	for sw, n := range leaves {
+		if n != 20 {
+			t.Fatalf("xgft3-big: leaf switch %d hosts %d terminals, want 20", sw, n)
+		}
+	}
+}
+
 // checkPath asserts path is a valid adjacent-link walk from terminal src to
-// terminal dst over f's own links, and returns it for fabric-specific checks.
-func checkPath(t *testing.T, f Fabric, src, dst int, path []*Link) {
+// terminal dst over f's own link table.
+func checkPath(t *testing.T, f Fabric, src, dst int, path []LinkID) {
 	t.Helper()
+	tab := f.Table()
 	if src == dst {
 		if len(path) != 0 {
 			t.Fatalf("%s: self route %d has %d links, want 0", f.Name(), src, len(path))
@@ -115,30 +155,31 @@ func checkPath(t *testing.T, f Fabric, src, dst int, path []*Link) {
 	if len(path) == 0 {
 		t.Fatalf("%s: empty route %d->%d", f.Name(), src, dst)
 	}
-	if path[0].From != f.HostLink(src).From {
+	if tab.From[path[0]] != tab.From[f.HostLinkID(src)] {
 		t.Fatalf("%s: route %d->%d does not start at src terminal", f.Name(), src, dst)
 	}
-	if path[len(path)-1].To != f.HostLink(dst).From {
+	if tab.To[path[len(path)-1]] != tab.From[f.HostLinkID(dst)] {
 		t.Fatalf("%s: route %d->%d does not end at dst terminal", f.Name(), src, dst)
 	}
-	cur := path[0].From
+	cur := tab.From[path[0]]
 	for i, l := range path {
-		if f.Links()[l.ID] != l {
+		if l < 0 || int(l) >= tab.Len() {
 			t.Fatalf("%s: route %d->%d hop %d is not a fabric link", f.Name(), src, dst, i)
 		}
-		if l.From != cur {
+		if tab.From[l] != cur {
 			t.Fatalf("%s: route %d->%d discontiguous at hop %d", f.Name(), src, dst, i)
 		}
-		if i > 0 && i < len(path)-1 && l.To.Kind == KindTerminal {
-			t.Fatalf("%s: route %d->%d passes through terminal %d mid-path", f.Name(), src, dst, l.To.ID)
+		if i < len(path)-1 && tab.Kind[l]&LinkToSwitch == 0 {
+			t.Fatalf("%s: route %d->%d passes through terminal %d mid-path", f.Name(), src, dst, tab.To[l])
 		}
-		cur = l.To
+		cur = tab.To[l]
 	}
 }
 
 // TestRouteValidityAllFabrics is the cross-fabric structural property: every
-// route over every registered fabric is a valid adjacent-link path from src
-// to dst, with and without random routing.
+// route over every registered fabric — the 8k-terminal presets included — is
+// a valid adjacent-link path from src to dst, with and without random
+// routing. Sampled pairs keep it fast enough for plain `go test`.
 func TestRouteValidityAllFabrics(t *testing.T) {
 	for _, name := range Names() {
 		f := MustNamed(name)
@@ -147,8 +188,8 @@ func TestRouteValidityAllFabrics(t *testing.T) {
 		n := f.NumTerminals()
 		for i := 0; i < 400; i++ {
 			src, dst := pick.Intn(n), pick.Intn(n)
-			checkPath(t, f, src, dst, f.RouteInto(nil, src, dst, rng))
-			checkPath(t, f, src, dst, f.RouteInto(nil, src, dst, nil))
+			checkPath(t, f, src, dst, f.RouteIDsInto(nil, src, dst, rng))
+			checkPath(t, f, src, dst, f.RouteIDsInto(nil, src, dst, nil))
 		}
 	}
 }
@@ -156,90 +197,88 @@ func TestRouteValidityAllFabrics(t *testing.T) {
 // TestXGFT3UpDownInvariant asserts three-level routes ascend then descend —
 // never up again after the first down link.
 func TestXGFT3UpDownInvariant(t *testing.T) {
-	f := MustNamed("xgft3").(*XGFT)
-	rng := rand.New(rand.NewSource(3))
-	pick := rand.New(rand.NewSource(17))
-	for i := 0; i < 400; i++ {
-		src, dst := pick.Intn(144), pick.Intn(144)
-		if src == dst {
-			continue
-		}
-		path := f.RouteInto(nil, src, dst, rng)
-		descending := false
-		for j, l := range path {
-			if l.IsUp && descending {
-				t.Fatalf("route %d->%d goes up at hop %d after descending", src, dst, j)
+	for _, name := range []string{"xgft3", "xgft3-big"} {
+		f := MustNamed(name).(*XGFT)
+		tab := f.Table()
+		rng := rand.New(rand.NewSource(3))
+		pick := rand.New(rand.NewSource(17))
+		n := f.NumTerminals()
+		for i := 0; i < 400; i++ {
+			src, dst := pick.Intn(n), pick.Intn(n)
+			if src == dst {
+				continue
 			}
-			if !l.IsUp {
-				descending = true
+			path := f.RouteIDsInto(nil, src, dst, rng)
+			descending := false
+			for j, l := range path {
+				if tab.IsUp(l) && descending {
+					t.Fatalf("%s: route %d->%d goes up at hop %d after descending", name, src, dst, j)
+				}
+				if !tab.IsUp(l) {
+					descending = true
+				}
 			}
 		}
 	}
 }
 
-// TestDragonflyInvariants asserts dragonfly routes use at most two global
-// hops (minimal or one Valiant detour) and that random intermediate-group
-// routing actually spreads traffic over the groups.
+// TestDragonflyInvariants asserts dragonfly routes — on the small and the
+// 8k-terminal preset — use at most two global hops (minimal or one Valiant
+// detour) and that random intermediate-group routing spreads traffic over
+// the groups.
 func TestDragonflyInvariants(t *testing.T) {
-	f := MustNamed("dragonfly").(*Dragonfly)
-	rng := rand.New(rand.NewSource(5))
-	pick := rand.New(rand.NewSource(23))
-	isGlobal := func(l *Link) bool {
-		return l.From.Kind == KindSwitch && l.To.Kind == KindSwitch &&
-			f.groupOfRouter(l.From) != f.groupOfRouter(l.To)
-	}
-	globalsUsed := map[int]bool{}
-	for i := 0; i < 600; i++ {
-		src, dst := pick.Intn(144), pick.Intn(144)
-		if src == dst {
-			continue
+	for _, name := range []string{"dragonfly", "dragonfly-big"} {
+		f := MustNamed(name).(*Dragonfly)
+		tab := f.Table()
+		rng := rand.New(rand.NewSource(5))
+		pick := rand.New(rand.NewSource(23))
+		// Routers occupy node IDs at multiples of P+1; group = router/A.
+		groupOfNode := func(n int32) int { return int(n) / (f.P + 1) / f.A }
+		isGlobal := func(l LinkID) bool {
+			return tab.SwitchToSwitch(l) && groupOfNode(tab.From[l]) != groupOfNode(tab.To[l])
 		}
-		path := f.RouteInto(nil, src, dst, rng)
-		globals := 0
-		for _, l := range path {
-			if isGlobal(l) {
-				globals++
+		globalsUsed := map[int32]bool{}
+		n := f.NumTerminals()
+		for i := 0; i < 600; i++ {
+			src, dst := pick.Intn(n), pick.Intn(n)
+			if src == dst {
+				continue
 			}
-		}
-		if globals > 2 {
-			t.Fatalf("route %d->%d crossed %d global links, want <= 2", src, dst, globals)
-		}
-		if f.group(src) != f.group(dst) {
-			if globals == 0 {
-				t.Fatalf("inter-group route %d->%d used no global link", src, dst)
-			}
-			globals = 0
-			minimal := f.RouteInto(nil, src, dst, nil)
-			for _, l := range minimal {
+			path := f.RouteIDsInto(nil, src, dst, rng)
+			globals := 0
+			for _, l := range path {
 				if isGlobal(l) {
 					globals++
 				}
 			}
-			if globals != 1 {
-				t.Fatalf("minimal route %d->%d crossed %d global links, want 1", src, dst, globals)
+			if globals > 2 {
+				t.Fatalf("%s: route %d->%d crossed %d global links, want <= 2", name, src, dst, globals)
+			}
+			if f.group(src) != f.group(dst) {
+				if globals == 0 {
+					t.Fatalf("%s: inter-group route %d->%d used no global link", name, src, dst)
+				}
+				globals = 0
+				minimal := f.RouteIDsInto(nil, src, dst, nil)
+				for _, l := range minimal {
+					if isGlobal(l) {
+						globals++
+					}
+				}
+				if globals != 1 {
+					t.Fatalf("%s: minimal route %d->%d crossed %d global links, want 1", name, src, dst, globals)
+				}
+			}
+			for _, l := range path {
+				if isGlobal(l) {
+					globalsUsed[tab.Cable[l]] = true
+				}
 			}
 		}
-		for _, l := range path {
-			if isGlobal(l) {
-				globalsUsed[l.Cable] = true
-			}
+		if len(globalsUsed) < 10 {
+			t.Errorf("%s: random intermediate groups exercised only %d global cables", name, len(globalsUsed))
 		}
 	}
-	if len(globalsUsed) < 10 {
-		t.Errorf("random intermediate groups exercised only %d global cables", len(globalsUsed))
-	}
-}
-
-// groupOfRouter locates a router's group (test helper).
-func (d *Dragonfly) groupOfRouter(r *Node) int {
-	for g := range d.Routers {
-		for _, n := range d.Routers[g] {
-			if n == r {
-				return g
-			}
-		}
-	}
-	return -1
 }
 
 // TestTorusDimensionOrder asserts torus routes correct dimensions strictly
@@ -247,6 +286,7 @@ func (d *Dragonfly) groupOfRouter(r *Node) int {
 // deterministic.
 func TestTorusDimensionOrder(t *testing.T) {
 	f := MustNamed("torus3d").(*Torus)
+	tab := f.Table()
 	pick := rand.New(rand.NewSource(29))
 	coords := func(r int) []int {
 		c := make([]int, len(f.Dims))
@@ -255,22 +295,15 @@ func TestTorusDimensionOrder(t *testing.T) {
 		}
 		return c
 	}
-	routerOf := func(n *Node) int {
-		for i, r := range f.Routers {
-			if r == n {
-				return i
-			}
-		}
-		t.Fatalf("node %d is not a router", n.ID)
-		return -1
-	}
+	// Routers occupy node IDs at multiples of P+1.
+	routerOf := func(n int32) int { return int(n) / (f.P + 1) }
 	for i := 0; i < 400; i++ {
 		src, dst := pick.Intn(144), pick.Intn(144)
 		if src == dst {
 			continue
 		}
-		path := f.RouteInto(nil, src, dst, rand.New(rand.NewSource(int64(i))))
-		if again := f.RouteInto(nil, src, dst, nil); len(again) != len(path) {
+		path := f.RouteIDsInto(nil, src, dst, rand.New(rand.NewSource(int64(i))))
+		if again := f.RouteIDsInto(nil, src, dst, nil); len(again) != len(path) {
 			t.Fatalf("route %d->%d depends on the RNG", src, dst)
 		}
 		// Interior hops are router->router ring steps.
@@ -288,7 +321,7 @@ func TestTorusDimensionOrder(t *testing.T) {
 			t.Fatalf("route %d->%d has %d links, want %d (shortest arcs)", src, dst, len(path), expectedLen)
 		}
 		for _, l := range path[1 : len(path)-1] {
-			a, b := coords(routerOf(l.From)), coords(routerOf(l.To))
+			a, b := coords(routerOf(tab.From[l])), coords(routerOf(tab.To[l]))
 			changed := -1
 			for d := range a {
 				if a[d] != b[d] {
@@ -315,7 +348,7 @@ func TestTorusDimensionOrder(t *testing.T) {
 
 // TestRouteCacheMatchesAllFabrics asserts cached routing over every
 // registered fabric returns the exact uncached path and consumes the RNG
-// identically — the contract RouteDraws/RouteFromDraws exist for.
+// identically — the contract RouteDraws/RouteIDsFromDraws exist for.
 func TestRouteCacheMatchesAllFabrics(t *testing.T) {
 	for _, name := range Names() {
 		f := MustNamed(name)
@@ -326,7 +359,7 @@ func TestRouteCacheMatchesAllFabrics(t *testing.T) {
 		n := f.NumTerminals()
 		for i := 0; i < 1500; i++ {
 			src, dst := pick.Intn(n), pick.Intn(n)
-			want := f.RouteInto(nil, src, dst, rngA)
+			want := f.RouteIDsInto(nil, src, dst, rngA)
 			got := cache.Route(src, dst, rngB)
 			if len(want) != len(got) {
 				t.Fatalf("%s (%d,%d): lengths differ: %d vs %d", name, src, dst, len(want), len(got))
@@ -343,44 +376,90 @@ func TestRouteCacheMatchesAllFabrics(t *testing.T) {
 		if cache.Len() == 0 {
 			t.Errorf("%s: cache memoized no routes", name)
 		}
+		if cache.Len() > cache.Cap() {
+			t.Errorf("%s: cache holds %d routes over its bound %d", name, cache.Len(), cache.Cap())
+		}
 		if cache.Fabric() != f {
 			t.Errorf("%s: cache reports wrong fabric", name)
 		}
 	}
 }
 
+// TestRouteCacheBoundedEviction drives a deliberately tiny cache far past
+// its capacity and asserts (a) the bound holds, (b) clock eviction actually
+// runs, and (c) cached routing stays bit-identical to uncached routing —
+// eviction must never disturb paths or the RNG draw sequence.
+func TestRouteCacheBoundedEviction(t *testing.T) {
+	f := MustNamed("xgft3")
+	cache := NewRouteCacheSize(f, 64)
+	if cache.Cap() < 64 {
+		t.Fatalf("Cap() = %d, want >= 64", cache.Cap())
+	}
+	rngA := rand.New(rand.NewSource(19))
+	rngB := rand.New(rand.NewSource(19))
+	pick := rand.New(rand.NewSource(37))
+	n := f.NumTerminals()
+	for i := 0; i < 6000; i++ {
+		src, dst := pick.Intn(n), pick.Intn(n)
+		want := f.RouteIDsInto(nil, src, dst, rngA)
+		got := cache.Route(src, dst, rngB)
+		if len(want) != len(got) {
+			t.Fatalf("(%d,%d): lengths differ: %d vs %d", src, dst, len(want), len(got))
+		}
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("(%d,%d): hop %d differs after eviction churn", src, dst, j)
+			}
+		}
+		if cache.Len() > cache.Cap() {
+			t.Fatalf("cache grew to %d routes, bound is %d", cache.Len(), cache.Cap())
+		}
+	}
+	if a, b := rngA.Int63(), rngB.Int63(); a != b {
+		t.Error("RNG states diverged under eviction churn")
+	}
+	hits, misses, evictions := cache.Stats()
+	if evictions == 0 {
+		t.Error("tiny cache saw no evictions")
+	}
+	if hits == 0 || misses == 0 {
+		t.Errorf("implausible counters: hits=%d misses=%d", hits, misses)
+	}
+}
+
 // collideFabric is a minimal Fabric whose routing draw deliberately exceeds
 // the cache's packed-key field width: fan-out 300 means picks 1 and 257
 // alias under naive 8-bit packing (257 & 0xff == 1). Paths are one synthetic
-// link per pick, so a collision would return the wrong link. It can also
-// vary the number of draws per route (variable=true draws a second pick when
-// the first is zero), aliasing [0, x] with [x] under count-free packing.
+// link per pick (the forward link of cable p), so a collision would return
+// the wrong link. It can also vary the number of draws per route
+// (variable=true draws a second pick when the first is zero), aliasing
+// [0, x] with [x] under count-free packing.
 type collideFabric struct {
-	links    []*Link
+	tab      LinkTable
 	fan      int
 	variable bool
 }
 
 func newCollideFabric(fan int, variable bool) *collideFabric {
 	f := &collideFabric{fan: fan, variable: variable}
-	host := &Node{ID: 0, Kind: KindTerminal}
-	sw := &Node{ID: 1, Kind: KindSwitch, Level: 1}
 	for i := 0; i < fan; i++ {
-		l := &Link{ID: i, From: host, To: sw, Cable: i, IsUp: true}
-		f.links = append(f.links, l)
+		f.tab.addCable(0, 1, LinkToSwitch|LinkUp)
 	}
-	host.Up = append(host.Up, f.links[0])
 	return f
 }
 
-func (f *collideFabric) Name() string         { return "collide" }
-func (f *collideFabric) NumTerminals() int    { return 2 }
-func (f *collideFabric) NumSwitches() int     { return 1 }
-func (f *collideFabric) NumCables() int       { return f.fan }
-func (f *collideFabric) Links() []*Link       { return f.links }
-func (f *collideFabric) HostLink(t int) *Link { return f.links[0] }
-func (f *collideFabric) RouteInto(buf []*Link, src, dst int, rng *rand.Rand) []*Link {
-	return f.RouteFromDraws(buf, src, dst, f.RouteDraws(nil, src, dst, rng))
+// linkFor maps pick p to its synthetic link (cable p's forward direction).
+func (f *collideFabric) linkFor(p int) LinkID { return LinkID(2 * p) }
+
+func (f *collideFabric) Name() string          { return "collide" }
+func (f *collideFabric) NumTerminals() int     { return 2 }
+func (f *collideFabric) NumSwitches() int      { return 1 }
+func (f *collideFabric) NumCables() int        { return f.fan }
+func (f *collideFabric) NumLinks() int         { return f.tab.Len() }
+func (f *collideFabric) Table() *LinkTable     { return &f.tab }
+func (f *collideFabric) HostLinkID(int) LinkID { return 0 }
+func (f *collideFabric) RouteIDsInto(buf []LinkID, src, dst int, rng *rand.Rand) []LinkID {
+	return f.RouteIDsFromDraws(buf, src, dst, f.RouteDraws(nil, src, dst, rng))
 }
 func (f *collideFabric) RouteDraws(draws []int, src, dst int, rng *rand.Rand) []int {
 	if src == dst || rng == nil {
@@ -393,9 +472,9 @@ func (f *collideFabric) RouteDraws(draws []int, src, dst int, rng *rand.Rand) []
 	}
 	return draws
 }
-func (f *collideFabric) RouteFromDraws(buf []*Link, src, dst int, draws []int) []*Link {
+func (f *collideFabric) RouteIDsFromDraws(buf []LinkID, src, dst int, draws []int) []LinkID {
 	for _, p := range draws {
-		buf = append(buf, f.links[p])
+		buf = append(buf, f.linkFor(p))
 	}
 	return buf
 }
@@ -444,28 +523,57 @@ func TestRouteCacheCollisionRegression(t *testing.T) {
 	f := newCollideFabric(300, false)
 	cache := NewRouteCache(f)
 	first := cache.Route(0, 1, drawRNG(300, 1))
-	if len(first) != 1 || first[0] != f.links[1] {
+	if len(first) != 1 || first[0] != f.linkFor(1) {
 		t.Fatalf("pick 1 routed to %v", first)
 	}
 	second := cache.Route(0, 1, drawRNG(300, 257))
-	if len(second) != 1 || second[0] != f.links[257] {
-		t.Fatalf("pick 257 returned link %d — aliased with pick 1's cached route", second[0].ID)
+	if len(second) != 1 || second[0] != f.linkFor(257) {
+		t.Fatalf("pick 257 returned link %d — aliased with pick 1's cached route", second[0])
 	}
 
 	// Variable-length sequences: [5] then [0, 5] for the same (src, dst).
 	fv := newCollideFabric(16, true)
 	cachev := NewRouteCache(fv)
 	one := cachev.Route(0, 1, drawRNG(16, 5))
-	if len(one) != 1 || one[0] != fv.links[5] {
+	if len(one) != 1 || one[0] != fv.linkFor(5) {
 		t.Fatalf("draw [5] routed to %v", one)
 	}
 	two := cachev.Route(0, 1, drawRNG(16, 0, 5))
-	if len(two) != 2 || two[0] != fv.links[0] || two[1] != fv.links[5] {
+	if len(two) != 2 || two[0] != fv.linkFor(0) || two[1] != fv.linkFor(5) {
 		t.Fatalf("draw [0,5] returned %d link(s) — aliased with draw [5]'s cached route", len(two))
 	}
 	// In-range draws on the same fabric still memoize.
 	if cachev.Len() == 0 {
 		t.Error("in-range draws were not cached")
+	}
+}
+
+// TestRouteCacheHighRadixUncached is the 8-bit draw-packing regression for
+// high-radix fabrics: any pick >= 256 must route uncached — correct links,
+// nothing memoized under an aliasing key — while in-range picks on the same
+// fabric keep memoizing.
+func TestRouteCacheHighRadixUncached(t *testing.T) {
+	f := newCollideFabric(300, false)
+	cache := NewRouteCache(f)
+	for _, pick := range []int{256, 257, 299} {
+		for round := 0; round < 2; round++ {
+			got := cache.Route(0, 1, drawRNG(300, pick))
+			if len(got) != 1 || got[0] != f.linkFor(pick) {
+				t.Fatalf("pick %d round %d routed to %v, want link %d", pick, round, got, f.linkFor(pick))
+			}
+		}
+		if cache.Len() != 0 {
+			t.Fatalf("pick %d was memoized; high-radix draws must route uncached", pick)
+		}
+	}
+	if got := cache.Route(0, 1, drawRNG(300, 42)); len(got) != 1 || got[0] != f.linkFor(42) {
+		t.Fatalf("in-range pick routed to %v", got)
+	}
+	if cache.Len() != 1 {
+		t.Errorf("in-range pick not memoized (len=%d)", cache.Len())
+	}
+	if _, misses, _ := cache.Stats(); misses < 7 {
+		t.Errorf("uncached routes must count as misses (misses=%d)", misses)
 	}
 }
 
@@ -487,5 +595,36 @@ func TestRouteCachePackGuard(t *testing.T) {
 	b, _ := packDraws([]int{2, 1})
 	if a == b {
 		t.Error("packing is order-insensitive")
+	}
+}
+
+// TestLinkTableInvariants pins the table-wide structural contract every
+// consumer leans on: cable pairing by Reverse, kind-bit mirroring, and the
+// memory report.
+func TestLinkTableInvariants(t *testing.T) {
+	for _, name := range Names() {
+		tab := MustNamed(name).Table()
+		for id := 0; id < tab.Len(); id += 2 {
+			fwd, rev := LinkID(id), Reverse(LinkID(id))
+			if rev != LinkID(id)+1 || Reverse(rev) != fwd {
+				t.Fatalf("%s: Reverse is not an involution at %d", name, id)
+			}
+			if tab.From[fwd] != tab.To[rev] || tab.To[fwd] != tab.From[rev] {
+				t.Fatalf("%s: cable %d directions are not mirrored", name, tab.Cable[fwd])
+			}
+			if tab.Cable[fwd] != tab.Cable[rev] {
+				t.Fatalf("%s: link pair %d has mismatched cables", name, id)
+			}
+			if tab.IsUp(rev) {
+				t.Fatalf("%s: reverse link %d claims to ascend", name, id+1)
+			}
+			fromSw := tab.Kind[fwd]&LinkFromSwitch != 0
+			if toSwRev := tab.Kind[rev]&LinkToSwitch != 0; fromSw != toSwRev {
+				t.Fatalf("%s: kind bits of pair %d are not mirrored", name, id)
+			}
+		}
+		if tab.Bytes() != int64(tab.Len())*13 {
+			t.Errorf("%s: Bytes() = %d, want %d (13 per directed link)", name, tab.Bytes(), tab.Len()*13)
+		}
 	}
 }

@@ -1,0 +1,110 @@
+package topology
+
+// LinkID is the dense index of a directed link in a fabric's LinkTable.
+// Routing, timing and energy accounting traffic in LinkIDs instead of link
+// pointers: a path is a []LinkID, per-link state is a flat slice indexed by
+// LinkID, and the per-hop cost of following a route is one int32 array read
+// instead of a pointer chase. int32 bounds a fabric at ~2^31 directed links —
+// three orders of magnitude above the 100k-endpoint machines the registry's
+// big presets model.
+type LinkID int32
+
+// Reverse returns the opposite direction of the same cable. Every cable's two
+// directed links are allocated adjacently (forward at an even ID, reverse at
+// the following odd ID), so the pairing is pure arithmetic.
+func Reverse(id LinkID) LinkID { return id ^ 1 }
+
+// LinkKind is a bitset describing a directed link's endpoints and
+// orientation. It replaces the old per-link Node pointers for every consumer
+// that only asked "is this endpoint a switch?" or "is this an up-link?".
+type LinkKind uint8
+
+// LinkKind bits.
+const (
+	// LinkFromSwitch is set when the link's source is a switch (clear: a
+	// terminal).
+	LinkFromSwitch LinkKind = 1 << iota
+	// LinkToSwitch is set when the link's destination is a switch.
+	LinkToSwitch
+	// LinkUp is set when the link ascends toward a higher level (host
+	// up-links and fat-tree up-links; lateral links carry neither direction).
+	LinkUp
+)
+
+// LinkTable is the compact per-fabric link representation: four flat arrays
+// indexed by LinkID. Node IDs follow the fabric's construction order
+// (terminals and switches share one dense ID space); Cable is shared by the
+// two directions of one physical cable. The table is immutable after
+// construction and shared by every consumer, so per-fabric memory is
+// 13 bytes per directed link regardless of how many engines route over it.
+type LinkTable struct {
+	From  []int32    // source node ID per link
+	To    []int32    // destination node ID per link
+	Cable []int32    // physical cable index (shared by both directions)
+	Kind  []LinkKind // endpoint/orientation bits
+}
+
+// Len returns the number of directed links.
+func (t *LinkTable) Len() int { return len(t.From) }
+
+// NumCables returns the physical cable count (two directed links each).
+func (t *LinkTable) NumCables() int { return len(t.From) / 2 }
+
+// IsUp reports whether id ascends toward a higher level.
+func (t *LinkTable) IsUp(id LinkID) bool { return t.Kind[id]&LinkUp != 0 }
+
+// SwitchToSwitch reports whether both endpoints of id are switches — the
+// unmanaged links of the decomposed switch power model.
+func (t *LinkTable) SwitchToSwitch(id LinkID) bool {
+	return t.Kind[id]&(LinkFromSwitch|LinkToSwitch) == LinkFromSwitch|LinkToSwitch
+}
+
+// Bytes returns the resident size of the table's flat arrays, the dominant
+// share of a fabric's compact memory (reported by `ibpower topos`).
+func (t *LinkTable) Bytes() int64 {
+	return int64(len(t.From))*4 + int64(len(t.To))*4 + int64(len(t.Cable))*4 + int64(len(t.Kind))
+}
+
+// addCable appends one physical cable as its two directed links — forward
+// first (even LinkID), reverse second — and returns the forward LinkID. kind
+// describes the forward direction; the reverse gets mirrored endpoint bits
+// and never LinkUp.
+func (t *LinkTable) addCable(from, to int32, kind LinkKind) LinkID {
+	c := int32(len(t.From) / 2)
+	id := LinkID(len(t.From))
+	var rk LinkKind
+	if kind&LinkFromSwitch != 0 {
+		rk |= LinkToSwitch
+	}
+	if kind&LinkToSwitch != 0 {
+		rk |= LinkFromSwitch
+	}
+	t.From = append(t.From, from, to)
+	t.To = append(t.To, to, from)
+	t.Cable = append(t.Cable, c, c)
+	t.Kind = append(t.Kind, kind, rk)
+	return id
+}
+
+// HostSwitch returns the node ID of terminal t's first-hop switch — the
+// destination of its host up-link. Placement policies and the energy model
+// group terminals by this ID.
+func HostSwitch(f Fabric, t int) int32 {
+	return f.Table().To[f.HostLinkID(t)]
+}
+
+// routingSizer is implemented by fabrics that carry routing tables beyond the
+// LinkTable; CompactBytes adds their resident size to the memory report.
+type routingSizer interface {
+	RoutingBytes() int64
+}
+
+// CompactBytes approximates the resident memory of f's compact tables: the
+// shared LinkTable plus any fabric-specific flat routing arrays.
+func CompactBytes(f Fabric) int64 {
+	b := f.Table().Bytes()
+	if s, ok := f.(routingSizer); ok {
+		b += s.RoutingBytes()
+	}
+	return b
+}

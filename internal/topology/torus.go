@@ -9,19 +9,17 @@ import (
 // deterministic dimension-order routing: each route corrects dimension 0
 // first, then dimension 1, and so on, always travelling around the shorter
 // arc of the ring (ties break toward +). Routing consumes no RNG draws, so
-// every (src, dst) pair has exactly one path.
+// every (src, dst) pair has exactly one path. Routers are row-major indices
+// over Dims; the ring adjacency is two flat LinkID arrays.
 type Torus struct {
 	Dims []int // ring length per dimension; each >= 2
 	P    int   // terminals per router
 
-	Terminals []*Node
-	Routers   []*Node // row-major over Dims
+	tab LinkTable
 
-	links  []*Link
-	cables int
-
-	plus, minus [][]*Link // per router, per dimension: directed ring links
-	stride      []int     // row-major stride per dimension
+	hostUp      []LinkID // per terminal: the up-link into its router
+	plus, minus []LinkID // per (router*len(Dims)+dim): directed ring links
+	stride      []int    // row-major stride per dimension
 }
 
 // NewTorus builds the torus with the given per-dimension ring lengths and p
@@ -47,53 +45,33 @@ func NewTorus(dims []int, p int) (*Torus, error) {
 		s *= dims[i]
 	}
 
-	nextID := 0
-	mkNode := func(kind NodeKind, level int) *Node {
-		nd := &Node{ID: nextID, Kind: kind, Level: level}
-		nextID++
-		return nd
-	}
-	cable := func(from, to *Node, up bool) *Link {
-		c := t.cables
-		t.cables++
-		fwd := &Link{ID: len(t.links), From: from, To: to, Cable: c, IsUp: up}
-		rev := &Link{ID: len(t.links) + 1, From: to, To: from, Cable: c}
-		t.links = append(t.links, fwd, rev)
-		return fwd
-	}
-
+	// Node IDs follow construction order: router r at r*(p+1), immediately
+	// followed by its p terminals. Host cable index = terminal index.
+	routerNode := func(r int) int32 { return int32(r * (p + 1)) }
+	t.hostUp = make([]LinkID, n*p)
 	for r := 0; r < n; r++ {
-		router := mkNode(KindSwitch, 1)
-		t.Routers = append(t.Routers, router)
 		for k := 0; k < p; k++ {
-			term := mkNode(KindTerminal, 0)
-			t.Terminals = append(t.Terminals, term)
-			up := cable(term, router, true)
-			term.Up = append(term.Up, up)
-			router.Down = append(router.Down, t.links[up.ID+1])
+			t.hostUp[r*p+k] = t.tab.addCable(routerNode(r)+1+int32(k), routerNode(r), LinkToSwitch|LinkUp)
 		}
 	}
 	// Ring cables: one +1-direction cable per (router, dimension); the -1
 	// neighbour's link is the reverse direction of that neighbour's cable.
 	// A length-2 ring yields two parallel cables between the pair (one per
 	// endpoint), the standard double-link degenerate torus.
-	t.plus = make([][]*Link, n)
-	t.minus = make([][]*Link, n)
-	for r := range t.plus {
-		t.plus[r] = make([]*Link, len(dims))
-		t.minus[r] = make([]*Link, len(dims))
-	}
+	nd := len(dims)
+	t.plus = make([]LinkID, n*nd)
+	t.minus = make([]LinkID, n*nd)
 	for r := 0; r < n; r++ {
 		for d := range dims {
 			next := t.neighbor(r, d, +1)
-			t.plus[r][d] = cable(t.Routers[r], t.Routers[next], false)
+			t.plus[r*nd+d] = t.tab.addCable(routerNode(r), routerNode(next), LinkFromSwitch|LinkToSwitch)
 		}
 	}
 	for r := 0; r < n; r++ {
 		for d := range dims {
 			prev := t.neighbor(r, d, -1)
 			// prev's +1 cable points at r; its reverse runs r -> prev.
-			t.minus[r][d] = t.links[t.plus[prev][d].ID+1]
+			t.minus[r*nd+d] = Reverse(t.plus[prev*nd+d])
 		}
 	}
 	return t, nil
@@ -120,36 +98,39 @@ func (t *Torus) Name() string {
 }
 
 // NumTerminals returns the terminal count.
-func (t *Torus) NumTerminals() int { return len(t.Terminals) }
+func (t *Torus) NumTerminals() int { return len(t.hostUp) }
 
 // NumSwitches returns the router count.
-func (t *Torus) NumSwitches() int { return len(t.Routers) }
+func (t *Torus) NumSwitches() int { return len(t.plus) / len(t.Dims) }
 
 // NumCables returns the physical cable count.
-func (t *Torus) NumCables() int { return t.cables }
+func (t *Torus) NumCables() int { return t.tab.NumCables() }
 
-// Links returns all directed links, indexed by Link.ID.
-func (t *Torus) Links() []*Link { return t.links }
+// NumLinks returns the directed link count.
+func (t *Torus) NumLinks() int { return t.tab.Len() }
 
-// HostLink returns the directed link from terminal i into its router.
-func (t *Torus) HostLink(i int) *Link { return t.Terminals[i].Up[0] }
+// Table returns the fabric's compact link table.
+func (t *Torus) Table() *LinkTable { return &t.tab }
 
-// Route returns a freshly allocated path from terminal src to terminal dst.
-func (t *Torus) Route(src, dst int, rng *rand.Rand) []*Link {
-	return t.RouteInto(nil, src, dst, rng)
+// RoutingBytes returns the resident size of the flat adjacency arrays.
+func (t *Torus) RoutingBytes() int64 {
+	return int64(len(t.hostUp))*4 + int64(len(t.plus))*4 + int64(len(t.minus))*4
 }
 
-// RouteInto appends the dimension-order path from src to dst. The rng is
+// HostLinkID returns the directed link from terminal i into its router.
+func (t *Torus) HostLinkID(i int) LinkID { return t.hostUp[i] }
+
+// RouteIDsInto appends the dimension-order path from src to dst. The rng is
 // never consulted: dimension-order routing is deterministic.
-func (t *Torus) RouteInto(buf []*Link, src, dst int, _ *rand.Rand) []*Link {
+func (t *Torus) RouteIDsInto(buf []LinkID, src, dst int, _ *rand.Rand) []LinkID {
 	if src == dst {
 		return buf
 	}
-	ts, td := t.Terminals[src], t.Terminals[dst]
-	buf = append(buf, ts.Up[0])
+	buf = append(buf, t.hostUp[src])
 	cur := src / t.P
 	target := dst / t.P
-	for d := range t.Dims {
+	nd := len(t.Dims)
+	for d := 0; d < nd; d++ {
 		size := t.Dims[d]
 		delta := ((target/t.stride[d])%size - (cur/t.stride[d])%size + size) % size
 		if delta == 0 {
@@ -162,24 +143,21 @@ func (t *Torus) RouteInto(buf []*Link, src, dst int, _ *rand.Rand) []*Link {
 			steps, dir = size-delta, -1
 		}
 		for s := 0; s < steps; s++ {
-			var l *Link
 			if dir > 0 {
-				l = t.plus[cur][d]
+				buf = append(buf, t.plus[cur*nd+d])
 			} else {
-				l = t.minus[cur][d]
+				buf = append(buf, t.minus[cur*nd+d])
 			}
-			buf = append(buf, l)
 			cur = t.neighbor(cur, d, dir)
 		}
 	}
-	buf = append(buf, t.links[td.Up[0].ID+1])
-	return buf
+	return append(buf, Reverse(t.hostUp[dst]))
 }
 
 // RouteDraws appends nothing: torus routing never consumes the RNG.
 func (t *Torus) RouteDraws(draws []int, _, _ int, _ *rand.Rand) []int { return draws }
 
-// RouteFromDraws appends the (unique) dimension-order path.
-func (t *Torus) RouteFromDraws(buf []*Link, src, dst int, _ []int) []*Link {
-	return t.RouteInto(buf, src, dst, nil)
+// RouteIDsFromDraws appends the (unique) dimension-order path.
+func (t *Torus) RouteIDsFromDraws(buf []LinkID, src, dst int, _ []int) []LinkID {
+	return t.RouteIDsInto(buf, src, dst, nil)
 }

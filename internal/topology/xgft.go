@@ -5,6 +5,12 @@
 // pluggable: XGFT fat trees, dragonflies and tori all implement the Fabric
 // interface and register under names the CLI's -topo flag selects.
 //
+// Fabrics use a compact flat-array representation: directed links are dense
+// LinkIDs into a shared LinkTable, node identity is arithmetic (mixed-radix
+// digits, never pointers), and routing walks small per-level index arrays.
+// This keeps an 8000-terminal preset at a few hundred kilobytes of resident
+// tables and routing at a handful of array reads per hop.
+//
 // XGFT(h; m1..mh; w1..wh) has h switch levels above the terminal level 0.
 // Every level-l node (l < h) has w_{l+1} parents and every level-l node
 // (l >= 1) has m_l children. Terminals are compute nodes; the paper
@@ -17,49 +23,31 @@ import (
 	"sync"
 )
 
-// NodeKind discriminates terminals from switches.
-type NodeKind uint8
-
-// Node kinds.
-const (
-	KindTerminal NodeKind = iota
-	KindSwitch
-)
-
-// Node is a terminal or switch in the tree.
-type Node struct {
-	ID    int
-	Kind  NodeKind
-	Level int // 0 for terminals, 1..h for switches
-
-	// Up[i] is the link to the i-th parent; Down[i] to the i-th child.
-	Up   []*Link
-	Down []*Link
-
-	x []int // down-digits (x_h..x_{level+1}) — identifies the subtree
-	y []int // up-digits (y_level..y_1)
-}
-
-// Link is a directed channel between adjacent nodes. Every physical cable is
-// represented by two directed links that share a Cable index.
-type Link struct {
-	ID    int
-	From  *Node
-	To    *Node
-	Cable int  // physical cable index (shared by both directions)
-	IsUp  bool // true when To is the higher level
-}
-
-// XGFT is a built fat tree. It implements Fabric; the concrete type
-// additionally exposes the level structure (Switches) and arities.
+// XGFT is a built fat tree in flat-array form. Node IDs are dense: terminals
+// first (0..T-1, in mixed-radix digit order with x_1 the fastest-varying
+// digit), then switches level by level. A level-l node's local index packs
+// its digits as xIdx*Y_l + yIdx where xIdx holds the down-digits (x_h..x_{l+1},
+// x_{l+1} fastest) and yIdx the up-digits (y_l..y_1, y_1 fastest) with
+// Y_l = w_1*...*w_l.
 type XGFT struct {
-	H         int   // number of switch levels
-	M, W      []int // child counts m_1..m_h and parent counts w_1..w_h
-	Terminals []*Node
-	Switches  [][]*Node // Switches[l-1] holds level-l switches
-	Cables    int
+	H    int   // number of switch levels
+	M, W []int // child counts m_1..m_h and parent counts w_1..w_h
 
-	links []*Link
+	count []int // nodes per level 0..H
+	base  []int // first node ID per level 0..H
+	tstr  []int // tstr[l-1] = m_1*...*m_{l-1}; digit x_l of terminal t = t/tstr[l-1] % m_l
+	ylen  []int // ylen[l] = Y_l = w_1*...*w_l (ylen[0] = 1)
+
+	tab LinkTable
+
+	// Per-level routing arrays. up[l][n*W[l]+k] is the k-th up-link of the
+	// node with local index n at level l (upTo its parent's local index at
+	// level l+1); down[l][s*M[l-1]+c] is the down-link of level-l switch s
+	// toward its child with digit x_l = c (downTo that child's local index).
+	up     [][]LinkID
+	upTo   [][]int32
+	down   [][]LinkID
+	downTo [][]int32
 }
 
 // New builds XGFT(h; m...; w...). len(m) and len(w) must equal h and all
@@ -78,71 +66,66 @@ func New(h int, m, w []int) (*XGFT, error) {
 	}
 	t := &XGFT{H: h, M: append([]int(nil), m...), W: append([]int(nil), w...)}
 
-	nextID := 0
-	mkNode := func(kind NodeKind, level int, x, y []int) *Node {
-		n := &Node{ID: nextID, Kind: kind, Level: level,
-			x: append([]int(nil), x...), y: append([]int(nil), y...)}
-		nextID++
-		return n
+	// Level populations and digit strides. Level l has X_l*Y_l nodes with
+	// X_l = m_{l+1}*...*m_h and Y_l = w_1*...*w_l.
+	t.count = make([]int, h+1)
+	t.base = make([]int, h+1)
+	t.tstr = make([]int, h)
+	t.ylen = make([]int, h+1)
+	t.ylen[0] = 1
+	stride := 1
+	for l := 1; l <= h; l++ {
+		t.tstr[l-1] = stride
+		stride *= m[l-1]
+		t.ylen[l] = t.ylen[l-1] * w[l-1]
+	}
+	terms := stride // m_1*...*m_h
+	t.count[0] = terms
+	for l := 1; l <= h; l++ {
+		x := 1
+		for i := l; i < h; i++ {
+			x *= m[i]
+		}
+		t.count[l] = x * t.ylen[l]
+		t.base[l] = t.base[l-1] + t.count[l-1]
 	}
 
-	// Terminals: all digit tuples (x_h..x_1).
-	for _, x := range tuples(m, h) {
-		t.Terminals = append(t.Terminals, mkNode(KindTerminal, 0, x, nil))
+	// Routing arrays.
+	t.up = make([][]LinkID, h)
+	t.upTo = make([][]int32, h)
+	t.down = make([][]LinkID, h+1)
+	t.downTo = make([][]int32, h+1)
+	for l := 0; l < h; l++ {
+		t.up[l] = make([]LinkID, t.count[l]*w[l])
+		t.upTo[l] = make([]int32, t.count[l]*w[l])
 	}
-	// Switches per level l: x over (m_h..m_{l+1}), y over (w_l..w_1).
-	t.Switches = make([][]*Node, h)
 	for l := 1; l <= h; l++ {
-		xs := tuples(m, h-l)  // digits x_h..x_{l+1}
-		ys := tuplesLow(w, l) // digits y_l..y_1
-		for _, x := range xs {
-			for _, y := range ys {
-				t.Switches[l-1] = append(t.Switches[l-1], mkNode(KindSwitch, l, x, y))
-			}
-		}
+		t.down[l] = make([]LinkID, t.count[l]*m[l-1])
+		t.downTo[l] = make([]int32, t.count[l]*m[l-1])
 	}
 
-	// Wire level l-1 to level l: a level-(l-1) node with digits
-	// (x_h..x_l | y_{l-1}..y_1) connects to the level-l switch
-	// (x_h..x_{l+1} | y_l..y_1) for every y_l in [0, w_l).
-	index := make(map[string]*Node)
+	// Wire level l-1 to level l: the child with digits (x_h..x_l | y_{l-1}..y_1)
+	// connects to the level-l switch (x_h..x_{l+1} | y_l..y_1) for every y_l
+	// in [0, w_l). Cables are created child-major, then y_l — terminals first,
+	// then each switch level — so LinkIDs match the historical construction
+	// order (forward/up at even IDs).
 	for l := 1; l <= h; l++ {
-		for _, sw := range t.Switches[l-1] {
-			index[key(l, sw.x, sw.y)] = sw
+		wl, ml := w[l-1], m[l-1]
+		kind := LinkToSwitch | LinkUp
+		if l > 1 {
+			kind |= LinkFromSwitch
 		}
-	}
-	connect := func(child *Node, l int) error {
-		// child is at level l-1; its x = (x_h..x_l), y = (y_{l-1}..y_1).
-		px := child.x
-		if len(px) > 0 {
-			px = px[:len(px)-1] // drop x_l
-		}
-		for yl := 0; yl < t.W[l-1]; yl++ {
-			py := append([]int{yl}, child.y...)
-			parent, ok := index[key(l, px, py)]
-			if !ok {
-				return fmt.Errorf("topology: missing parent for node %d at level %d", child.ID, l)
-			}
-			cable := t.Cables
-			t.Cables++
-			up := &Link{ID: len(t.links), From: child, To: parent, Cable: cable, IsUp: true}
-			t.links = append(t.links, up)
-			down := &Link{ID: len(t.links), From: parent, To: child, Cable: cable, IsUp: false}
-			t.links = append(t.links, down)
-			child.Up = append(child.Up, up)
-			parent.Down = append(parent.Down, down)
-		}
-		return nil
-	}
-	for _, n := range t.Terminals {
-		if err := connect(n, 1); err != nil {
-			return nil, err
-		}
-	}
-	for l := 2; l <= h; l++ {
-		for _, sw := range t.Switches[l-2] {
-			if err := connect(sw, l); err != nil {
-				return nil, err
+		for child := 0; child < t.count[l-1]; child++ {
+			yIdx := child % t.ylen[l-1]
+			xIdx := child / t.ylen[l-1]
+			px, c := xIdx/ml, xIdx%ml
+			for yl := 0; yl < wl; yl++ {
+				parent := px*t.ylen[l] + yl*t.ylen[l-1] + yIdx
+				fwd := t.tab.addCable(int32(t.base[l-1]+child), int32(t.base[l]+parent), kind)
+				t.up[l-1][child*wl+yl] = fwd
+				t.upTo[l-1][child*wl+yl] = int32(parent)
+				t.down[l][parent*ml+c] = Reverse(fwd)
+				t.downTo[l][parent*ml+c] = int32(child)
 			}
 		}
 	}
@@ -186,191 +169,119 @@ func digits(vs []int) string {
 }
 
 // NumTerminals returns the terminal count.
-func (t *XGFT) NumTerminals() int { return len(t.Terminals) }
+func (t *XGFT) NumTerminals() int { return t.count[0] }
 
 // NumSwitches returns the total switch count.
 func (t *XGFT) NumSwitches() int {
 	n := 0
-	for _, lvl := range t.Switches {
-		n += len(lvl)
+	for l := 1; l <= t.H; l++ {
+		n += t.count[l]
 	}
 	return n
 }
 
+// SwitchesAtLevel returns the number of level-l switches (1 <= l <= H).
+func (t *XGFT) SwitchesAtLevel(l int) int { return t.count[l] }
+
 // NumCables returns the physical cable count.
-func (t *XGFT) NumCables() int { return t.Cables }
+func (t *XGFT) NumCables() int { return t.tab.NumCables() }
 
-// Links returns all directed links, indexed by Link.ID.
-func (t *XGFT) Links() []*Link { return t.links }
+// NumLinks returns the directed link count.
+func (t *XGFT) NumLinks() int { return t.tab.Len() }
 
-// HostLink returns the directed link from terminal i into its leaf switch.
-func (t *XGFT) HostLink(i int) *Link { return t.Terminals[i].Up[0] }
+// Table returns the fabric's compact link table.
+func (t *XGFT) Table() *LinkTable { return &t.tab }
+
+// RoutingBytes returns the resident size of the per-level routing arrays.
+func (t *XGFT) RoutingBytes() int64 {
+	var b int64
+	for l := range t.up {
+		b += int64(len(t.up[l]))*4 + int64(len(t.upTo[l]))*4
+	}
+	for l := range t.down {
+		b += int64(len(t.down[l]))*4 + int64(len(t.downTo[l]))*4
+	}
+	return b
+}
+
+// HostLinkID returns the directed link from terminal i into its leaf switch.
+func (t *XGFT) HostLinkID(i int) LinkID { return t.up[0][i*t.W[0]] }
+
+// digit returns digit x_l of terminal term.
+func (t *XGFT) digit(term, l int) int { return term / t.tstr[l-1] % t.M[l-1] }
 
 // divergeLevel returns the smallest level L such that the down-digits of the
 // two terminals agree above L; terminals in the same leaf subtree diverge at
 // level 1, identical terminals at level 0.
-func (t *XGFT) divergeLevel(a, b *Node) int {
-	// Terminal x digits are (x_h..x_1): x[0] is the top digit x_h.
+func (t *XGFT) divergeLevel(a, b int) int {
 	for l := t.H; l >= 1; l-- {
-		// digit x_l sits at index h-l.
-		if a.x[t.H-l] != b.x[t.H-l] {
+		if t.digit(a, l) != t.digit(b, l) {
 			return l
 		}
 	}
 	return 0
 }
 
-// Route returns the directed links of a path from terminal src to terminal
-// dst: up to the lowest common ancestor level with a random choice among the
-// parallel up-links (the paper's "random routing", Table II), then
-// deterministically down. src == dst yields an empty path.
-func (t *XGFT) Route(src, dst int, rng *rand.Rand) []*Link {
-	return t.RouteInto(nil, src, dst, rng)
-}
-
-// RouteInto is Route appending into a caller-supplied buffer: the path links
-// are appended to buf and the extended slice is returned. When buf has enough
-// capacity no allocation occurs. The RNG draw sequence is identical to
-// Route's, so both variants produce the same path for the same RNG state.
-func (t *XGFT) RouteInto(buf []*Link, src, dst int, rng *rand.Rand) []*Link {
-	a, b := t.Terminals[src], t.Terminals[dst]
-	top := t.divergeLevel(a, b)
+// RouteIDsInto appends the directed links of a path from terminal src to
+// terminal dst: up to the lowest common ancestor level with a random choice
+// among the parallel up-links (the paper's "random routing", Table II), then
+// deterministically down. src == dst appends nothing. When buf has enough
+// capacity no allocation occurs.
+func (t *XGFT) RouteIDsInto(buf []LinkID, src, dst int, rng *rand.Rand) []LinkID {
+	top := t.divergeLevel(src, dst)
 	if top == 0 {
 		return buf
 	}
-	cur := a
-	for cur.Level < top {
-		var up *Link
-		if len(cur.Up) == 1 || rng == nil {
-			up = cur.Up[0]
-		} else {
-			up = cur.Up[rng.Intn(len(cur.Up))]
+	cur := src
+	for lvl := 0; lvl < top; lvl++ {
+		fan := t.W[lvl]
+		k := 0
+		if fan > 1 && rng != nil {
+			k = rng.Intn(fan)
 		}
-		buf = append(buf, up)
-		cur = up.To
+		i := cur*fan + k
+		buf = append(buf, t.up[lvl][i])
+		cur = int(t.upTo[lvl][i])
 	}
-	for cur.Level > 0 {
-		// Choose the child whose subtree contains dst: digit x_l of dst
-		// selects among the m_l children, combined with matching y digits.
-		next := t.childToward(cur, b)
-		buf = append(buf, next)
-		cur = next.To
+	return t.descend(buf, cur, top, dst)
+}
+
+// descend appends the deterministic down path from the level-top switch with
+// local index cur to terminal dst.
+func (t *XGFT) descend(buf []LinkID, cur, top, dst int) []LinkID {
+	for lvl := top; lvl > 0; lvl-- {
+		i := cur*t.M[lvl-1] + t.digit(dst, lvl)
+		buf = append(buf, t.down[lvl][i])
+		cur = int(t.downTo[lvl][i])
 	}
 	return buf
 }
 
-// RouteDraws appends the up-link picks RouteInto would draw from rng for
+// RouteDraws appends the up-link picks RouteIDsInto would draw from rng for
 // (src, dst), consuming rng identically: one recorded pick per ascended
 // level, with Intn consulted only when the fan-out exceeds one and rng is
 // non-nil (pick 0 otherwise).
 func (t *XGFT) RouteDraws(draws []int, src, dst int, rng *rand.Rand) []int {
-	a, b := t.Terminals[src], t.Terminals[dst]
-	top := t.divergeLevel(a, b)
-	cur := a
-	for cur.Level < top {
+	top := t.divergeLevel(src, dst)
+	for lvl := 0; lvl < top; lvl++ {
 		pick := 0
-		if len(cur.Up) > 1 && rng != nil {
-			pick = rng.Intn(len(cur.Up))
+		if t.W[lvl] > 1 && rng != nil {
+			pick = rng.Intn(t.W[lvl])
 		}
 		draws = append(draws, pick)
-		cur = cur.Up[pick].To
 	}
 	return draws
 }
 
-// RouteFromDraws appends the path a recorded up-link pick sequence selects:
-// up through the drawn parents, then deterministically down to dst.
-func (t *XGFT) RouteFromDraws(buf []*Link, src, dst int, draws []int) []*Link {
-	a, b := t.Terminals[src], t.Terminals[dst]
-	top := t.divergeLevel(a, b)
-	cur := a
-	for i := 0; cur.Level < top; i++ {
-		up := cur.Up[draws[i]]
-		buf = append(buf, up)
-		cur = up.To
+// RouteIDsFromDraws appends the path a recorded up-link pick sequence
+// selects: up through the drawn parents, then deterministically down to dst.
+func (t *XGFT) RouteIDsFromDraws(buf []LinkID, src, dst int, draws []int) []LinkID {
+	top := t.divergeLevel(src, dst)
+	cur := src
+	for lvl := 0; lvl < top; lvl++ {
+		i := cur*t.W[lvl] + draws[lvl]
+		buf = append(buf, t.up[lvl][i])
+		cur = int(t.upTo[lvl][i])
 	}
-	for cur.Level > 0 {
-		next := t.childToward(cur, b)
-		buf = append(buf, next)
-		cur = next.To
-	}
-	return buf
-}
-
-// childToward returns cur's down-link leading toward terminal dst.
-func (t *XGFT) childToward(cur *Node, dst *Node) *Link {
-	l := cur.Level
-	want := dst.x[t.H-l] // digit x_l of dst
-	for _, dn := range cur.Down {
-		child := dn.To
-		if child.x[t.H-l] != want {
-			continue
-		}
-		// y digits of the child must be a suffix of cur's y digits.
-		if suffixMatch(cur.y, child.y) {
-			return dn
-		}
-	}
-	panic(fmt.Sprintf("topology: no child of switch %d toward terminal %d", cur.ID, dst.ID))
-}
-
-// suffixMatch reports whether child y-digits equal the tail of parent
-// y-digits (parent has one extra leading digit).
-func suffixMatch(parent, child []int) bool {
-	if len(parent) != len(child)+1 {
-		return false
-	}
-	for i := range child {
-		if parent[i+1] != child[i] {
-			return false
-		}
-	}
-	return true
-}
-
-func key(level int, x, y []int) string {
-	b := make([]byte, 0, 2+2*len(x)+2*len(y))
-	b = append(b, byte(level), '|')
-	for _, v := range x {
-		b = append(b, byte(v), ',')
-	}
-	b = append(b, '|')
-	for _, v := range y {
-		b = append(b, byte(v), ',')
-	}
-	return string(b)
-}
-
-// tuples enumerates digit tuples (x_h..x_{h-n+1}) over arities m (indexed
-// m[i] = m_{i+1}), i.e. the top n digits.
-func tuples(m []int, n int) [][]int {
-	h := len(m)
-	out := [][]int{{}}
-	for d := 0; d < n; d++ {
-		arity := m[h-1-d] // digit x_{h-d}
-		var next [][]int
-		for _, pre := range out {
-			for v := 0; v < arity; v++ {
-				next = append(next, append(append([]int(nil), pre...), v))
-			}
-		}
-		out = next
-	}
-	return out
-}
-
-// tuplesLow enumerates (y_l..y_1) over arities w (w[i] = w_{i+1}).
-func tuplesLow(w []int, l int) [][]int {
-	out := [][]int{{}}
-	for d := l - 1; d >= 0; d-- {
-		arity := w[d]
-		var next [][]int
-		for _, pre := range out {
-			for v := 0; v < arity; v++ {
-				next = append(next, append(append([]int(nil), pre...), v))
-			}
-		}
-		out = next
-	}
-	return out
+	return t.descend(buf, cur, top, dst)
 }

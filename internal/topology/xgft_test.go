@@ -11,35 +11,39 @@ func TestPaperTopologyShape(t *testing.T) {
 	if got := x.NumTerminals(); got != 252 {
 		t.Errorf("terminals = %d, want 252 (18*14)", got)
 	}
-	if got := len(x.Switches[0]); got != 14 {
+	if got := x.SwitchesAtLevel(1); got != 14 {
 		t.Errorf("leaf switches = %d, want 14", got)
 	}
-	if got := len(x.Switches[1]); got != 18 {
+	if got := x.SwitchesAtLevel(2); got != 18 {
 		t.Errorf("top switches = %d, want 18", got)
 	}
 	// Cables: 252 node-leaf + 14*18 leaf-top.
-	if got := x.Cables; got != 252+14*18 {
+	if got := x.NumCables(); got != 252+14*18 {
 		t.Errorf("cables = %d, want %d", got, 252+14*18)
 	}
-	if got := len(x.Links()); got != 2*x.Cables {
-		t.Errorf("directed links = %d, want %d", got, 2*x.Cables)
+	if got := x.NumLinks(); got != 2*x.NumCables() {
+		t.Errorf("directed links = %d, want %d", got, 2*x.NumCables())
 	}
-	// Every terminal has exactly one uplink (w1 = 1).
-	for _, n := range x.Terminals {
-		if len(n.Up) != 1 {
-			t.Fatalf("terminal %d has %d uplinks, want 1", n.ID, len(n.Up))
+	// Out-degrees from the table: terminals send on 1 link (w1 = 1), leaf
+	// switches on 18 down + 18 up, top switches on 14 down.
+	tab := x.Table()
+	outDeg := make(map[int32]int)
+	for id := 0; id < tab.Len(); id++ {
+		outDeg[tab.From[id]]++
+	}
+	for term := int32(0); term < 252; term++ {
+		if outDeg[term] != 1 {
+			t.Fatalf("terminal %d has %d uplinks, want 1", term, outDeg[term])
 		}
 	}
-	// Every leaf switch has 18 children and 18 parents.
-	for _, sw := range x.Switches[0] {
-		if len(sw.Down) != 18 || len(sw.Up) != 18 {
-			t.Fatalf("leaf switch %d: %d down, %d up; want 18/18", sw.ID, len(sw.Down), len(sw.Up))
+	for leaf := int32(252); leaf < 252+14; leaf++ {
+		if outDeg[leaf] != 18+18 {
+			t.Fatalf("leaf switch %d: out-degree %d, want 36 (18 down + 18 up)", leaf, outDeg[leaf])
 		}
 	}
-	// Every top switch has 14 children and no parents.
-	for _, sw := range x.Switches[1] {
-		if len(sw.Down) != 14 || len(sw.Up) != 0 {
-			t.Fatalf("top switch %d: %d down, %d up; want 14/0", sw.ID, len(sw.Down), len(sw.Up))
+	for top := int32(252 + 14); top < 252+14+18; top++ {
+		if outDeg[top] != 14 {
+			t.Fatalf("top switch %d: out-degree %d, want 14 (down only)", top, outDeg[top])
 		}
 	}
 	if x.NumSwitches() != 32 {
@@ -61,34 +65,36 @@ func TestNewValidation(t *testing.T) {
 
 func TestRouteSameLeaf(t *testing.T) {
 	x := Paper()
+	tab := x.Table()
 	// Terminals 0 and 1 share the leaf switch: 2-hop route.
-	path := x.Route(0, 1, nil)
+	path := RouteIDs(x, 0, 1, nil)
 	if len(path) != 2 {
 		t.Fatalf("path length = %d, want 2", len(path))
 	}
-	if !path[0].IsUp || path[1].IsUp {
+	if !tab.IsUp(path[0]) || tab.IsUp(path[1]) {
 		t.Error("path must go up then down")
 	}
-	if path[0].From != x.Terminals[0] || path[1].To != x.Terminals[1] {
+	if tab.From[path[0]] != 0 || tab.To[path[1]] != 1 {
 		t.Error("path endpoints wrong")
 	}
 }
 
 func TestRouteCrossLeaf(t *testing.T) {
 	x := Paper()
+	tab := x.Table()
 	// Terminals 0 and 250 are in different leaf subtrees: 4-hop route.
-	path := x.Route(0, 250, rand.New(rand.NewSource(1)))
+	path := RouteIDs(x, 0, 250, rand.New(rand.NewSource(1)))
 	if len(path) != 4 {
 		t.Fatalf("path length = %d, want 4", len(path))
 	}
-	if path[0].From != x.Terminals[0] || path[3].To != x.Terminals[250] {
+	if tab.From[path[0]] != 0 || tab.To[path[3]] != 250 {
 		t.Error("path endpoints wrong")
 	}
 }
 
 func TestRouteSelf(t *testing.T) {
 	x := Paper()
-	if p := x.Route(7, 7, nil); len(p) != 0 {
+	if p := RouteIDs(x, 7, 7, nil); len(p) != 0 {
 		t.Errorf("self route length = %d, want 0", len(p))
 	}
 }
@@ -97,35 +103,36 @@ func TestRouteSelf(t *testing.T) {
 // first ascends then descends, over random pairs and random routing choices.
 func TestRouteValidityProperty(t *testing.T) {
 	x := Paper()
+	tab := x.Table()
 	rng := rand.New(rand.NewSource(7))
 	f := func(a, b uint16, seed int64) bool {
 		src := int(a) % x.NumTerminals()
 		dst := int(b) % x.NumTerminals()
 		if src == dst {
-			return len(x.Route(src, dst, rng)) == 0
+			return len(RouteIDs(x, src, dst, rng)) == 0
 		}
-		path := x.Route(src, dst, rand.New(rand.NewSource(seed)))
+		path := RouteIDs(x, src, dst, rand.New(rand.NewSource(seed)))
 		if len(path) == 0 {
 			return false
 		}
-		if path[0].From != x.Terminals[src] || path[len(path)-1].To != x.Terminals[dst] {
+		if tab.From[path[0]] != int32(src) || tab.To[path[len(path)-1]] != int32(dst) {
 			return false
 		}
 		descending := false
-		cur := path[0].From
+		cur := tab.From[path[0]]
 		for _, l := range path {
-			if l.From != cur {
+			if tab.From[l] != cur {
 				return false // discontiguous
 			}
-			if l.IsUp && descending {
+			if tab.IsUp(l) && descending {
 				return false // up after down: not a fat-tree route
 			}
-			if !l.IsUp {
+			if !tab.IsUp(l) {
 				descending = true
 			}
-			cur = l.To
+			cur = tab.To[l]
 		}
-		return cur == x.Terminals[dst]
+		return cur == int32(dst)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -136,11 +143,12 @@ func TestRouteValidityProperty(t *testing.T) {
 // switches.
 func TestRandomRoutingSpread(t *testing.T) {
 	x := Paper()
+	tab := x.Table()
 	rng := rand.New(rand.NewSource(42))
-	tops := map[int]bool{}
+	tops := map[int32]bool{}
 	for i := 0; i < 500; i++ {
-		path := x.Route(0, 250, rng)
-		tops[path[1].To.ID] = true
+		path := RouteIDs(x, 0, 250, rng)
+		tops[tab.To[path[1]]] = true
 	}
 	if len(tops) < 15 {
 		t.Errorf("random routing used only %d top switches over 500 routes", len(tops))
@@ -149,8 +157,8 @@ func TestRandomRoutingSpread(t *testing.T) {
 
 func TestRouteDeterministicWithoutRNG(t *testing.T) {
 	x := Paper()
-	p1 := x.Route(3, 200, nil)
-	p2 := x.Route(3, 200, nil)
+	p1 := RouteIDs(x, 3, 200, nil)
+	p2 := RouteIDs(x, 3, 200, nil)
 	for i := range p1 {
 		if p1[i] != p2[i] {
 			t.Fatal("nil-rng routing must be deterministic")
@@ -167,14 +175,15 @@ func TestThreeLevelXGFT(t *testing.T) {
 	if x.NumTerminals() != 8 {
 		t.Fatalf("terminals = %d, want 8", x.NumTerminals())
 	}
+	tab := x.Table()
 	rng := rand.New(rand.NewSource(3))
 	for s := 0; s < 8; s++ {
 		for d := 0; d < 8; d++ {
 			if s == d {
 				continue
 			}
-			path := x.Route(s, d, rng)
-			if len(path) == 0 || path[len(path)-1].To != x.Terminals[d] {
+			path := RouteIDs(x, s, d, rng)
+			if len(path) == 0 || tab.To[path[len(path)-1]] != int32(d) {
 				t.Fatalf("no valid route %d->%d", s, d)
 			}
 		}
@@ -183,16 +192,41 @@ func TestThreeLevelXGFT(t *testing.T) {
 
 func TestCablePairing(t *testing.T) {
 	x := Paper()
-	byCable := map[int][]*Link{}
-	for _, l := range x.Links() {
-		byCable[l.Cable] = append(byCable[l.Cable], l)
+	tab := x.Table()
+	byCable := map[int32][]LinkID{}
+	for id := 0; id < tab.Len(); id++ {
+		byCable[tab.Cable[id]] = append(byCable[tab.Cable[id]], LinkID(id))
 	}
 	for c, ls := range byCable {
 		if len(ls) != 2 {
 			t.Fatalf("cable %d has %d directed links, want 2", c, len(ls))
 		}
-		if ls[0].From != ls[1].To || ls[0].To != ls[1].From {
+		if tab.From[ls[0]] != tab.To[ls[1]] || tab.To[ls[0]] != tab.From[ls[1]] {
 			t.Fatalf("cable %d directions are not mirrored", c)
 		}
+		if Reverse(ls[0]) != ls[1] {
+			t.Fatalf("cable %d links are not Reverse-adjacent", c)
+		}
+	}
+}
+
+// TestHostLinkWiring pins HostLinkID and HostSwitch to the table: every
+// terminal's host link starts at the terminal, ascends into a switch, and
+// terminals sharing a leaf share the switch.
+func TestHostLinkWiring(t *testing.T) {
+	x := Paper()
+	tab := x.Table()
+	for term := 0; term < x.NumTerminals(); term++ {
+		up := x.HostLinkID(term)
+		if tab.From[up] != int32(term) {
+			t.Fatalf("terminal %d host link starts at node %d", term, tab.From[up])
+		}
+		if !tab.IsUp(up) || tab.Kind[up]&LinkToSwitch == 0 {
+			t.Fatalf("terminal %d host link is not an up-link into a switch", term)
+		}
+	}
+	// 18 terminals per leaf on the paper tree.
+	if HostSwitch(x, 0) != HostSwitch(x, 17) || HostSwitch(x, 0) == HostSwitch(x, 18) {
+		t.Error("leaf grouping by HostSwitch is wrong")
 	}
 }
