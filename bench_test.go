@@ -427,6 +427,11 @@ func BenchmarkReplayAlya16(b *testing.B) { benchio.BenchReplayAlya16(b) }
 // round-robin-interleaved across the paper XGFT's leaf switches.
 func BenchmarkMultijob(b *testing.B) { benchio.BenchMultijob(b) }
 
+// BenchmarkScenarioChurn reports jobs/s through the churn event loop's
+// steady state (scheduler scan + pooled terminal claim/release), which must
+// stay at 0 allocs/op.
+func BenchmarkScenarioChurn(b *testing.B) { benchio.BenchScenarioChurn(b) }
+
 // BenchmarkDetectorAddGram measures the steady-state PPA gram path: a
 // detected pattern being predicted over interned grams (zero allocations).
 func BenchmarkDetectorAddGram(b *testing.B) { benchio.BenchDetectorAddGram(b) }

@@ -10,6 +10,7 @@ import (
 
 	"ibpower/internal/multijob"
 	"ibpower/internal/predictor"
+	"ibpower/internal/scenario"
 	"ibpower/internal/topology"
 )
 
@@ -117,8 +118,8 @@ func TestReadmeFlagsExist(t *testing.T) {
 }
 
 // TestReadmeListsRegistries asserts the README's registry overview stays in
-// sync with the code: every name the predictor, fabric and placement
-// registries report via Names() must appear in the README.
+// sync with the code: every name the predictor, fabric, placement and
+// scheduler registries report via Names() must appear in the README.
 func TestReadmeListsRegistries(t *testing.T) {
 	md := readme(t)
 	for _, reg := range []struct {
@@ -128,6 +129,7 @@ func TestReadmeListsRegistries(t *testing.T) {
 		{"predictor", predictor.Names()},
 		{"fabric", topology.Names()},
 		{"placement", multijob.Names()},
+		{"scheduler", scenario.Names()},
 	} {
 		for _, name := range reg.names {
 			if !strings.Contains(md, "`"+name+"`") {

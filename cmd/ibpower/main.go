@@ -8,6 +8,7 @@
 //	figures           power savings and execution-time increase (Figures 7–9)
 //	compare           every registered predictor over every workload (E14)
 //	multijob          concurrent workloads sharing one fabric (E15)
+//	scenario          job churn: arrivals, queueing, scheduling (E16)
 //	timeline          per-rank link power timeline (Figure 6)
 //	ppa               PPA walkthrough on the Figure 2/3 event stream
 //	energy            Section VI extension: deep modes + fabric energy
@@ -26,7 +27,11 @@
 // predictor sweep on a dragonfly; "ibpower topos" lists every fabric with
 // its size and compact-table memory. The multijob subcommand additionally takes -jobs (an
 // app:np,... mix) and -placement (linear, random, roundrobin) from the
-// placement registry. Run "ibpower <subcommand> -h" for flags.
+// placement registry. The scenario subcommand generates a whole arrival
+// stream from -spec (e.g. "jobs=200,size=zipf:16:256,arrival=poisson:30s,
+// seed=7") or -specfile, and schedules it with -sched (fcfs, backfill,
+// power-aware) from the scheduler registry — the module's fourth named
+// registry. Run "ibpower <subcommand> -h" for flags.
 package main
 
 import (
@@ -45,6 +50,7 @@ import (
 	"ibpower/internal/power"
 	"ibpower/internal/predictor"
 	"ibpower/internal/replay"
+	"ibpower/internal/scenario"
 	"ibpower/internal/stats"
 	"ibpower/internal/sweep"
 	"ibpower/internal/topology"
@@ -71,6 +77,8 @@ func main() {
 		err = cmdCompare(os.Args[2:])
 	case "multijob":
 		err = cmdMultijob(os.Args[2:])
+	case "scenario":
+		err = cmdScenario(os.Args[2:])
 	case "timeline":
 		err = cmdTimeline(os.Args[2:])
 	case "ppa":
@@ -99,7 +107,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ibpower <tableI|gt|overheads|figures|compare|multijob|timeline|ppa|energy|dvs|weak|bench|topos> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: ibpower <tableI|gt|overheads|figures|compare|multijob|scenario|timeline|ppa|energy|dvs|weak|bench|topos> [flags]`)
 }
 
 // cmdBench runs the headline benchmark suite (internal/benchio) and writes a
@@ -532,6 +540,67 @@ func cmdMultijob(args []string) error {
 		return err
 	}
 	return multijob.WriteResult(os.Stdout, res)
+}
+
+// cmdScenario simulates job churn on one shared fabric (experiment E16):
+// -spec/-specfile describe an arrival stream (job count, application mix,
+// size distribution, arrival process, seed), jobs queue until the -sched
+// policy admits them onto -placement-ordered terminals, and the incremental
+// replay session times everything on one live timeline. Results are
+// bit-identical at any -parallel setting and across repeats of the same
+// spec. With -sweep it runs every scheduler x placement pairing over the
+// same stream instead of one cell.
+func cmdScenario(args []string) error {
+	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	opt := optFlags(fs)
+	par := parFlag(fs)
+	pred := predFlag(fs, predictor.DefaultName)
+	topo := topoFlag(fs)
+	specStr := fs.String("spec", "",
+		"scenario spec as key=value,... (keys: jobs, apps, size, arrival, speed, seed; e.g. jobs=200,size=zipf:16:256,arrival=poisson:30s,seed=7)")
+	specFile := fs.String("specfile", "", "file with one spec key=value per line (# comments); -spec overlays it")
+	sched := fs.String("sched", scenario.DefaultScheduler,
+		"scheduling policy (one of: "+strings.Join(scenario.Names(), ", ")+")")
+	placement := fs.String("placement", multijob.DefaultPlacement,
+		"placement policy ordering the terminal free-list (one of: "+strings.Join(multijob.Names(), ", ")+")")
+	d := fs.Float64("d", 0.01, "displacement factor")
+	sweepAll := fs.Bool("sweep", false, "run every scheduler x placement pairing over the spec (ignores -sched/-placement)")
+	fs.Parse(args)
+	if err := checkFlags(*pred, *topo); err != nil {
+		return err
+	}
+	if err := scenario.CheckRegistered(*sched); err != nil {
+		return err
+	}
+	if err := multijob.CheckRegistered(*placement); err != nil {
+		return err
+	}
+	spec := scenario.DefaultSpec()
+	if *specFile != "" {
+		var err error
+		spec, err = scenario.ParseSpecFile(*specFile)
+		if err != nil {
+			return err
+		}
+	}
+	spec, err := scenario.ApplySpec(spec, *specStr)
+	if err != nil {
+		return err
+	}
+	runner := harness.NewRunner(*opt, configWith(*par, *pred, *topo))
+	if *sweepAll {
+		rows, err := runner.ScenarioSweep(spec, nil, nil, *d)
+		if err != nil {
+			return err
+		}
+		return harness.WriteScenarioSweep(os.Stdout, spec, rows)
+	}
+	fmt.Printf("scenario %s\n", spec)
+	res, err := runner.Scenario(spec, *sched, *placement, *d)
+	if err != nil {
+		return err
+	}
+	return multijob.WriteChurn(os.Stdout, res)
 }
 
 func filterRows(rows []harness.FigureRow, apps string) []harness.FigureRow {

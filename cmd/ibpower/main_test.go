@@ -16,6 +16,7 @@ func TestUnknownPredictorRejectedEverywhere(t *testing.T) {
 		"figures":   cmdFigures,
 		"compare":   cmdCompare,
 		"multijob":  cmdMultijob,
+		"scenario":  cmdScenario,
 		"timeline":  cmdTimeline,
 		"ppa":       cmdPPA,
 		"energy":    cmdEnergy,
@@ -47,6 +48,7 @@ func TestUnknownTopoRejectedEverywhere(t *testing.T) {
 		"figures":   cmdFigures,
 		"compare":   cmdCompare,
 		"multijob":  cmdMultijob,
+		"scenario":  cmdScenario,
 		"timeline":  cmdTimeline,
 		"ppa":       cmdPPA,
 		"energy":    cmdEnergy,
@@ -95,5 +97,29 @@ func TestMultijobRejectsBadFlags(t *testing.T) {
 		if err := cmdMultijob([]string{"-jobs", jobs}); err == nil {
 			t.Errorf("malformed -jobs %q accepted", jobs)
 		}
+	}
+}
+
+// TestScenarioRejectsBadFlags asserts the scenario-specific flags fail fast
+// before any simulation: a typo'd -sched lists the scheduler registry (the
+// same contract -predictor, -topo and -placement honor), and a malformed
+// -spec or missing -specfile surfaces its parse error immediately.
+func TestScenarioRejectsBadFlags(t *testing.T) {
+	err := cmdScenario([]string{"-sched", "nosuch"})
+	if err == nil || !strings.Contains(err.Error(), "unknown scheduler") ||
+		!strings.Contains(err.Error(), "power-aware") {
+		t.Errorf("unknown scheduler: error %q must reject the name and list the registry", err)
+	}
+	err = cmdScenario([]string{"-placement", "nosuch"})
+	if err == nil || !strings.Contains(err.Error(), "unknown placement") {
+		t.Errorf("unknown placement: error %q must reject the name and list the registry", err)
+	}
+	for _, spec := range []string{"jobs", "jobs=0", "size=weird:1", "color=red"} {
+		if err := cmdScenario([]string{"-spec", spec}); err == nil {
+			t.Errorf("malformed -spec %q accepted", spec)
+		}
+	}
+	if err := cmdScenario([]string{"-specfile", "testdata-nosuch-file"}); err == nil {
+		t.Error("missing -specfile accepted")
 	}
 }

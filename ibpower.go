@@ -30,6 +30,13 @@
 //     "random", "roundrobin"; select with MultijobConfig.Placement,
 //     enumerate with Placements, add implementations with
 //     RegisterPlacement), with per-job and fabric-wide energy accounting.
+//   - RunScenario — job churn on the shared fabric: a ScenarioSpec
+//     ("jobs=200,size=zipf:16:256,arrival=poisson:30s,seed=7") expands into
+//     a seeded arrival stream, jobs queue under a scheduling policy from
+//     the module's fourth named registry ("fcfs", "backfill", "power-aware";
+//     enumerate with Schedulers, add implementations with
+//     RegisterScheduler), and results report makespan, the queue-wait
+//     distribution, fabric utilization over time, and per-job energy.
 //   - RunSPMD / PowerLayer — the mini-MPI runtime with the mechanism
 //     installed in the PMPI profiling layer, the paper's deployment model.
 //
@@ -50,6 +57,7 @@ import (
 	"ibpower/internal/power"
 	"ibpower/internal/predictor"
 	"ibpower/internal/replay"
+	"ibpower/internal/scenario"
 	"ibpower/internal/topology"
 	"ibpower/internal/trace"
 	"ibpower/internal/workloads"
@@ -140,6 +148,34 @@ type (
 	// PlacementFunc maps a job mix onto fabric terminals; implementations
 	// register with RegisterPlacement.
 	PlacementFunc = multijob.PlaceFunc
+)
+
+// Job churn (scenario) simulation types.
+type (
+	// ScenarioSpec describes an arrival stream: job count, application mix,
+	// size distribution, arrival process, speed multiplier and seed. Build
+	// one with ParseScenarioSpec, ParseScenarioSpecFile or
+	// DefaultScenarioSpec; the zero value fails validation.
+	ScenarioSpec = scenario.Spec
+	// ScenarioConfig parameterises a churn simulation: the spec, the
+	// scheduler and placement registry names, and the replay configuration
+	// every job shares.
+	ScenarioConfig = scenario.Config
+	// Arrival is one timed job arrival of the expanded stream.
+	Arrival = multijob.Arrival
+	// ChurnResult carries the scenario outcome: per-job records in arrival
+	// order, the queue-wait distribution, per-bucket fabric utilization and
+	// fabric-wide aggregates.
+	ChurnResult = multijob.ChurnResult
+	// ChurnJob is one completed job's record (arrival, wait, start, finish,
+	// terminals held, energy and sharing overhead).
+	ChurnJob = multijob.ChurnJob
+	// SchedContext is the queue-and-fabric snapshot a scheduling policy
+	// decides over.
+	SchedContext = multijob.SchedContext
+	// SchedFunc picks which queued jobs to admit, by queue index;
+	// implementations register with RegisterScheduler.
+	SchedFunc = multijob.SchedFunc
 )
 
 // Runtime (deployment path) types.
@@ -240,6 +276,38 @@ func RegisterPlacement(name string, fn PlacementFunc) { multijob.Register(name, 
 // traffic, and results are reported per job and fabric-wide. Results are
 // deterministic for a given configuration at any Parallelism setting.
 func RunMultijob(cfg MultijobConfig) (*MultijobResult, error) { return multijob.Run(cfg) }
+
+// ParseScenarioSpec parses the comma-separated key=value scenario form the
+// ibpower scenario -spec flag uses, e.g.
+// "jobs=200,size=zipf:16:256,arrival=poisson:30s,seed=7". Omitted keys take
+// DefaultScenarioSpec values; the canonical String() form reparses to an
+// identical spec.
+func ParseScenarioSpec(s string) (ScenarioSpec, error) { return scenario.ParseSpec(s) }
+
+// ParseScenarioSpecFile parses the file form: one key=value per line, blank
+// lines and # comments ignored.
+func ParseScenarioSpecFile(path string) (ScenarioSpec, error) { return scenario.ParseSpecFile(path) }
+
+// DefaultScenarioSpec returns a moderate churn scenario drawing from every
+// registered workload.
+func DefaultScenarioSpec() ScenarioSpec { return scenario.DefaultSpec() }
+
+// Schedulers returns the registered scheduling policy names, sorted
+// ("backfill", "fcfs", "power-aware", plus anything added via
+// RegisterScheduler).
+func Schedulers() []string { return scenario.Names() }
+
+// RegisterScheduler adds a scheduling policy to the registry; it panics on
+// duplicate names. Registered policies are selectable by RunScenario, the
+// harness churn sweep, and the ibpower command's -sched flag.
+func RegisterScheduler(name string, fn SchedFunc) { scenario.Register(name, fn) }
+
+// RunScenario expands the spec into a seeded arrival stream and simulates
+// the churn: jobs queue under the configured scheduler, claim
+// placement-ordered terminals, run on the shared fabric and release on
+// completion. Results are deterministic for a given configuration at any
+// Parallelism setting and across repeats of the same seed.
+func RunScenario(cfg ScenarioConfig) (*ChurnResult, error) { return scenario.Run(cfg) }
 
 // ChooseGT selects the grouping threshold for a trace by sweeping the
 // Figure 10 grid, trading MPI-call hit rate against low-power opportunity

@@ -164,6 +164,42 @@ func nil2sum() func(a, b float64) float64 {
 	return func(a, b float64) float64 { return a + b }
 }
 
+// TestFacadeScenario exercises the churn surface: parse a spec, run it
+// through RunScenario, and check the registry enumerators.
+func TestFacadeScenario(t *testing.T) {
+	spec, err := ibpower.ParseScenarioSpec("jobs=4,apps=alya,size=fixed:6,arrival=poisson:20ms,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ibpower.RunScenario(ibpower.ScenarioConfig{
+		Spec:         spec,
+		Displacement: 0.01,
+		Opt:          ibpower.WorkloadOptions{Seed: 42, IterScale: 0.05},
+		Replay:       ibpower.DefaultReplayConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 4 {
+		t.Fatalf("%d jobs churned, want 4", len(res.Jobs))
+	}
+	for _, j := range res.Jobs {
+		if j.Finish <= j.Start || len(j.Terminals) != 6 {
+			t.Errorf("job %d: start %v finish %v terminals %d", j.ID, j.Start, j.Finish, len(j.Terminals))
+		}
+	}
+	scheds := ibpower.Schedulers()
+	if len(scheds) < 3 {
+		t.Errorf("schedulers = %v, want fcfs, backfill and power-aware", scheds)
+	}
+	if spec2, err := ibpower.ParseScenarioSpec(spec.String()); err != nil || spec2.String() != spec.String() {
+		t.Errorf("canonical spec %q did not round-trip (err=%v)", spec.String(), err)
+	}
+	if ibpower.DefaultScenarioSpec().Validate() != nil {
+		t.Error("default scenario spec does not validate")
+	}
+}
+
 func TestWorkloadCatalog(t *testing.T) {
 	if len(ibpower.Workloads()) != 5 {
 		t.Errorf("workloads = %v", ibpower.Workloads())

@@ -14,6 +14,7 @@ import (
 	"ibpower/internal/ngram"
 	"ibpower/internal/predictor"
 	"ibpower/internal/replay"
+	"ibpower/internal/scenario"
 	"ibpower/internal/topology"
 	"ibpower/internal/workloads"
 )
@@ -35,6 +36,7 @@ func Suite() []Bench {
 	return []Bench{
 		{Name: "BenchmarkReplayAlya16", Fn: BenchReplayAlya16},
 		{Name: "BenchmarkMultijob", Fn: BenchMultijob},
+		{Name: "BenchmarkScenarioChurn", Fn: BenchScenarioChurn},
 		{Name: "BenchmarkNetworkTransfer", Fn: BenchNetworkTransfer},
 		{Name: "BenchmarkDragonflyTransfer", Fn: BenchDragonflyTransfer},
 		{Name: "BenchmarkRouteCrossLeaf", Fn: BenchRouteCrossLeaf},
@@ -147,6 +149,55 @@ func BenchMultijob(b *testing.B) {
 		}
 	}
 	b.ReportMetric(calls*float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+}
+
+// BenchScenarioChurn measures the churn event loop's steady-state per-job
+// cost: each op is one job cycling through a saturated fabric — the fcfs
+// policy scans a queue whose head does not fit (the head-of-line state a
+// loaded scenario lives in), then a finishing job's terminals release back
+// to the pooled free-list and the next job claims them. Replay is excluded
+// (BenchmarkMultijob gates that); this number gates the scheduling
+// machinery itself, which must allocate nothing in steady state so
+// million-job scenarios do not churn the GC.
+func BenchScenarioChurn(b *testing.B) {
+	fabric := topology.Paper()
+	order, err := multijob.Ordering("roundrobin", fabric, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	free, err := multijob.NewFreeList(fabric, order)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fcfs, err := scenario.Named("fcfs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Saturate: a resident job holds most of the fabric, the queue head
+	// wants more than the remainder, and one 12-rank job cycles through the
+	// free slots forever.
+	resident := free.Alloc(free.NumTerminals() - 12)
+	defer free.Release(resident)
+	ctx := &multijob.SchedContext{
+		Queue:  []multijob.QueuedJob{{ID: 0, Spec: multijob.JobSpec{App: "gromacs", NP: 96}}},
+		Free:   free,
+		Fabric: fabric,
+	}
+	// Warm the free-list's slice pool so the timed loop recycles.
+	free.Release(free.Alloc(12))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if picks := fcfs(ctx); len(picks) != 0 {
+			b.Fatal("blocked head admitted")
+		}
+		terms := free.Alloc(12)
+		if terms == nil {
+			b.Fatal("alloc failed on a free fabric slice")
+		}
+		free.Release(terms)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
 func BenchNetworkTransfer(b *testing.B) {

@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"ibpower/internal/multijob"
+	"ibpower/internal/replay"
+	"ibpower/internal/scenario"
+	"ibpower/internal/stats"
+	"ibpower/internal/sweep"
+	"ibpower/internal/trace"
+)
+
+// scenarioConfig assembles the scenario.Config for one cell, wiring the
+// Runner's caches in exactly as multijobConfig does: a sweep over S
+// schedulers and P placements generates each distinct (app, NP) trace once,
+// selects its grouping threshold once, and replays its dedicated baseline
+// once, no matter how many cells churn through the same job shapes.
+func (r *Runner) scenarioConfig(spec scenario.Spec, sched, placement string, displacement float64, parallelism int) scenario.Config {
+	cfg := scenario.Config{
+		Spec:         spec,
+		Scheduler:    sched,
+		Placement:    placement,
+		Opt:          r.Opt,
+		Displacement: displacement,
+		Replay:       r.Cfg,
+		Generate:     r.trace,
+		SelectGT: func(tr *trace.Trace) (time.Duration, error) {
+			gt, _, err := r.chooseGT(tr.App, tr.NP, r.Opt, 1.0)
+			return gt, err
+		},
+		Dedicated: func(tr *trace.Trace, gt time.Duration, d float64) (*replay.Result, error) {
+			return r.dedicated(tr.App, tr.NP, gt, d)
+		},
+	}
+	cfg.Replay.Parallelism = parallelism
+	return cfg
+}
+
+// Scenario simulates one churn scenario under one scheduler and placement on
+// the Runner's fabric (experiment E16's single cell).
+func (r *Runner) Scenario(spec scenario.Spec, sched, placement string, displacement float64) (*multijob.ChurnResult, error) {
+	return scenario.Run(r.scenarioConfig(spec, sched, placement, displacement, r.Cfg.Parallelism))
+}
+
+// ScenarioRow is one (scheduler, placement) cell of the churn sweep.
+type ScenarioRow struct {
+	Scheduler string
+	Placement string
+	Result    *multijob.ChurnResult
+}
+
+// ScenarioSweep evaluates the same arrival stream under every (scheduler,
+// placement) pairing on the Cfg.Parallelism-bounded pool (experiment E16).
+// Cells keep scheduler-major, placement-minor enumeration order and each
+// cell's inner event loop stays serial, so rows are bit-identical at every
+// pool size.
+func (r *Runner) ScenarioSweep(spec scenario.Spec, schedulers, placements []string, displacement float64) ([]ScenarioRow, error) {
+	if len(schedulers) == 0 {
+		schedulers = scenario.Names()
+	}
+	for _, s := range schedulers {
+		if err := scenario.CheckRegistered(s); err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+	}
+	if len(placements) == 0 {
+		placements = multijob.Names()
+	}
+	for _, p := range placements {
+		if err := multijob.CheckRegistered(p); err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+	}
+	type cell struct {
+		sched     string
+		placement string
+	}
+	var cells []cell
+	for _, s := range schedulers {
+		for _, p := range placements {
+			cells = append(cells, cell{sched: s, placement: p})
+		}
+	}
+	return sweep.Map(context.Background(), r.workers(len(cells)), cells,
+		func(_ context.Context, _ int, c cell) (ScenarioRow, error) {
+			res, err := scenario.Run(r.scenarioConfig(spec, c.sched, c.placement, displacement, 1))
+			if err != nil {
+				return ScenarioRow{}, fmt.Errorf("%s %s: %w", c.sched, c.placement, err)
+			}
+			return ScenarioRow{Scheduler: c.sched, Placement: c.placement, Result: res}, nil
+		})
+}
+
+// WriteScenarioSweep renders the E16 sweep: per-cell makespan, the
+// queue-wait distribution, mean sharing overhead over the stream's jobs, and
+// the fabric-wide energy figure.
+func WriteScenarioSweep(w io.Writer, spec scenario.Spec, rows []ScenarioRow) error {
+	fmt.Fprintf(w, "job churn sweep over %s\n", spec)
+	t := stats.NewTable("scheduler", "placement", "makespan",
+		"wait mean", "wait p95", "wait max", "sharing dT[%]", "fabric saving[%]", "mean util[%]")
+	for _, row := range rows {
+		var dt float64
+		for _, j := range row.Result.Jobs {
+			dt += j.SharingOverheadPct
+		}
+		n := float64(len(row.Result.Jobs))
+		f := row.Result.Fabric
+		var util float64
+		for _, u := range row.Result.Util {
+			util += u
+		}
+		if len(row.Result.Util) > 0 {
+			util /= float64(len(row.Result.Util))
+		}
+		t.Row(row.Scheduler, row.Placement, f.MakeSpan.Round(time.Microsecond),
+			row.Result.WaitMean.Round(time.Microsecond),
+			row.Result.WaitP95.Round(time.Microsecond),
+			row.Result.WaitMax.Round(time.Microsecond),
+			dt/n, f.SavingPct, util)
+	}
+	return t.Write(w)
+}

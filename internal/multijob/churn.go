@@ -1,0 +1,462 @@
+package multijob
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"ibpower/internal/replay"
+	"ibpower/internal/stats"
+	"ibpower/internal/sweep"
+	"ibpower/internal/topology"
+	"ibpower/internal/trace"
+	"ibpower/internal/workloads"
+)
+
+// Arrival is one job of a churn scenario: a workload spec entering the
+// system at a trace-relative time.
+type Arrival struct {
+	Job JobSpec
+	At  time.Duration
+}
+
+// QueuedJob is one waiting job as scheduling policies see it.
+type QueuedJob struct {
+	ID      int // arrival index, stable across the whole scenario
+	Spec    JobSpec
+	Arrival time.Duration
+}
+
+// SchedContext is the system state a scheduling policy sees at one decision
+// point: the waiting queue in arrival order and the live terminal free-list.
+// Policies must treat both as read-only — Clone the free-list for what-if
+// planning — and must be deterministic functions of the context.
+type SchedContext struct {
+	Now    time.Duration
+	Queue  []QueuedJob
+	Free   *FreeList
+	Fabric topology.Fabric
+}
+
+// SchedFunc decides which waiting jobs start now, returning their queue
+// indices in admission order. Every pick must fit the free terminals when
+// allocated in that order; RunChurn re-checks and fails loudly on a broken
+// contract. Returning nothing defers the whole queue to the next event.
+type SchedFunc func(ctx *SchedContext) []int
+
+// ChurnConfig parameterises an event-driven churn scenario.
+type ChurnConfig struct {
+	// Arrivals is the job stream; RunChurn processes it in time order
+	// (equal-time arrivals keep their slice order).
+	Arrivals []Arrival
+	// Schedule picks jobs off the queue at each event; the scenario
+	// package's registry provides fcfs, backfill, and power-aware.
+	Schedule SchedFunc
+	// Scheduler names the policy in results.
+	Scheduler string
+	// Placement orders the terminal free-list (see Config.Placement).
+	Placement string
+	// Opt, Displacement, Replay, SelectGT, Generate, Dedicated: exactly as
+	// on Config.
+	Opt          workloads.Options
+	Displacement float64
+	Replay       replay.Config
+	SelectGT     func(tr *trace.Trace) (time.Duration, error)
+	Generate     func(app string, np int) (*trace.Trace, error)
+	Dedicated    func(tr *trace.Trace, gt time.Duration, displacement float64) (*replay.Result, error)
+}
+
+// ChurnJob is the outcome of one scenario job.
+type ChurnJob struct {
+	JobStats
+	ID        int
+	Arrival   time.Duration // when the job entered the queue
+	Start     time.Duration // when the scheduler admitted it
+	Wait      time.Duration // Start - Arrival
+	Finish    time.Duration // absolute completion time
+	Terminals []int         // the fabric terminals it ran on
+}
+
+// ChurnResult is the outcome of a churn scenario.
+type ChurnResult struct {
+	Scheduler string
+	Placement string
+	Jobs      []ChurnJob // in arrival order (by ID)
+	Fabric    FabricStats
+
+	// Queue-wait distribution over all jobs.
+	WaitMean time.Duration
+	WaitP50  time.Duration
+	WaitP95  time.Duration
+	WaitMax  time.Duration
+
+	// Util is fabric utilization over time: the mean percentage of
+	// terminals occupied within each of UtilBuckets equal slices of the
+	// makespan.
+	Util []float64
+}
+
+// UtilBuckets is how many equal time slices the utilization-over-time
+// profile divides the makespan into.
+const UtilBuckets = 8
+
+// release orders job completions; the heap breaks finish-time ties by
+// arrival ID so event processing stays deterministic.
+type release struct {
+	finish time.Duration
+	id     int
+	terms  []int
+}
+
+type releaseHeap []release
+
+func (h releaseHeap) Len() int { return len(h) }
+func (h releaseHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].id < h[j].id
+}
+func (h releaseHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *releaseHeap) Push(x any)   { *h = append(*h, x.(release)) }
+func (h *releaseHeap) Pop() any     { old := *h; n := len(old) - 1; x := old[n]; *h = old[:n]; return x }
+
+// RunChurn simulates the configured arrival stream on one shared fabric:
+// jobs queue on arrival, a scheduler admits them when terminals suffice, the
+// incremental replay session (replay.Churn) runs each admission batch to
+// completion on the live timeline, and completions free terminals for the
+// jobs still waiting.
+//
+// Determinism contract: arrivals are processed in (time, index) order,
+// releases before arrivals at equal instants, and the scheduler is invoked
+// once per state change until it stops picking. The event loop itself is
+// serial; Replay.Parallelism only spreads the preparation of distinct
+// (app, NP) pairs — trace generation, GT choice, dedicated baseline — over
+// the worker pool in first-appearance order. Results are therefore
+// bit-identical at any parallelism for a given config.
+//
+// Fidelity note: the underlying session resolves contention in admission
+// order — a job observes the link occupancy of every earlier-admitted job,
+// while running jobs are never slowed retroactively by later arrivals (see
+// replay.Churn).
+func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
+	if len(cfg.Arrivals) == 0 {
+		return nil, fmt.Errorf("multijob: no arrivals configured")
+	}
+	if cfg.Schedule == nil {
+		return nil, fmt.Errorf("multijob: no scheduler configured")
+	}
+	if err := CheckRegistered(cfg.Placement); err != nil {
+		return nil, fmt.Errorf("multijob: %w", err)
+	}
+	fabric, err := cfg.Replay.Fabric()
+	if err != nil {
+		return nil, err
+	}
+	nt := fabric.NumTerminals()
+	for i, a := range cfg.Arrivals {
+		if a.At < 0 {
+			return nil, fmt.Errorf("multijob: arrival %d (%s) at negative time %v", i, a.Job, a.At)
+		}
+		if a.Job.NP < 2 {
+			return nil, fmt.Errorf("multijob: arrival %d (%s): np must be >= 2", i, a.Job)
+		}
+		if a.Job.NP > nt {
+			return nil, fmt.Errorf("multijob: arrival %d (%s) needs %d terminals, fabric %s has %d",
+				i, a.Job, a.Job.NP, fabric.Name(), nt)
+		}
+	}
+
+	// Prepare every distinct (app, NP) pair once, on the worker pool in
+	// first-appearance order: trace, grouping threshold, dedicated baseline.
+	// The sharing-conditions hooks (Config's Generate/SelectGT/Dedicated)
+	// apply unchanged.
+	base := Config{
+		Opt: cfg.Opt, Replay: cfg.Replay,
+		SelectGT: cfg.SelectGT, Generate: cfg.Generate, Dedicated: cfg.Dedicated,
+	}
+	var specs []JobSpec
+	index := make(map[JobSpec]int)
+	for _, a := range cfg.Arrivals {
+		if _, ok := index[a.Job]; !ok {
+			index[a.Job] = len(specs)
+			specs = append(specs, a.Job)
+		}
+	}
+	workers := sweep.Workers(cfg.Replay.Parallelism, len(specs))
+	preps, err := sweep.Map(context.Background(), workers, specs,
+		func(_ context.Context, _ int, js JobSpec) (churnPrep, error) {
+			tr, err := base.generate(js)
+			if err != nil {
+				return churnPrep{}, err
+			}
+			gt, err := base.selectGT(tr)
+			if err != nil {
+				return churnPrep{}, err
+			}
+			ded, err := base.runDedicated(tr, gt, cfg.Displacement)
+			if err != nil {
+				return churnPrep{}, err
+			}
+			return churnPrep{tr: tr, gt: gt, ded: ded}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	order, err := Ordering(cfg.Placement, fabric, cfg.Opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	free, err := NewFreeList(fabric, order)
+	if err != nil {
+		return nil, err
+	}
+	session, err := replay.NewChurn(cfg.Replay)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pending arrivals in (time, index) order; index ties keep input order.
+	pending := make([]QueuedJob, len(cfg.Arrivals))
+	for i, a := range cfg.Arrivals {
+		pending[i] = QueuedJob{ID: i, Spec: a.Job, Arrival: a.At}
+	}
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].Arrival < pending[j].Arrival })
+
+	schedName := cfg.Scheduler
+	if schedName == "" {
+		schedName = "(custom)"
+	}
+	predName := predictorName(cfg.Replay.Power.PredictorName)
+	jobs := make([]ChurnJob, len(cfg.Arrivals))
+	jobTerms := make([][]int, len(cfg.Arrivals))
+	jobAccts := make([]*replay.Result, len(cfg.Arrivals))
+	var (
+		queue []QueuedJob
+		rel   releaseHeap
+		pi    int
+	)
+	for pi < len(pending) || rel.Len() > 0 {
+		// Advance to the next event instant.
+		var now time.Duration
+		switch {
+		case pi < len(pending) && (rel.Len() == 0 || pending[pi].Arrival <= rel[0].finish):
+			now = pending[pi].Arrival
+			if rel.Len() > 0 && rel[0].finish < now {
+				now = rel[0].finish
+			}
+		default:
+			now = rel[0].finish
+		}
+		// Completions free terminals before same-instant arrivals queue.
+		for rel.Len() > 0 && rel[0].finish <= now {
+			r := heap.Pop(&rel).(release)
+			free.Release(r.terms)
+		}
+		for pi < len(pending) && pending[pi].Arrival <= now {
+			queue = append(queue, pending[pi])
+			pi++
+		}
+		// Let the scheduler pick until it stops.
+		for len(queue) > 0 {
+			picks := cfg.Schedule(&SchedContext{Now: now, Queue: queue, Free: free, Fabric: fabric})
+			if len(picks) == 0 {
+				break
+			}
+			picked := make(map[int]bool, len(picks))
+			batch := make([]replay.Job, 0, len(picks))
+			pws := make([]replay.PowerConfig, len(picks))
+			ids := make([]int, 0, len(picks))
+			terms := make([][]int, 0, len(picks))
+			for k, qi := range picks {
+				if qi < 0 || qi >= len(queue) || picked[qi] {
+					return nil, fmt.Errorf("multijob: scheduler %s picked invalid queue index %d", schedName, qi)
+				}
+				picked[qi] = true
+				q := queue[qi]
+				ts := free.Alloc(q.Spec.NP)
+				if ts == nil {
+					return nil, fmt.Errorf("multijob: scheduler %s admitted %s with only %d terminals free",
+						schedName, q.Spec, free.Free())
+				}
+				p := preps[index[q.Spec]]
+				pws[k] = JobPower(cfg.Replay, p.gt, cfg.Displacement)
+				batch = append(batch, replay.Job{Trace: p.tr, Terminals: ts, Power: &pws[k]})
+				ids = append(ids, q.ID)
+				terms = append(terms, ts)
+			}
+			results, err := session.AdmitAt(now, batch...)
+			if err != nil {
+				return nil, err
+			}
+			for k, res := range results {
+				id := ids[k]
+				finish := now + res.ExecTime
+				heap.Push(&rel, release{finish: finish, id: id, terms: terms[k]})
+				jobTerms[id] = append([]int(nil), terms[k]...)
+				jobAccts[id] = res
+				jobs[id] = churnJobStats(fabric, predName, cfg.Arrivals[id].Job,
+					preps[index[cfg.Arrivals[id].Job]], res, id,
+					cfg.Arrivals[id].At, now, finish, jobTerms[id])
+			}
+			// Drop admitted jobs from the queue, preserving order.
+			kept := queue[:0]
+			for qi, q := range queue {
+				if !picked[qi] {
+					kept = append(kept, q)
+				}
+			}
+			queue = kept
+		}
+	}
+	if len(queue) > 0 {
+		q := queue[0]
+		return nil, fmt.Errorf("multijob: scheduler %s left %d jobs waiting on an idle fabric (first: %s, arrived %v)",
+			schedName, len(queue), q.Spec, q.Arrival)
+	}
+
+	return churnResult(cfg, fabric, schedName, jobs, jobTerms, jobAccts, session)
+}
+
+// churnPrep is the once-per-distinct-(app, NP) preparation every admission
+// of that shape reuses: the trace, its grouping threshold, and the
+// dedicated-fabric baseline.
+type churnPrep struct {
+	tr  *trace.Trace
+	gt  time.Duration
+	ded *replay.Result
+}
+
+// churnJobStats folds one job's replay result into its scenario record.
+func churnJobStats(f topology.Fabric, predName string, spec JobSpec, p churnPrep,
+	res *replay.Result, id int, arrival, start, finish time.Duration, terms []int) ChurnJob {
+	st := JobStats{
+		App: spec.App, NP: spec.NP, Predictor: predName, GT: p.gt,
+		Exec:       res.ExecTime,
+		Dedicated:  p.ded.ExecTime,
+		SavingPct:  res.AvgSavingPct(),
+		HitRatePct: res.AvgHitRatePct(),
+		Switches:   countSwitches(f, terms),
+		Transfers:  res.Transfers,
+		BytesMoved: res.BytesMoved,
+	}
+	if p.ded.ExecTime > 0 {
+		st.SharingOverheadPct = 100 * (float64(res.ExecTime) - float64(p.ded.ExecTime)) /
+			float64(p.ded.ExecTime)
+	}
+	for _, a := range res.Acct {
+		st.EnergyLinkSeconds += a.Energy(1.0)
+		st.SavedLinkSeconds += a.Total().Seconds() - a.Energy(1.0)
+	}
+	return ChurnJob{
+		JobStats: st, ID: id,
+		Arrival: arrival, Start: start, Wait: start - arrival, Finish: finish,
+		Terminals: terms,
+	}
+}
+
+// churnResult assembles the scenario-wide summary from the per-job records.
+func churnResult(cfg ChurnConfig, fabric topology.Fabric, schedName string,
+	jobs []ChurnJob, jobTerms [][]int, jobAccts []*replay.Result, session *replay.Churn) (*ChurnResult, error) {
+	res := &ChurnResult{
+		Scheduler: schedName,
+		Placement: placementName(cfg.Placement),
+		Jobs:      jobs,
+	}
+	var makespan time.Duration
+	waits := make([]float64, len(jobs))
+	for i, j := range jobs {
+		if j.Finish > makespan {
+			makespan = j.Finish
+		}
+		waits[i] = j.Wait.Seconds()
+		if j.Wait > res.WaitMax {
+			res.WaitMax = j.Wait
+		}
+	}
+	res.WaitMean = time.Duration(stats.Mean(waits) * float64(time.Second))
+	res.WaitP50 = time.Duration(stats.Percentile(waits, 50) * float64(time.Second))
+	res.WaitP95 = time.Duration(stats.Percentile(waits, 95) * float64(time.Second))
+
+	// Fabric summary via the same machinery as the static multi-job run: the
+	// session's fabric-wide counters and every job's accounting, grouped by
+	// first-hop switch. A terminal occupied by several jobs over the
+	// scenario contributes each job's own accounting window.
+	transfers, bytes := session.Stats()
+	m := &replay.MultiResult{
+		MakeSpan:   makespan,
+		Transfers:  transfers,
+		BytesMoved: bytes,
+		LinkBusy:   session.LinkBusy(),
+		Jobs:       jobAccts,
+	}
+	res.Fabric = fabricStats(fabric, m, jobTerms)
+	res.Util = utilization(jobs, fabric.NumTerminals(), makespan)
+	return res, nil
+}
+
+// utilization integrates the terminal-occupancy step function over
+// UtilBuckets equal slices of the makespan, returning mean busy percentages.
+func utilization(jobs []ChurnJob, nt int, makespan time.Duration) []float64 {
+	if makespan <= 0 || nt == 0 {
+		return nil
+	}
+	util := make([]float64, UtilBuckets)
+	span := makespan.Seconds()
+	for b := range util {
+		t0 := span * float64(b) / UtilBuckets
+		t1 := span * float64(b+1) / UtilBuckets
+		occ := 0.0 // terminal-seconds occupied within [t0, t1)
+		for _, j := range jobs {
+			s, f := j.Start.Seconds(), j.Finish.Seconds()
+			if s < t0 {
+				s = t0
+			}
+			if f > t1 {
+				f = t1
+			}
+			if f > s {
+				occ += (f - s) * float64(j.NP)
+			}
+		}
+		util[b] = 100 * occ / ((t1 - t0) * float64(nt))
+	}
+	return util
+}
+
+// WriteChurn renders a churn scenario outcome: one row per job in arrival
+// order, then the queue-wait distribution, utilization profile, and fabric
+// summary. The layout is fully determined by the result, so output is
+// bit-identical whenever the simulation is.
+func WriteChurn(w io.Writer, r *ChurnResult) error {
+	fmt.Fprintf(w, "%d jobs churned through fabric %s, scheduler %s, placement %s\n",
+		len(r.Jobs), r.Fabric.Fabric, r.Scheduler, r.Placement)
+	t := stats.NewTable("id", "job", "predictor", "arrival", "wait", "exec",
+		"dedicated", "sharing dT[%]", "saving[%]", "hit[%]", "switches")
+	for _, j := range r.Jobs {
+		t.Row(j.ID, fmt.Sprintf("%s:%d", j.App, j.NP), j.Predictor,
+			j.Arrival.Round(time.Millisecond), j.Wait.Round(time.Millisecond),
+			j.Exec.Round(time.Microsecond), j.Dedicated.Round(time.Microsecond),
+			j.SharingOverheadPct, j.SavingPct, j.HitRatePct, j.Switches)
+	}
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nqueue wait: mean %v, p50 %v, p95 %v, max %v\n",
+		r.WaitMean.Round(time.Millisecond), r.WaitP50.Round(time.Millisecond),
+		r.WaitP95.Round(time.Millisecond), r.WaitMax.Round(time.Millisecond))
+	fmt.Fprintf(w, "terminal occupancy over makespan:")
+	for _, u := range r.Util {
+		fmt.Fprintf(w, " %.1f%%", u)
+	}
+	fmt.Fprintln(w)
+	f := r.Fabric
+	fmt.Fprintf(w, "fabric: makespan %v, %d transfers, %d bytes, %d links used (mean util %.2f%%, max %.2f%%), fabric saving %.2f%%\n",
+		f.MakeSpan.Round(time.Microsecond), f.Transfers, f.BytesMoved,
+		f.LinksUsed, f.MeanUtilPct, f.MaxUtilPct, f.SavingPct)
+	return nil
+}

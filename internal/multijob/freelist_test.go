@@ -1,0 +1,142 @@
+package multijob
+
+import (
+	"reflect"
+	"testing"
+
+	"ibpower/internal/topology"
+)
+
+func newTestFreeList(t *testing.T, placement string) *FreeList {
+	t.Helper()
+	f := topology.Paper()
+	order, err := Ordering(placement, f, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := NewFreeList(f, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fl
+}
+
+// TestFreeListAllocRelease pins the core bookkeeping: allocations are
+// disjoint, follow policy order, and releasing restores every count.
+func TestFreeListAllocRelease(t *testing.T) {
+	fl := newTestFreeList(t, "linear")
+	nt := fl.NumTerminals()
+	if fl.Free() != nt {
+		t.Fatalf("fresh list has %d free, want %d", fl.Free(), nt)
+	}
+	a := fl.Alloc(8)
+	b := fl.Alloc(8)
+	if !reflect.DeepEqual(a, []int{0, 1, 2, 3, 4, 5, 6, 7}) {
+		t.Errorf("linear first block %v", a)
+	}
+	if !reflect.DeepEqual(b, []int{8, 9, 10, 11, 12, 13, 14, 15}) {
+		t.Errorf("linear second block %v", b)
+	}
+	if fl.Free() != nt-16 {
+		t.Errorf("free count %d after two allocs, want %d", fl.Free(), nt-16)
+	}
+	// Releasing the first block makes its terminals preferred again.
+	fl.Release(a)
+	c := fl.Alloc(4)
+	if !reflect.DeepEqual(c, []int{0, 1, 2, 3}) {
+		t.Errorf("re-alloc after release %v, want the freed low block", c)
+	}
+	fl.Release(c)
+	fl.Release(b)
+	if fl.Free() != nt {
+		t.Errorf("free count %d after releasing everything, want %d", fl.Free(), nt)
+	}
+	// Oversubscription and degenerate sizes return nil without state damage.
+	if fl.Alloc(nt+1) != nil || fl.Alloc(0) != nil || fl.Alloc(-3) != nil {
+		t.Error("impossible Alloc returned terminals")
+	}
+	if fl.Free() != nt {
+		t.Errorf("failed Alloc disturbed the free count: %d", fl.Free())
+	}
+}
+
+// TestFreeListPeekMatchesAlloc asserts PeekAlloc predicts Alloc exactly and
+// claims nothing — the contract power-aware planning rests on.
+func TestFreeListPeekMatchesAlloc(t *testing.T) {
+	fl := newTestFreeList(t, "roundrobin")
+	fl.Alloc(5)
+	peek := fl.PeekAlloc(7)
+	if fl.Free() != fl.NumTerminals()-5 {
+		t.Fatal("PeekAlloc claimed terminals")
+	}
+	got := fl.Alloc(7)
+	if !reflect.DeepEqual(peek, got) {
+		t.Errorf("PeekAlloc %v != Alloc %v", peek, got)
+	}
+}
+
+// TestFreeListDoubleReleasePanics pins the loud-failure contract.
+func TestFreeListDoubleReleasePanics(t *testing.T) {
+	fl := newTestFreeList(t, "linear")
+	terms := append([]int(nil), fl.Alloc(4)...)
+	fl.Release(terms)
+	defer func() {
+		if recover() == nil {
+			t.Error("double release did not panic")
+		}
+	}()
+	fl.Release(terms)
+}
+
+// TestFreeListIdleSwitches checks the power-aware cost function: a busy
+// terminal wakes its first-hop switch for everyone.
+func TestFreeListIdleSwitches(t *testing.T) {
+	// Paper fabric: 18 terminals per leaf switch.
+	fl := newTestFreeList(t, "linear")
+	// All idle: terminals 0 and 1 share a switch, 20 sits on the next one.
+	if got := fl.IdleSwitches([]int{0, 1, 20}); got != 2 {
+		t.Errorf("IdleSwitches on idle fabric = %d, want 2 distinct switches", got)
+	}
+	busy := fl.Alloc(1) // wakes terminal 0's switch
+	if got := fl.IdleSwitches([]int{1, 2}); got != 0 {
+		t.Errorf("IdleSwitches on woken switch = %d, want 0", got)
+	}
+	if got := fl.IdleSwitches([]int{20}); got != 1 {
+		t.Errorf("IdleSwitches on untouched switch = %d, want 1", got)
+	}
+	fl.Release(busy)
+	if got := fl.IdleSwitches([]int{1}); got != 1 {
+		t.Errorf("IdleSwitches after release = %d, want 1 (switch asleep again)", got)
+	}
+}
+
+// TestFreeListCloneIsIndependent asserts planning on a clone never leaks
+// into the live list.
+func TestFreeListCloneIsIndependent(t *testing.T) {
+	fl := newTestFreeList(t, "linear")
+	fl.Alloc(4)
+	cl := fl.Clone()
+	cl.Alloc(10)
+	if fl.Free() != fl.NumTerminals()-4 {
+		t.Error("clone Alloc disturbed the original")
+	}
+	if cl.Free() != cl.NumTerminals()-14 {
+		t.Error("clone did not track its own allocation")
+	}
+	if got, want := fl.PeekAlloc(2), []int{4, 5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("original PeekAlloc %v, want %v", got, want)
+	}
+}
+
+// TestFreeListSteadyStateAllocs pins the pooling contract: once the pool is
+// warm, an Alloc/Release cycle allocates nothing.
+func TestFreeListSteadyStateAllocs(t *testing.T) {
+	fl := newTestFreeList(t, "linear")
+	// Warm the pool with the slice size the loop reuses.
+	fl.Release(fl.Alloc(16))
+	if avg := testing.AllocsPerRun(100, func() {
+		fl.Release(fl.Alloc(16))
+	}); avg != 0 {
+		t.Errorf("steady-state Alloc/Release costs %.1f allocs/op, want 0", avg)
+	}
+}

@@ -1,0 +1,51 @@
+package multijob
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseJobs hammers the job-list grammar: any input must either error
+// cleanly or produce specs that survive a FormatJobs/ParseJobs round trip
+// unchanged.
+func FuzzParseJobs(f *testing.F) {
+	for _, s := range []string{
+		"gromacs:64,alya:16",
+		"gromacs:16,alya:16",
+		"gromacs:8",
+		" gromacs:64 , alya:16 ",
+		"",
+		"gromacs",
+		"gromacs:1",
+		"gromacs:x",
+		":8",
+		"a:8,,b:8",
+		"a:b:c",
+		"a:+2",
+		"a:99999999999999999999",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		jobs, err := ParseJobs(s)
+		if err != nil {
+			return
+		}
+		if len(jobs) == 0 {
+			t.Fatalf("ParseJobs(%q) returned no jobs and no error", s)
+		}
+		for _, j := range jobs {
+			if j.NP < 2 {
+				t.Fatalf("ParseJobs(%q) accepted %d ranks", s, j.NP)
+			}
+		}
+		again, err := ParseJobs(FormatJobs(jobs))
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q does not reparse: %v",
+				FormatJobs(jobs), s, err)
+		}
+		if !reflect.DeepEqual(again, jobs) {
+			t.Fatalf("round trip changed the jobs: %v -> %v", jobs, again)
+		}
+	})
+}

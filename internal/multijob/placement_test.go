@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"ibpower/internal/registrytest"
 	"ibpower/internal/topology"
 )
 
@@ -112,7 +113,9 @@ func TestRoundRobinSpreadsAcrossSwitches(t *testing.T) {
 	}
 }
 
-// TestPlaceErrors covers the registry and capacity error paths.
+// TestPlaceErrors covers the Place-specific error paths the shared registry
+// contract does not reach (the unknown-name path goes through Place itself,
+// and capacity checking is unique to placements).
 func TestPlaceErrors(t *testing.T) {
 	f := topology.Paper()
 	if _, err := Place("nosuch", f, []int{8}, 0); err == nil ||
@@ -124,25 +127,22 @@ func TestPlaceErrors(t *testing.T) {
 		!strings.Contains(err.Error(), "exceed") {
 		t.Errorf("overcommit: error %v, want capacity complaint", err)
 	}
-	if err := CheckRegistered(""); err != nil {
-		t.Errorf("empty name must resolve to the default: %v", err)
-	}
 }
 
-// TestRegisterPanics mirrors the predictor/fabric registry edge cases.
-func TestRegisterPanics(t *testing.T) {
-	for name, fn := range map[string]func(){
-		"empty name": func() { Register("", func(topology.Fabric, []int, int64) ([][]int, error) { return nil, nil }) },
-		"nil policy": func() { Register("x-nil", nil) },
-		"duplicate":  func() { Register("linear", func(topology.Fabric, []int, int64) ([][]int, error) { return nil, nil }) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("Register with %s did not panic", name)
-				}
-			}()
-			fn()
-		}()
-	}
+// TestRegistryContract runs the shared registry property test. The
+// throwaway entries it registers delegate to the linear policy, so
+// TestPlacementInvariants keeps passing over them.
+func TestRegistryContract(t *testing.T) {
+	registrytest.Run(t, registrytest.Registry{
+		Kind:    "placement",
+		Default: DefaultPlacement,
+		Names:   Names,
+		Check:   CheckRegistered,
+		RegisterValid: func(name string) {
+			Register(name, func(f topology.Fabric, sizes []int, seed int64) ([][]int, error) {
+				return Place("linear", f, sizes, seed)
+			})
+		},
+		RegisterNil: func(name string) { Register(name, nil) },
+	})
 }

@@ -46,10 +46,18 @@ type Controller struct {
 // NewController returns a controller for a link that starts in full-power
 // mode at time 0. treact <= 0 selects the paper's Treact.
 func NewController(treact time.Duration) *Controller {
+	return NewControllerAt(treact, 0)
+}
+
+// NewControllerAt returns a controller whose accounting window opens at
+// start instead of time 0: the link is in full-power mode and no time before
+// start is ever accounted. Jobs admitted mid-timeline onto a shared fabric
+// use this so their energy numbers span exactly their own lifetime.
+func NewControllerAt(treact, start time.Duration) *Controller {
 	if treact <= 0 {
 		treact = Treact
 	}
-	return &Controller{treact: treact, mode: ModeFull}
+	return &Controller{treact: treact, mode: ModeFull, modeSince: start}
 }
 
 // RecordTimeline attaches a timeline that receives state intervals.

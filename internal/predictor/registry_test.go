@@ -1,10 +1,10 @@
 package predictor
 
 import (
-	"strings"
 	"testing"
 	"time"
 
+	"ibpower/internal/registrytest"
 	"ibpower/internal/trace"
 )
 
@@ -12,58 +12,24 @@ func validCfg() Config {
 	return Config{GT: 100 * us, Displacement: 0.01}
 }
 
-func TestRegistryNames(t *testing.T) {
-	names := Names()
+// TestRegistryContract runs the shared registry property test; the predictor
+// presets themselves must all be present on top of the generic contract.
+func TestRegistryContract(t *testing.T) {
 	for _, want := range []string{"ewma", "lastvalue", "ngram", "offline", "oracle", "static-gt"} {
 		if !Registered(want) {
-			t.Errorf("%q not registered (have %v)", want, names)
+			t.Errorf("%q not registered (have %v)", want, Names())
 		}
 	}
-	for i := 1; i < len(names); i++ {
-		if names[i-1] >= names[i] {
-			t.Fatalf("Names() not sorted: %v", names)
-		}
-	}
-	// The empty name resolves to the default.
-	if !Registered("") {
-		t.Error("empty name must resolve to the default predictor")
-	}
-}
-
-func TestDuplicateRegistrationPanics(t *testing.T) {
-	Register("testdup", func(cfg Config) (Predictor, error) { return New(cfg) })
-	defer func() {
-		if recover() == nil {
-			t.Fatal("duplicate registration must panic")
-		}
-	}()
-	Register("testdup", func(cfg Config) (Predictor, error) { return New(cfg) })
-}
-
-func TestRegisterRejectsBadArguments(t *testing.T) {
-	for name, f := range map[string]func(){
-		"empty name":  func() { Register("", func(cfg Config) (Predictor, error) { return New(cfg) }) },
-		"nil factory": func() { Register("testnil", nil) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s must panic", name)
-				}
-			}()
-			f()
-		}()
-	}
-}
-
-func TestNewNamedUnknown(t *testing.T) {
-	_, err := NewNamed("nosuch", validCfg())
-	if err == nil {
-		t.Fatal("unknown name accepted")
-	}
-	if !strings.Contains(err.Error(), "nosuch") || !strings.Contains(err.Error(), "ngram") {
-		t.Errorf("error must name the typo and the registry: %v", err)
-	}
+	registrytest.Run(t, registrytest.Registry{
+		Kind:    "predictor",
+		Default: DefaultName,
+		Names:   Names,
+		Check:   CheckRegistered,
+		RegisterValid: func(name string) {
+			Register(name, func(cfg Config) (Predictor, error) { return New(cfg) })
+		},
+		RegisterNil: func(name string) { Register(name, nil) },
+	})
 }
 
 func TestNewNamedDefault(t *testing.T) {

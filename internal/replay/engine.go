@@ -145,8 +145,56 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	return mr.Jobs[0], nil
 }
 
-// run drains the engine's work queue and collects the result.
-func (e *engine) run() (*MultiResult, error) {
+// addJob appends one job's ranks to the engine, each starting its clock at
+// the given admission time, and returns the job's state. label names a
+// rank's recorded timeline. Ranks are not yet runnable; callers queue them
+// via enqueue once the whole admission batch is in place.
+func (e *engine) addJob(tr *trace.Trace, pw PowerConfig, terms []int, start time.Duration, label func(r int) string) (*jobState, error) {
+	js := &jobState{tr: tr, pw: pw, base: len(e.rk)}
+	e.jobs = append(e.jobs, js)
+	for r := 0; r < tr.NP; r++ {
+		rs := &rankState{
+			r: r, g: js.base + r, base: js.base, np: tr.NP,
+			term: terms[r], ops: tr.Ranks[r], clk: start, jb: js,
+		}
+		if pw.Enabled {
+			p, err := predictor.NewNamed(pw.PredictorName, pw.Predictor)
+			if err != nil {
+				return nil, err
+			}
+			predictor.Prime(p, tr.Ranks[r])
+			rs.pred = p
+			rs.ctrl = power.NewControllerAt(pw.Predictor.Treact, start)
+			if pw.DeepSleep {
+				rs.ctrl.EnableDeep(pw.Deep)
+			}
+			if pw.RecordTimelines {
+				rs.ctrl.RecordTimeline(label(r))
+			}
+		}
+		e.rk = append(e.rk, rs)
+	}
+	return js, nil
+}
+
+// enqueue makes ranks [from, len(rk)) runnable. The work ring is regrown to
+// the current rank count first; callers only invoke this between drains
+// (workLen == 0), so no queued entries are ever dropped.
+func (e *engine) enqueue(from int) {
+	e.work = make([]int, len(e.rk))
+	e.workHead = 0
+	for len(e.inWork) < len(e.rk) {
+		e.inWork = append(e.inWork, false)
+	}
+	for g := from; g < len(e.rk); g++ {
+		e.push(g)
+	}
+}
+
+// drain processes runnable ranks until the work queue empties, then verifies
+// every rank has finished — a blocked rank means an unmatched point-to-point
+// half, which the generator never produces.
+func (e *engine) drain() error {
 	for e.workLen > 0 {
 		g := e.work[e.workHead]
 		e.workHead = (e.workHead + 1) % len(e.work)
@@ -156,9 +204,17 @@ func (e *engine) run() (*MultiResult, error) {
 	}
 	for _, rs := range e.rk {
 		if !rs.done {
-			return nil, fmt.Errorf("replay: deadlock: %s rank %d blocked at op %d/%d (micro %d/%d)",
+			return fmt.Errorf("replay: deadlock: %s rank %d blocked at op %d/%d (micro %d/%d)",
 				rs.jb.tr.App, rs.r, rs.pc, len(rs.ops), rs.mi, len(rs.micro))
 		}
+	}
+	return nil
+}
+
+// run drains the engine's work queue and collects the result.
+func (e *engine) run() (*MultiResult, error) {
+	if err := e.drain(); err != nil {
+		return nil, err
 	}
 	return e.collect(), nil
 }

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"ibpower/internal/network"
-	"ibpower/internal/power"
 	"ibpower/internal/predictor"
 	"ibpower/internal/topology"
 	"ibpower/internal/trace"
@@ -150,17 +149,9 @@ func RunJobs(jobs []Job, cfg Config) (*MultiResult, error) {
 	// Resolve each job's effective power configuration.
 	pws := make([]PowerConfig, len(jobs))
 	for j := range jobs {
-		pw := cfg.Power
-		if jobs[j].Power != nil {
-			pw = *jobs[j].Power
-		}
-		if pw.Enabled {
-			if err := pw.Predictor.Validate(); err != nil {
-				return nil, err
-			}
-			if err := predictor.CheckRegistered(pw.PredictorName); err != nil {
-				return nil, fmt.Errorf("replay: %w", err)
-			}
+		pw, err := resolvePower(cfg, jobs[j])
+		if err != nil {
+			return nil, err
 		}
 		pws[j] = pw
 	}
@@ -170,44 +161,40 @@ func RunJobs(jobs []Job, cfg Config) (*MultiResult, error) {
 		return nil, err
 	}
 	e := &engine{
-		net:  net,
-		jobs: make([]*jobState, len(jobs)),
-		rk:   make([]*rankState, 0, total),
-		pt:   make(map[pairKey]*pairQueues),
-		work: make([]int, total),
+		net: net,
+		rk:  make([]*rankState, 0, total),
+		pt:  make(map[pairKey]*pairQueues),
 	}
 	for j := range jobs {
-		tr := jobs[j].Trace
-		js := &jobState{tr: tr, pw: pws[j], base: len(e.rk)}
-		e.jobs[j] = js
-		for r := 0; r < tr.NP; r++ {
-			rs := &rankState{
-				r: r, g: js.base + r, base: js.base, np: tr.NP,
-				term: terms[j][r], ops: tr.Ranks[r], jb: js,
-			}
-			if js.pw.Enabled {
-				p, err := predictor.NewNamed(js.pw.PredictorName, js.pw.Predictor)
-				if err != nil {
-					return nil, err
-				}
-				predictor.Prime(p, tr.Ranks[r])
-				rs.pred = p
-				rs.ctrl = power.NewController(js.pw.Predictor.Treact)
-				if js.pw.DeepSleep {
-					rs.ctrl.EnableDeep(js.pw.Deep)
-				}
-				if js.pw.RecordTimelines {
-					rs.ctrl.RecordTimeline(timelineLabel(len(jobs), j, tr.App, r))
-				}
-			}
-			e.rk = append(e.rk, rs)
+		j, tr := j, jobs[j].Trace
+		_, err := e.addJob(tr, pws[j], terms[j], 0, func(r int) string {
+			return timelineLabel(len(jobs), j, tr.App, r)
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
-	e.inWork = make([]bool, len(e.rk))
-	for g := range e.rk {
-		e.push(g)
-	}
+	e.enqueue(0)
 	return e.run()
+}
+
+// resolvePower returns the job's effective power block — its own override or
+// the run-level default — after validating predictor config and registry
+// name.
+func resolvePower(cfg Config, job Job) (PowerConfig, error) {
+	pw := cfg.Power
+	if job.Power != nil {
+		pw = *job.Power
+	}
+	if pw.Enabled {
+		if err := pw.Predictor.Validate(); err != nil {
+			return PowerConfig{}, err
+		}
+		if err := predictor.CheckRegistered(pw.PredictorName); err != nil {
+			return PowerConfig{}, fmt.Errorf("replay: %w", err)
+		}
+	}
+	return pw, nil
 }
 
 // timelineLabel names a recorded per-rank timeline; single-job runs keep the

@@ -84,35 +84,7 @@ func (r *Result) TimeIncreasePct(base *Result) float64 {
 func (e *engine) collect() *MultiResult {
 	m := &MultiResult{Jobs: make([]*Result, len(e.jobs))}
 	for j, js := range e.jobs {
-		np := js.tr.NP
-		res := &Result{RankFinish: make([]time.Duration, np)}
-		for r := 0; r < np; r++ {
-			rs := e.rk[js.base+r]
-			res.RankFinish[r] = rs.clk
-			if rs.clk > res.ExecTime {
-				res.ExecTime = rs.clk
-			}
-		}
-		if js.pw.Enabled {
-			res.Acct = make([]power.Accounting, np)
-			res.PredStats = make([]predictor.Stats, np)
-			for r := 0; r < np; r++ {
-				rs := e.rk[js.base+r]
-				rs.ctrl.Finish(res.ExecTime)
-				res.Acct[r] = rs.ctrl.Accounting()
-				res.PredStats[r] = rs.pred.Stats()
-				res.Shutdowns += rs.ctrl.Shutdowns
-				res.DemandWakes += rs.ctrl.DemandWakes
-				res.TimerWakes += rs.ctrl.TimerWakes
-				res.TotalDelay += rs.ctrl.TotalDelay
-				if js.pw.RecordTimelines {
-					if tl := rs.ctrl.Timeline(); tl != nil {
-						res.Timelines = append(res.Timelines, tl)
-					}
-				}
-			}
-		}
-		res.Transfers, res.BytesMoved = js.transfers, js.bytes
+		res := e.collectJob(js, 0)
 		m.Jobs[j] = res
 		if res.ExecTime > m.MakeSpan {
 			m.MakeSpan = res.ExecTime
@@ -124,4 +96,43 @@ func (e *engine) collect() *MultiResult {
 		m.LinkBusy[i] = e.net.LinkBusy(topology.LinkID(i))
 	}
 	return m
+}
+
+// collectJob builds one drained job's Result. start is the job's admission
+// time: exec time and rank finishes are reported relative to it, while power
+// accounting closes at the job's absolute completion, so a churned job's
+// window spans exactly its own lifetime [start, finish].
+func (e *engine) collectJob(js *jobState, start time.Duration) *Result {
+	np := js.tr.NP
+	res := &Result{RankFinish: make([]time.Duration, np)}
+	finish := start
+	for r := 0; r < np; r++ {
+		rs := e.rk[js.base+r]
+		res.RankFinish[r] = rs.clk - start
+		if rs.clk > finish {
+			finish = rs.clk
+		}
+	}
+	res.ExecTime = finish - start
+	if js.pw.Enabled {
+		res.Acct = make([]power.Accounting, np)
+		res.PredStats = make([]predictor.Stats, np)
+		for r := 0; r < np; r++ {
+			rs := e.rk[js.base+r]
+			rs.ctrl.Finish(finish)
+			res.Acct[r] = rs.ctrl.Accounting()
+			res.PredStats[r] = rs.pred.Stats()
+			res.Shutdowns += rs.ctrl.Shutdowns
+			res.DemandWakes += rs.ctrl.DemandWakes
+			res.TimerWakes += rs.ctrl.TimerWakes
+			res.TotalDelay += rs.ctrl.TotalDelay
+			if js.pw.RecordTimelines {
+				if tl := rs.ctrl.Timeline(); tl != nil {
+					res.Timelines = append(res.Timelines, tl)
+				}
+			}
+		}
+	}
+	res.Transfers, res.BytesMoved = js.transfers, js.bytes
+	return res
 }

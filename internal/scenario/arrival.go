@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// ArrivalProc generates the gap to the next job arrival. Like Dist, it must
+// be a pure function of the RNG stream.
+type ArrivalProc interface {
+	Gap(r *rand.Rand) time.Duration
+	String() string
+}
+
+// ParseArrivalProc parses an arrival process:
+//
+//	"poisson:30s"  exponential inter-arrival gaps with mean 30s
+//	"fixed:10s"    one job every 10s exactly
+//
+// The parameter takes any time.ParseDuration form and must be positive.
+func ParseArrivalProc(s string) (ArrivalProc, error) {
+	s = strings.TrimSpace(s)
+	kind, rest, ok := strings.Cut(s, ":")
+	if !ok || rest == "" {
+		return nil, fmt.Errorf("scenario: arrival process %q wants kind:interval (e.g. poisson:30s)", s)
+	}
+	mean, err := time.ParseDuration(rest)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: arrival interval %q: %v", rest, err)
+	}
+	if mean <= 0 {
+		return nil, fmt.Errorf("scenario: arrival interval must be positive, got %v", mean)
+	}
+	switch kind {
+	case "poisson":
+		return poissonArrivals(mean), nil
+	case "fixed":
+		return fixedArrivals(mean), nil
+	}
+	return nil, fmt.Errorf("scenario: unknown arrival process %q (want poisson or fixed)", kind)
+}
+
+type poissonArrivals time.Duration
+
+func (p poissonArrivals) Gap(r *rand.Rand) time.Duration {
+	return time.Duration(r.ExpFloat64() * float64(p))
+}
+func (p poissonArrivals) String() string { return "poisson:" + time.Duration(p).String() }
+
+type fixedArrivals time.Duration
+
+func (p fixedArrivals) Gap(*rand.Rand) time.Duration { return time.Duration(p) }
+func (p fixedArrivals) String() string               { return "fixed:" + time.Duration(p).String() }

@@ -1,0 +1,59 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// FuzzScenarioSpec hammers the spec grammar: any input must either error
+// cleanly or produce a spec whose canonical String() reparses to the same
+// canonical form, and whose expansion succeeds. The seed corpus covers every
+// documented example plus the edge shapes that have bitten parsers before
+// (empty fields, sign-only numbers, huge values, stray separators).
+func FuzzScenarioSpec(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"jobs=200,size=zipf:16:256,arrival=poisson:30s,seed=7",
+		"jobs=50,apps=gromacs+alya,size=uniform:4:32,arrival=poisson:20s,speed=1,seed=1",
+		"size=choices:16@3:64@1",
+		"size=normal:32:8,arrival=fixed:10s",
+		"size=zipf:2:128:2,speed=0.25",
+		"jobs=1,size=fixed:2,arrival=fixed:1ns",
+		"jobs=,size=,arrival=",
+		"size=uniform:-5:-1",
+		"size=zipf:1:999999999",
+		"speed=1e308,seed=-9223372036854775808",
+		"size=choices:1@1e-300:2@1e300",
+		"apps=+++,size=normal:NaN:Inf",
+		",,,=,=,==",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		canon := spec.String()
+		again, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q does not reparse: %v", canon, s, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("canonical form is not a fixed point: %q -> %q", canon, again.String())
+		}
+		// A validated spec must always expand; keep the expansion small so
+		// the fuzzer spends its budget on the parser.
+		if spec.Jobs > 64 {
+			spec.Jobs = 64
+		}
+		arrivals, err := spec.Generate()
+		if err != nil {
+			t.Fatalf("validated spec %q failed to generate: %v", canon, err)
+		}
+		for i, a := range arrivals {
+			if a.At < 0 || a.Job.NP < 2 {
+				t.Fatalf("spec %q generated invalid arrival %d: %+v", canon, i, a)
+			}
+		}
+	})
+}

@@ -1,0 +1,87 @@
+// Package scenario turns a compact textual spec into a reproducible stream
+// of job arrivals and drives the multijob churn engine under a named
+// scheduling policy — the online-cluster view of the paper's energy
+// question: jobs arriving, queueing, running, and freeing terminals on one
+// shared fabric over simulated days.
+//
+// A Spec ("jobs=200,size=zipf:16:256,arrival=poisson:30s,seed=7", or the
+// same keys one-per-line in a file) describes job count, application mix,
+// a size distribution (fixed, uniform, choices, normal, Zipf), an arrival
+// process (Poisson or fixed-interval, with a speed multiplier), and a seed;
+// Generate expands it deterministically. Schedulers live behind a named
+// registry mirroring the predictor, fabric, and placement registries:
+// "fcfs" (strict arrival order, the default), "backfill" (EASY-style, no
+// reservations), and "power-aware" (admits jobs onto already-woken first-hop
+// switches first, preserving the fabric's idle-link coverage).
+//
+// Everything is deterministic for a given Config: the spec expansion is a
+// pure function of the seed, the event loop is serial, and parallelism only
+// spreads per-(app, NP) preparation over the worker pool in first-appearance
+// order — results are bit-identical at any -parallel setting.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"ibpower/internal/multijob"
+	"ibpower/internal/replay"
+	"ibpower/internal/trace"
+	"ibpower/internal/workloads"
+)
+
+// Config parameterises one scenario run.
+type Config struct {
+	// Spec is the arrival stream description; zero-valued fields of a
+	// partially built spec fail validation, so build via DefaultSpec,
+	// ParseSpec, or ParseSpecFile.
+	Spec Spec
+	// Scheduler selects the policy from the scheduler registry ("fcfs",
+	// "backfill", "power-aware", or anything registered by the embedding
+	// program); empty selects DefaultScheduler.
+	Scheduler string
+	// Placement orders the terminal free-list (the placement registry);
+	// empty selects multijob.DefaultPlacement. The spec's seed feeds the
+	// "random" policy via Opt.Seed when Opt.Seed is zero.
+	Placement string
+	// Opt, Displacement, Replay, and the hooks: exactly as on
+	// multijob.Config.
+	Opt          workloads.Options
+	Displacement float64
+	Replay       replay.Config
+	SelectGT     func(tr *trace.Trace) (time.Duration, error)
+	Generate     func(app string, np int) (*trace.Trace, error)
+	Dedicated    func(tr *trace.Trace, gt time.Duration, displacement float64) (*replay.Result, error)
+}
+
+// Run expands the spec and simulates the scenario. The result is
+// deterministic for a given Config at any Replay.Parallelism setting.
+func Run(cfg Config) (*multijob.ChurnResult, error) {
+	if err := CheckRegistered(cfg.Scheduler); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	fn, err := Named(cfg.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	arrivals, err := cfg.Spec.Generate()
+	if err != nil {
+		return nil, err
+	}
+	opt := cfg.Opt
+	if opt.Seed == 0 {
+		opt.Seed = cfg.Spec.Seed
+	}
+	return multijob.RunChurn(multijob.ChurnConfig{
+		Arrivals:     arrivals,
+		Schedule:     fn,
+		Scheduler:    SchedulerName(cfg.Scheduler),
+		Placement:    cfg.Placement,
+		Opt:          opt,
+		Displacement: cfg.Displacement,
+		Replay:       cfg.Replay,
+		SelectGT:     cfg.SelectGT,
+		Generate:     cfg.Generate,
+		Dedicated:    cfg.Dedicated,
+	})
+}

@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ibpower/internal/multijob"
+	"ibpower/internal/replay"
+	"ibpower/internal/workloads"
+)
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	spec, err := ParseSpec("jobs=6,apps=gromacs+alya,size=uniform:4:16,arrival=poisson:50ms,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Spec:      spec,
+		Scheduler: "fcfs",
+		Placement: "roundrobin",
+		Opt:       workloads.Options{Seed: 42, IterScale: 0.05},
+		Replay:    replay.DefaultConfig(),
+	}
+}
+
+// TestRunDeterministicAtAnyParallelism pins the acceptance contract: the
+// whole ChurnResult is bit-identical at Parallelism 1, 4, and GOMAXPROCS,
+// and across repeated runs of the same config.
+func TestRunDeterministicAtAnyParallelism(t *testing.T) {
+	var base *multijob.ChurnResult
+	for _, par := range []int{1, 1, 4, 0} {
+		cfg := testConfig(t)
+		cfg.Replay.Parallelism = par
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(res, base) {
+			t.Errorf("result at Parallelism %d differs from the first run", par)
+		}
+	}
+}
+
+// TestRunReportsRegistryNames asserts the result and its rendering carry the
+// resolved scheduler and placement names.
+func TestRunReportsRegistryNames(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Scheduler = "" // must resolve to the default
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduler != DefaultScheduler {
+		t.Errorf("scheduler name %q, want the default %q", res.Scheduler, DefaultScheduler)
+	}
+	if res.Placement != "roundrobin" {
+		t.Errorf("placement name %q", res.Placement)
+	}
+	var buf bytes.Buffer
+	if err := multijob.WriteChurn(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{DefaultScheduler, "roundrobin", "queue wait"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("rendered result missing %q", want)
+		}
+	}
+}
+
+// TestRunErrors covers the registry and spec error paths.
+func TestRunErrors(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Scheduler = "nosuch"
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "unknown scheduler") ||
+		!strings.Contains(err.Error(), "power-aware") {
+		t.Errorf("unknown scheduler: error %v, want the registry listed", err)
+	}
+	cfg = testConfig(t)
+	cfg.Spec.Jobs = 0
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "jobs must be in") {
+		t.Errorf("invalid spec: error %v", err)
+	}
+	cfg = testConfig(t)
+	cfg.Replay.FabricName = "nosuch"
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "unknown fabric") {
+		t.Errorf("unknown fabric: error %v", err)
+	}
+}
+
+// TestRunSeedFeedsPlacement asserts the spec seed reaches the placement
+// policy when no explicit Opt.Seed is set: defaulting must equal setting
+// Opt.Seed to the spec seed by hand, and a different explicit Opt.Seed (same
+// arrival stream) must land jobs elsewhere.
+func TestRunSeedFeedsPlacement(t *testing.T) {
+	run := func(optSeed int64) *multijob.ChurnResult {
+		cfg := testConfig(t)
+		cfg.Placement = "random"
+		cfg.Opt.Seed = optSeed
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	defaulted := run(0)                      // Opt.Seed zero: spec seed (9) takes over
+	explicit := run(testConfig(t).Spec.Seed) // the same seed, set by hand
+	if !reflect.DeepEqual(defaulted, explicit) {
+		t.Error("Opt.Seed zero did not default to the spec seed")
+	}
+	other := run(555) // same arrivals, different placement seed
+	same := true
+	for i := range defaulted.Jobs {
+		if !reflect.DeepEqual(defaulted.Jobs[i].Terminals, other.Jobs[i].Terminals) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different placement seeds landed every job on identical terminals")
+	}
+}

@@ -1,0 +1,172 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ibpower/internal/multijob"
+)
+
+// DefaultScheduler is the registry entry used when no policy is named:
+// first-come-first-served, the reference batch discipline.
+const DefaultScheduler = "fcfs"
+
+var (
+	schedMu  sync.RWMutex
+	schedReg = make(map[string]multijob.SchedFunc)
+)
+
+// Register adds a scheduling policy under name. It panics on an empty name,
+// a nil policy, or a duplicate registration, mirroring the predictor,
+// fabric, and placement registries: registry collisions are programmer
+// errors and must fail loudly at init time.
+func Register(name string, fn multijob.SchedFunc) {
+	if name == "" {
+		panic("scenario: Register with empty name")
+	}
+	if fn == nil {
+		panic("scenario: Register with nil scheduler for " + name)
+	}
+	schedMu.Lock()
+	defer schedMu.Unlock()
+	if _, dup := schedReg[name]; dup {
+		panic("scenario: duplicate registration of " + name)
+	}
+	schedReg[name] = fn
+}
+
+// Registered reports whether name resolves in the registry; the empty string
+// resolves to DefaultScheduler.
+func Registered(name string) bool {
+	if name == "" {
+		name = DefaultScheduler
+	}
+	schedMu.RLock()
+	defer schedMu.RUnlock()
+	_, ok := schedReg[name]
+	return ok
+}
+
+// Names returns the registered scheduler names, sorted.
+func Names() []string {
+	schedMu.RLock()
+	defer schedMu.RUnlock()
+	names := make([]string, 0, len(schedReg))
+	for n := range schedReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CheckRegistered returns a descriptive error naming the whole registry when
+// name does not resolve (the empty name resolves to DefaultScheduler), so a
+// typo'd -sched flag tells the user what would have worked.
+func CheckRegistered(name string) error {
+	if Registered(name) {
+		return nil
+	}
+	return fmt.Errorf("unknown scheduler %q (registered: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// Named resolves a scheduler by name; the empty name selects the default.
+func Named(name string) (multijob.SchedFunc, error) {
+	if name == "" {
+		name = DefaultScheduler
+	}
+	schedMu.RLock()
+	fn, ok := schedReg[name]
+	schedMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("scenario: %w", CheckRegistered(name))
+	}
+	return fn, nil
+}
+
+// SchedulerName returns the effective registry name (empty resolves to the
+// default), for reporting.
+func SchedulerName(name string) string {
+	if name == "" {
+		return DefaultScheduler
+	}
+	return name
+}
+
+// The preset registry.
+func init() {
+	// fcfs: strict first-come-first-served — admit from the queue head while
+	// jobs fit, stop at the first that does not. Never reorders jobs, so
+	// equal-arrival jobs start in arrival order and a wide job at the head
+	// blocks everything behind it (head-of-line blocking, the cost of
+	// fairness).
+	Register("fcfs", func(ctx *multijob.SchedContext) []int {
+		var picks []int
+		free := ctx.Free.Free()
+		for i, q := range ctx.Queue {
+			if q.Spec.NP > free {
+				break
+			}
+			picks = append(picks, i)
+			free -= q.Spec.NP
+		}
+		return picks
+	})
+	// backfill: fcfs, plus any later job that fits the terminals the blocked
+	// head cannot use — EASY-style backfilling without reservations, so a
+	// stream of small jobs can starve a wide head under sustained load.
+	Register("backfill", func(ctx *multijob.SchedContext) []int {
+		var picks []int
+		free := ctx.Free.Free()
+		blocked := false
+		for i, q := range ctx.Queue {
+			if q.Spec.NP > free {
+				blocked = true
+				continue
+			}
+			if blocked {
+				// Backfilling past the head: still in queue scan order, so
+				// among backfill candidates the earliest arrival wins.
+				picks = append(picks, i)
+				free -= q.Spec.NP
+				continue
+			}
+			picks = append(picks, i)
+			free -= q.Spec.NP
+		}
+		return picks
+	})
+	// power-aware: among fitting jobs, repeatedly admit the one whose
+	// allocation wakes the fewest fully-idle first-hop switches, so sleeping
+	// edge links stay asleep and the prediction mechanism keeps whole
+	// switches in low power. Ties break by arrival order. Planning runs on a
+	// clone of the free-list; the engine performs the real allocations in
+	// the returned order, which reproduces the plan exactly because both
+	// draw from the same policy ordering.
+	Register("power-aware", func(ctx *multijob.SchedContext) []int {
+		var picks []int
+		plan := ctx.Free.Clone()
+		taken := make([]bool, len(ctx.Queue))
+		for {
+			best, bestCost := -1, 0
+			for i, q := range ctx.Queue {
+				if taken[i] || q.Spec.NP > plan.Free() {
+					continue
+				}
+				terms := plan.PeekAlloc(q.Spec.NP)
+				cost := plan.IdleSwitches(terms)
+				if best == -1 || cost < bestCost {
+					best, bestCost = i, cost
+				}
+			}
+			if best == -1 {
+				return picks
+			}
+			taken[best] = true
+			picks = append(picks, best)
+			plan.Alloc(ctx.Queue[best].Spec.NP)
+		}
+	})
+}

@@ -2,8 +2,9 @@ package topology
 
 import (
 	"math/rand"
-	"strings"
 	"testing"
+
+	"ibpower/internal/registrytest"
 )
 
 // TestRegistryPresets asserts every preset builds, satisfies the size floor
@@ -47,32 +48,19 @@ func TestRegistryPresets(t *testing.T) {
 	}
 }
 
-func TestRegistryUnknownName(t *testing.T) {
-	if _, err := Named("nosuch"); err == nil || !strings.Contains(err.Error(), "dragonfly") {
-		t.Errorf("unknown fabric error %v must list the registry", err)
-	}
-	if err := CheckRegistered("nosuch"); err == nil {
-		t.Error("CheckRegistered accepted an unknown name")
-	}
-	if err := CheckRegistered(""); err != nil {
-		t.Errorf("empty name must resolve to the default: %v", err)
-	}
-}
-
-func TestRegisterPanics(t *testing.T) {
-	mustPanic := func(name string, fn func()) {
-		t.Helper()
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s did not panic", name)
-			}
-		}()
-		fn()
-	}
-	mustPanic("empty name", func() { Register("", func() (Fabric, error) { return Paper(), nil }) })
-	mustPanic("nil constructor", func() { Register("x-nil", nil) })
-	mustPanic("duplicate", func() {
-		Register(DefaultFabric, func() (Fabric, error) { return Paper(), nil })
+// TestRegistryContract runs the shared registry property test. The
+// throwaway entries it registers build the paper fabric, so the structural
+// sweeps below that iterate Names() keep passing over them.
+func TestRegistryContract(t *testing.T) {
+	registrytest.Run(t, registrytest.Registry{
+		Kind:    "fabric",
+		Default: DefaultFabric,
+		Names:   Names,
+		Check:   CheckRegistered,
+		RegisterValid: func(name string) {
+			Register(name, func() (Fabric, error) { return Paper(), nil })
+		},
+		RegisterNil: func(name string) { Register(name, nil) },
 	})
 }
 
