@@ -432,6 +432,11 @@ func BenchmarkMultijob(b *testing.B) { benchio.BenchMultijob(b) }
 // stay at 0 allocs/op.
 func BenchmarkScenarioChurn(b *testing.B) { benchio.BenchScenarioChurn(b) }
 
+// BenchmarkChurnWithFaults times the degraded-routing transfer path: every
+// transfer detours around a failed cable (cache bypass + RouteIDsAvoiding),
+// which must stay at 0 allocs/op in steady state.
+func BenchmarkChurnWithFaults(b *testing.B) { benchio.BenchChurnWithFaults(b) }
+
 // BenchmarkDetectorAddGram measures the steady-state PPA gram path: a
 // detected pattern being predicted over interned grams (zero allocations).
 func BenchmarkDetectorAddGram(b *testing.B) { benchio.BenchDetectorAddGram(b) }

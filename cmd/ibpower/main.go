@@ -8,7 +8,7 @@
 //	figures           power savings and execution-time increase (Figures 7–9)
 //	compare           every registered predictor over every workload (E14)
 //	multijob          concurrent workloads sharing one fabric (E15)
-//	scenario          job churn: arrivals, queueing, scheduling (E16)
+//	scenario          job churn: arrivals, queueing, scheduling (E16); -faults/-faultsweep add hardware failures (E17)
 //	timeline          per-rank link power timeline (Figure 6)
 //	ppa               PPA walkthrough on the Figure 2/3 event stream
 //	energy            Section VI extension: deep modes + fabric energy
@@ -31,7 +31,10 @@
 // stream from -spec (e.g. "jobs=200,size=zipf:16:256,arrival=poisson:30s,
 // seed=7") or -specfile, and schedules it with -sched (fcfs, backfill,
 // power-aware) from the scheduler registry — the module's fourth named
-// registry. Run "ibpower <subcommand> -h" for flags.
+// registry; -faults injects seeded link/switch/terminal failures
+// ("link:poisson:10m:mttr=2m,switch:fixed:5m") with degraded routing and
+// job retry, and -faultsweep grids ";"-separated fault specs against every
+// scheduler (E17). Run "ibpower <subcommand> -h" for flags.
 package main
 
 import (
@@ -549,7 +552,10 @@ func cmdMultijob(args []string) error {
 // replay session times everything on one live timeline. Results are
 // bit-identical at any -parallel setting and across repeats of the same
 // spec. With -sweep it runs every scheduler x placement pairing over the
-// same stream instead of one cell.
+// same stream instead of one cell. -faults injects seeded hardware failures
+// (kind:dist:mean[:mttr=d] clauses) on top of the spec; -faultsweep runs a
+// resilience grid of ";"-separated fault specs x schedulers (experiment
+// E17).
 func cmdScenario(args []string) error {
 	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
 	opt := optFlags(fs)
@@ -557,7 +563,7 @@ func cmdScenario(args []string) error {
 	pred := predFlag(fs, predictor.DefaultName)
 	topo := topoFlag(fs)
 	specStr := fs.String("spec", "",
-		"scenario spec as key=value,... (keys: jobs, apps, size, arrival, speed, seed; e.g. jobs=200,size=zipf:16:256,arrival=poisson:30s,seed=7)")
+		"scenario spec as key=value,... (keys: jobs, apps, size, arrival, speed, seed, faults; e.g. jobs=200,size=zipf:16:256,arrival=poisson:30s,seed=7)")
 	specFile := fs.String("specfile", "", "file with one spec key=value per line (# comments); -spec overlays it")
 	sched := fs.String("sched", scenario.DefaultScheduler,
 		"scheduling policy (one of: "+strings.Join(scenario.Names(), ", ")+")")
@@ -565,6 +571,10 @@ func cmdScenario(args []string) error {
 		"placement policy ordering the terminal free-list (one of: "+strings.Join(multijob.Names(), ", ")+")")
 	d := fs.Float64("d", 0.01, "displacement factor")
 	sweepAll := fs.Bool("sweep", false, "run every scheduler x placement pairing over the spec (ignores -sched/-placement)")
+	faults := fs.String("faults", "",
+		"fault spec as kind:dist:mean[:mttr=d],... (kinds: link, switch, term; e.g. link:poisson:10m:mttr=2m,switch:fixed:5m); overrides the spec's faults key")
+	faultSweep := fs.String("faultsweep", "",
+		"resilience grid (E17): \";\"-separated fault specs (empty item = fault-free baseline) x every scheduler; ignores -sched/-faults")
 	fs.Parse(args)
 	if err := checkFlags(*pred, *topo); err != nil {
 		return err
@@ -587,7 +597,20 @@ func cmdScenario(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *faults != "" {
+		spec.Faults, err = scenario.ParseFaults(*faults)
+		if err != nil {
+			return err
+		}
+	}
 	runner := harness.NewRunner(*opt, configWith(*par, *pred, *topo))
+	if *faultSweep != "" {
+		rows, err := runner.ScenarioFaultSweep(spec, strings.Split(*faultSweep, ";"), nil, *d)
+		if err != nil {
+			return err
+		}
+		return harness.WriteScenarioFaultSweep(os.Stdout, spec, rows)
+	}
 	if *sweepAll {
 		rows, err := runner.ScenarioSweep(spec, nil, nil, *d)
 		if err != nil {

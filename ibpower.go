@@ -36,7 +36,10 @@
 //     the module's fourth named registry ("fcfs", "backfill", "power-aware";
 //     enumerate with Schedulers, add implementations with
 //     RegisterScheduler), and results report makespan, the queue-wait
-//     distribution, fabric utilization over time, and per-job energy.
+//     distribution, fabric utilization over time, and per-job energy. A
+//     faults key ("faults=link:poisson:10m:mttr=2m") injects seeded
+//     hardware failures: routing detours around dead links and killed jobs
+//     retry with exponential backoff (ParseScenarioFaults, RetryPolicy).
 //   - RunSPMD / PowerLayer — the mini-MPI runtime with the mechanism
 //     installed in the PMPI profiling layer, the paper's deployment model.
 //
@@ -176,6 +179,13 @@ type (
 	// SchedFunc picks which queued jobs to admit, by queue index;
 	// implementations register with RegisterScheduler.
 	SchedFunc = multijob.SchedFunc
+	// FaultClause is one hardware failure process of a scenario: a kind
+	// (link, switch, terminal), a mean-time-between-failures arrival process,
+	// and a mean time to repair (zero = permanent).
+	FaultClause = scenario.FaultClause
+	// RetryPolicy governs requeueing of fault-killed jobs: a retry budget
+	// and an exponential backoff base.
+	RetryPolicy = multijob.RetryPolicy
 )
 
 // Runtime (deployment path) types.
@@ -305,9 +315,25 @@ func RegisterScheduler(name string, fn SchedFunc) { scenario.Register(name, fn) 
 // RunScenario expands the spec into a seeded arrival stream and simulates
 // the churn: jobs queue under the configured scheduler, claim
 // placement-ordered terminals, run on the shared fabric and release on
-// completion. Results are deterministic for a given configuration at any
-// Parallelism setting and across repeats of the same seed.
+// completion. When the spec carries fault clauses, seeded link/switch/
+// terminal failures fire alongside the arrivals: routes detour around
+// failed hardware, jobs whose terminals die are killed and retried under
+// the config's RetryPolicy, and the result reports kills, goodput and
+// surviving capacity. Results are deterministic for a given configuration
+// at any Parallelism setting and across repeats of the same seed.
 func RunScenario(cfg ScenarioConfig) (*ChurnResult, error) { return scenario.Run(cfg) }
+
+// ParseScenarioFaults parses the fault spec form the ibpower scenario
+// -faults flag uses: comma-separated kind:dist:mean[:mttr=duration] clauses,
+// e.g. "link:poisson:10m:mttr=2m,switch:fixed:5m". Kinds are link (a
+// switch-to-switch cable), switch (a whole switch and its terminals), and
+// term (one terminal). FormatScenarioFaults renders clauses back in
+// canonical form.
+func ParseScenarioFaults(s string) ([]FaultClause, error) { return scenario.ParseFaults(s) }
+
+// FormatScenarioFaults renders fault clauses in canonical ParseScenarioFaults
+// form.
+func FormatScenarioFaults(cs []FaultClause) string { return scenario.FormatFaults(cs) }
 
 // ChooseGT selects the grouping threshold for a trace by sweeping the
 // Figure 10 grid, trading MPI-call hit rate against low-power opportunity

@@ -200,6 +200,45 @@ func TestFacadeScenario(t *testing.T) {
 	}
 }
 
+// TestFacadeScenarioFaults exercises the fault surface: parse clauses, run a
+// faulty scenario with a retry policy, and check the resilience metrics.
+func TestFacadeScenarioFaults(t *testing.T) {
+	clauses, err := ibpower.ParseScenarioFaults("term:poisson:100ms:mttr=200ms,link:poisson:150ms:mttr=100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ibpower.FormatScenarioFaults(clauses); got != "term:poisson:100ms:mttr=200ms,link:poisson:150ms:mttr=100ms" {
+		t.Fatalf("clauses did not round-trip: %q", got)
+	}
+	spec, err := ibpower.ParseScenarioSpec("jobs=4,apps=alya,size=fixed:6,arrival=poisson:20ms,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Faults = clauses
+	res, err := ibpower.RunScenario(ibpower.ScenarioConfig{
+		Spec:         spec,
+		Displacement: 0.01,
+		Opt:          ibpower.WorkloadOptions{Seed: 42, IterScale: 0.05},
+		Replay:       ibpower.DefaultReplayConfig(),
+		Retry:        ibpower.RetryPolicy{MaxRetries: 2, Backoff: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FaultsActive {
+		t.Error("fault clauses set but FaultsActive is false")
+	}
+	if res.GoodputPct <= 0 || res.GoodputPct > 100 {
+		t.Errorf("goodput %v%% out of range", res.GoodputPct)
+	}
+	if len(res.Capacity) == 0 {
+		t.Error("no capacity profile")
+	}
+	if _, err := ibpower.ParseScenarioFaults("disk:poisson:1m"); err == nil {
+		t.Error("unknown fault kind accepted")
+	}
+}
+
 func TestWorkloadCatalog(t *testing.T) {
 	if len(ibpower.Workloads()) != 5 {
 		t.Errorf("workloads = %v", ibpower.Workloads())

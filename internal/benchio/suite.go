@@ -37,6 +37,7 @@ func Suite() []Bench {
 		{Name: "BenchmarkReplayAlya16", Fn: BenchReplayAlya16},
 		{Name: "BenchmarkMultijob", Fn: BenchMultijob},
 		{Name: "BenchmarkScenarioChurn", Fn: BenchScenarioChurn},
+		{Name: "BenchmarkChurnWithFaults", Fn: BenchChurnWithFaults},
 		{Name: "BenchmarkNetworkTransfer", Fn: BenchNetworkTransfer},
 		{Name: "BenchmarkDragonflyTransfer", Fn: BenchDragonflyTransfer},
 		{Name: "BenchmarkRouteCrossLeaf", Fn: BenchRouteCrossLeaf},
@@ -198,6 +199,46 @@ func BenchScenarioChurn(b *testing.B) {
 		free.Release(terms)
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchChurnWithFaults measures the degraded-routing transfer hot path: the
+// paper XGFT with one switch-to-switch cable down, so every transfer takes
+// the fault-aware branch — a RouteDraws into scratch (identical RNG
+// consumption to the healthy path) plus a RouteIDsAvoiding detour — instead
+// of the route cache. Steady state must allocate nothing, so long faulty
+// intervals cost only the detour arithmetic, not GC churn.
+func BenchChurnWithFaults(b *testing.B) {
+	fabric := topology.Paper()
+	net, err := network.New(fabric, network.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs := topology.NewFaultSet(fabric)
+	tab := fabric.Table()
+	failed := false
+	for id := 0; id < tab.Len(); id += 2 {
+		if tab.SwitchToSwitch(topology.LinkID(id)) {
+			fs.FailLink(topology.LinkID(id))
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		b.Fatal("no switch-to-switch cable to fail")
+	}
+	if err := net.SetFaults(fs); err != nil {
+		b.Fatal(err)
+	}
+	// Warm the detour scratch buffers so the timed loop recycles them.
+	net.Transfer(0, 37, 8192, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Transfer(i%128, (i+37)%128, 8192, time.Duration(i)*time.Microsecond)
+	}
+	if net.Unroutable() != 0 {
+		b.Fatalf("%d unroutable transfers on a single-cable fault", net.Unroutable())
+	}
 }
 
 func BenchNetworkTransfer(b *testing.B) {

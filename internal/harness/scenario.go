@@ -95,6 +95,99 @@ func (r *Runner) ScenarioSweep(spec scenario.Spec, schedulers, placements []stri
 		})
 }
 
+// ScenarioFaultRow is one (fault spec, scheduler) cell of the resilience
+// sweep.
+type ScenarioFaultRow struct {
+	Faults    string // canonical fault spec; "" = fault-free baseline
+	Scheduler string
+	Result    *multijob.ChurnResult
+}
+
+// ScenarioFaultSweep evaluates the same arrival stream under every (fault
+// spec, scheduler) pairing (experiment E17): each fault spec is overlaid on
+// the base spec's faults key, an empty string meaning the fault-free
+// baseline. Cells keep fault-major, scheduler-minor enumeration order on the
+// Cfg.Parallelism-bounded pool; each cell's inner event loop stays serial, so
+// rows are bit-identical at every pool size.
+func (r *Runner) ScenarioFaultSweep(spec scenario.Spec, faultSpecs, schedulers []string, displacement float64) ([]ScenarioFaultRow, error) {
+	if len(faultSpecs) == 0 {
+		return nil, fmt.Errorf("harness: fault sweep needs at least one fault spec (\"\" selects the fault-free baseline)")
+	}
+	if len(schedulers) == 0 {
+		schedulers = scenario.Names()
+	}
+	for _, s := range schedulers {
+		if err := scenario.CheckRegistered(s); err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+	}
+	type cell struct {
+		faults string
+		sched  string
+	}
+	var cells []cell
+	for _, f := range faultSpecs {
+		clauses, err := scenario.ParseFaults(f)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		for _, s := range schedulers {
+			cells = append(cells, cell{faults: scenario.FormatFaults(clauses), sched: s})
+		}
+	}
+	return sweep.Map(context.Background(), r.workers(len(cells)), cells,
+		func(_ context.Context, _ int, c cell) (ScenarioFaultRow, error) {
+			cellSpec := spec
+			clauses, err := scenario.ParseFaults(c.faults)
+			if err != nil {
+				return ScenarioFaultRow{}, err
+			}
+			cellSpec.Faults = clauses
+			res, err := scenario.Run(r.scenarioConfig(cellSpec, c.sched, multijob.DefaultPlacement, displacement, 1))
+			if err != nil {
+				return ScenarioFaultRow{}, fmt.Errorf("faults=%q %s: %w", c.faults, c.sched, err)
+			}
+			return ScenarioFaultRow{Faults: c.faults, Scheduler: c.sched, Result: res}, nil
+		})
+}
+
+// WriteScenarioFaultSweep renders the E17 resilience grid: per-cell makespan
+// and queue wait alongside the fault layer's kill/retry/abandon counters,
+// goodput, wasted terminal-seconds, mean surviving capacity, and unroutable
+// transfer count.
+func WriteScenarioFaultSweep(w io.Writer, spec scenario.Spec, rows []ScenarioFaultRow) error {
+	base := spec
+	base.Faults = nil
+	fmt.Fprintf(w, "fault churn sweep over %s\n", base)
+	t := stats.NewTable("faults", "scheduler", "makespan", "wait mean",
+		"killed", "retried", "abandoned", "goodput[%]", "wasted[term-s]", "capacity[%]", "unroutable")
+	for _, row := range rows {
+		res := row.Result
+		faults := row.Faults
+		if faults == "" {
+			faults = "none"
+		}
+		goodput := 100.0
+		if res.FaultsActive {
+			goodput = res.GoodputPct
+		}
+		var capMean float64
+		if len(res.Capacity) > 0 {
+			for _, c := range res.Capacity {
+				capMean += c
+			}
+			capMean /= float64(len(res.Capacity))
+		} else {
+			capMean = 100
+		}
+		t.Row(faults, row.Scheduler, res.Fabric.MakeSpan.Round(time.Microsecond),
+			res.WaitMean.Round(time.Microsecond),
+			res.Killed, res.Retried, res.Abandoned,
+			goodput, res.WastedTermSeconds, capMean, res.Unroutable)
+	}
+	return t.Write(w)
+}
+
 // WriteScenarioSweep renders the E16 sweep: per-cell makespan, the
 // queue-wait distribution, mean sharing overhead over the stream's jobs, and
 // the fabric-wide energy figure.

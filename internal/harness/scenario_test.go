@@ -138,3 +138,111 @@ func TestScenarioGolden(t *testing.T) {
 			golden, ref, want)
 	}
 }
+
+func testFaultScenarioSpec(t *testing.T) scenario.Spec {
+	t.Helper()
+	// Big jobs keep most of the fabric busy, so a terminal fault actually
+	// lands on a running job and the kill/retry path shows in the golden.
+	spec, err := scenario.ApplySpec(testScenarioSpec(t),
+		"jobs=8,size=uniform:40:120,faults=term:poisson:20ms:mttr=100ms,link:poisson:50ms:mttr=80ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestScenarioFaultSweepBitIdentical renders the E17 grid at three pool
+// sizes and asserts the output bytes are identical, including a fault-free
+// baseline row.
+func TestScenarioFaultSweepBitIdentical(t *testing.T) {
+	opt := workloads.Options{Seed: 42, IterScale: 0.05}
+	spec := testScenarioSpec(t)
+	faultSpecs := []string{"", "term:poisson:150ms:mttr=300ms"}
+	var ref string
+	for _, par := range []int{1, 2, 0} {
+		cfg := replay.DefaultConfig()
+		cfg.Parallelism = par
+		rows, err := NewRunner(opt, cfg).ScenarioFaultSweep(spec, faultSpecs, []string{"fcfs", "backfill"}, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteScenarioFaultSweep(&buf, spec, rows); err != nil {
+			t.Fatal(err)
+		}
+		if ref == "" {
+			ref = buf.String()
+			continue
+		}
+		if buf.String() != ref {
+			t.Errorf("fault sweep output at Parallelism %d differs from serial run:\n%s\n--- vs ---\n%s",
+				par, buf.String(), ref)
+		}
+	}
+	for _, want := range []string{"none", "term:poisson", "goodput", "unroutable"} {
+		if !strings.Contains(ref, want) {
+			t.Errorf("fault sweep output missing %q:\n%s", want, ref)
+		}
+	}
+}
+
+// TestScenarioFaultSweepErrors covers the grid's validation paths.
+func TestScenarioFaultSweepErrors(t *testing.T) {
+	r := NewRunner(workloads.Options{IterScale: 0.05}, replay.DefaultConfig())
+	spec := testScenarioSpec(t)
+	if _, err := r.ScenarioFaultSweep(spec, nil, nil, 0.01); err == nil ||
+		!strings.Contains(err.Error(), "at least one fault spec") {
+		t.Errorf("empty fault specs: error %v", err)
+	}
+	if _, err := r.ScenarioFaultSweep(spec, []string{"disk:poisson:1m"}, nil, 0.01); err == nil ||
+		!strings.Contains(err.Error(), "unknown fault kind") {
+		t.Errorf("bad fault spec: error %v", err)
+	}
+	if _, err := r.ScenarioFaultSweep(spec, []string{""}, []string{"nosuch"}, 0.01); err == nil ||
+		!strings.Contains(err.Error(), "unknown scheduler") {
+		t.Errorf("bad scheduler: error %v", err)
+	}
+}
+
+// TestScenarioFaultGolden pins the exact byte stream of a faulty scenario
+// against a golden file at three parallelism settings — the acceptance gate
+// that seeded fault injection is bit-identical across repeats and pool sizes.
+// Regenerate deliberately with `go test -run TestScenarioFaultGolden -update
+// ./internal/harness` and inspect the diff.
+func TestScenarioFaultGolden(t *testing.T) {
+	opt := workloads.Options{Seed: 42, IterScale: 0.05}
+	var ref []byte
+	for _, par := range []int{1, 4, 0} {
+		cfg := replay.DefaultConfig()
+		cfg.Parallelism = par
+		res, err := NewRunner(opt, cfg).Scenario(testFaultScenarioSpec(t), "fcfs", "roundrobin", 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := multijob.WriteChurn(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), ref) {
+			t.Fatalf("faulty scenario output at Parallelism %d differs from serial run", par)
+		}
+	}
+	golden := filepath.Join("testdata", "scenario_faults_fcfs_roundrobin.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, ref, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref, want) {
+		t.Errorf("faulty scenario output drifted from golden %s\n--- got ---\n%s\n--- want ---\n%s",
+			golden, ref, want)
+	}
+}

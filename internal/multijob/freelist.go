@@ -15,11 +15,18 @@ import (
 // Alloc and Release recycle terminal slices through an internal pool, so the
 // steady state of a long scenario — jobs claiming and freeing terminals
 // forever — allocates nothing (pinned by TestFreeListSteadyStateAllocs).
+// A terminal can also be *down* — failed hardware, tracked as a counter
+// because a terminal may be downed independently by its own fault and by its
+// host switch's fault, and must stay excluded until every cause is repaired.
+// Down terminals are never handed out by Alloc and do not count as free;
+// Release of a down terminal (its occupant was killed) parks it until repair.
 type FreeList struct {
 	f      topology.Fabric
 	order  []int  // policy preference order over every terminal
 	busy   []bool // terminal -> occupied
 	nfree  int
+	down   []int32 // terminal -> overlapping fault count (0 = healthy)
+	ndown  int     // terminals with down > 0
 	swBusy map[int32]int // first-hop switch -> busy terminal count
 	pool   [][]int       // recycled terminal slices
 }
@@ -57,12 +64,44 @@ func NewFreeList(f topology.Fabric, order []int) (*FreeList, error) {
 		order:  append([]int(nil), order...),
 		busy:   make([]bool, nt),
 		nfree:  nt,
+		down:   make([]int32, nt),
 		swBusy: make(map[int32]int),
 	}, nil
 }
 
-// Free returns how many terminals are currently free.
+// Free returns how many terminals are currently free (healthy and idle).
 func (fl *FreeList) Free() int { return fl.nfree }
+
+// Down returns how many terminals are currently failed.
+func (fl *FreeList) Down() int { return fl.ndown }
+
+// Fail marks terminal t down under one more fault cause. An idle terminal
+// leaves the free pool immediately; a busy one stays the caller's problem
+// (the churn engine kills its occupant, whose Release then parks it).
+func (fl *FreeList) Fail(t int) {
+	fl.down[t]++
+	if fl.down[t] == 1 {
+		fl.ndown++
+		if !fl.busy[t] {
+			fl.nfree--
+		}
+	}
+}
+
+// Repair removes one fault cause from terminal t; the terminal re-enters the
+// free pool once every overlapping cause is repaired.
+func (fl *FreeList) Repair(t int) {
+	if fl.down[t] == 0 {
+		panic(fmt.Sprintf("multijob: repair of healthy terminal %d", t))
+	}
+	fl.down[t]--
+	if fl.down[t] == 0 {
+		fl.ndown--
+		if !fl.busy[t] {
+			fl.nfree++
+		}
+	}
+}
 
 // NumTerminals returns the fabric's terminal count.
 func (fl *FreeList) NumTerminals() int { return len(fl.busy) }
@@ -77,7 +116,7 @@ func (fl *FreeList) Alloc(n int) []int {
 	}
 	out := fl.take(n)
 	for _, t := range fl.order {
-		if fl.busy[t] {
+		if fl.busy[t] || fl.down[t] > 0 {
 			continue
 		}
 		out = append(out, t)
@@ -100,7 +139,7 @@ func (fl *FreeList) PeekAlloc(n int) []int {
 	}
 	out := make([]int, 0, n)
 	for _, t := range fl.order {
-		if fl.busy[t] {
+		if fl.busy[t] || fl.down[t] > 0 {
 			continue
 		}
 		out = append(out, t)
@@ -122,7 +161,9 @@ func (fl *FreeList) Release(terms []int) {
 		}
 		fl.busy[t] = false
 		fl.swBusy[topology.HostSwitch(fl.f, t)]--
-		fl.nfree++
+		if fl.down[t] == 0 {
+			fl.nfree++
+		}
 	}
 	fl.pool = append(fl.pool, terms[:0])
 }
@@ -159,6 +200,8 @@ func (fl *FreeList) Clone() *FreeList {
 		order:  fl.order,
 		busy:   append([]bool(nil), fl.busy...),
 		nfree:  fl.nfree,
+		down:   append([]int32(nil), fl.down...),
+		ndown:  fl.ndown,
 		swBusy: sw,
 	}
 }

@@ -128,6 +128,93 @@ func TestFreeListCloneIsIndependent(t *testing.T) {
 	}
 }
 
+// TestFreeListCloneDeepIndependence covers the leak the satellite task calls
+// out: what-if planning mutates a clone's allocations and pooled backing
+// slices, and none of it may alias the live list's memory.
+func TestFreeListCloneDeepIndependence(t *testing.T) {
+	fl := newTestFreeList(t, "linear")
+	live := fl.Alloc(8)
+	fl.Release(live) // live's backing array now sits in fl's pool
+
+	cl := fl.Clone()
+	got := cl.Alloc(8)
+	if &got[0] == &live[0] {
+		t.Fatal("clone Alloc handed out the live list's pooled backing slice")
+	}
+	cl.Release(got)
+	// Scribble the clone's pooled backing; the live list must not see it.
+	for i := range got {
+		got[i] = -999
+	}
+	cl.Fail(0)
+	cl.Alloc(4)
+
+	next := fl.Alloc(8)
+	if !reflect.DeepEqual(next, []int{0, 1, 2, 3, 4, 5, 6, 7}) {
+		t.Errorf("live Alloc after clone mutation = %v", next)
+	}
+	if fl.Down() != 0 {
+		t.Error("clone Fail leaked into the live list")
+	}
+	// And the other direction: releasing into the live pool after cloning
+	// stays invisible to the clone.
+	fl.Release(next)
+	if cl.Free() != cl.NumTerminals()-4-1 { // 4 allocated, terminal 0 down
+		t.Errorf("clone free count %d disturbed by live Release", cl.Free())
+	}
+}
+
+// TestFreeListFailRepair pins the down-terminal bookkeeping the fault layer
+// rides on: down terminals leave the free pool, are skipped by Alloc and
+// PeekAlloc, survive a Release without resurfacing, and only return once
+// every overlapping fault cause is repaired.
+func TestFreeListFailRepair(t *testing.T) {
+	fl := newTestFreeList(t, "linear")
+	nt := fl.NumTerminals()
+
+	fl.Fail(0)
+	if fl.Free() != nt-1 || fl.Down() != 1 {
+		t.Fatalf("after Fail(0): free %d down %d", fl.Free(), fl.Down())
+	}
+	if got := fl.PeekAlloc(2); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("PeekAlloc over a down terminal = %v, want [1 2]", got)
+	}
+	a := fl.Alloc(2)
+	if !reflect.DeepEqual(a, []int{1, 2}) {
+		t.Errorf("Alloc over a down terminal = %v, want [1 2]", a)
+	}
+	fl.Release(a)
+
+	// A busy terminal that fails: its occupant's release parks it.
+	b := fl.Alloc(2) // terminals 1, 2
+	fl.Fail(1)
+	fl.Release(b)
+	if fl.Free() != nt-2 || fl.Down() != 2 {
+		t.Fatalf("after failing busy terminal: free %d down %d", fl.Free(), fl.Down())
+	}
+	if got := fl.Alloc(1); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("Alloc after parked release = %v, want [2]", got)
+	}
+
+	// Overlapping causes: a second Fail needs a second Repair.
+	fl.Fail(1)
+	fl.Repair(1)
+	if fl.Down() != 2 {
+		t.Error("terminal with an outstanding fault cause counted repaired")
+	}
+	fl.Repair(1)
+	fl.Repair(0)
+	if fl.Down() != 0 || fl.Free() != nt-1 { // terminal 2 still allocated
+		t.Errorf("after full repair: free %d down %d", fl.Free(), fl.Down())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Repair of a healthy terminal did not panic")
+		}
+	}()
+	fl.Repair(17)
+}
+
 // TestFreeListSteadyStateAllocs pins the pooling contract: once the pool is
 // warm, an Alloc/Release cycle allocates nothing.
 func TestFreeListSteadyStateAllocs(t *testing.T) {

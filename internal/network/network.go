@@ -78,6 +78,16 @@ type Network struct {
 	busy     []time.Duration // per directed link: accumulated busy time
 	segReady []time.Duration // transferSegments scratch, reused across messages
 
+	// Fault-aware routing state (SetFaults). While the set is non-empty the
+	// route cache is bypassed: RouteDraws consumes the RNG exactly as the
+	// cached path would, then the fault router picks the detour, so the draw
+	// sequence — and with it every fault-free transfer — stays bit-identical.
+	faults     *topology.FaultSet
+	frouter    topology.FaultRouter
+	faultDraws []int             // RouteDraws scratch, reused across messages
+	faultPath  []topology.LinkID // RouteIDsAvoiding scratch, reused across messages
+	unroutable int               // transfers with no healthy path left
+
 	// Optional per-link busy interval recording (host links, Table I from
 	// the network's perspective and the Figure 6 timeline): a flat slice
 	// indexed by LinkID, allocated only when recording is enabled.
@@ -119,6 +129,30 @@ func (n *Network) RecordIntervals(on bool) {
 	}
 }
 
+// SetFaults attaches a live fault set: subsequent transfers route around
+// blocked links via the fabric's FaultRouter. The set is read on every
+// transfer, so the caller may keep mutating it (fail/repair events) between
+// calls. Passing nil detaches the fault layer. Returns an error if the
+// fabric does not implement degraded routing.
+func (n *Network) SetFaults(fs *topology.FaultSet) error {
+	if fs == nil {
+		n.faults, n.frouter = nil, nil
+		return nil
+	}
+	fr, ok := n.topo.(topology.FaultRouter)
+	if !ok {
+		return fmt.Errorf("network: fabric %s does not implement topology.FaultRouter", n.topo.Name())
+	}
+	n.faults, n.frouter = fs, fr
+	return nil
+}
+
+// Unroutable returns the number of transfers for which no healthy path
+// existed; those fell back to the healthy-route timing (the message is
+// assumed lost-and-retried at a higher layer, which the churn engine models
+// by killing the affected jobs).
+func (n *Network) Unroutable() int { return n.unroutable }
+
 // SerTime returns the serialization time of b bytes on one link at full
 // width (used for sender-side injection completion).
 func (n *Network) SerTime(b int) time.Duration { return n.serTime(b) }
@@ -144,7 +178,24 @@ func (n *Network) Transfer(src, dst, b int, start time.Duration) time.Duration {
 	// The route cache replays the same RNG draws Route would make and
 	// returns a shared read-only path, so the steady-state transfer path
 	// allocates nothing and timings stay bit-identical to uncached routing.
-	path := n.routes.Route(src, dst, n.rng)
+	// While faults are present the cache is bypassed: the RNG is consumed
+	// through RouteDraws (identical draw sequence), and the fault router
+	// picks a detour from the recorded draws.
+	var path []topology.LinkID
+	if n.faults != nil && !n.faults.Empty() {
+		n.faultDraws = n.topo.RouteDraws(n.faultDraws[:0], src, dst, n.rng)
+		var ok bool
+		n.faultPath, ok = n.frouter.RouteIDsAvoiding(n.faultPath[:0], src, dst, n.faultDraws, n.faults)
+		if !ok {
+			// No healthy path left: count it and time the transfer over the
+			// healthy route so the simulation can proceed deterministically.
+			n.unroutable++
+			n.faultPath = n.topo.RouteIDsFromDraws(n.faultPath[:0], src, dst, n.faultDraws)
+		}
+		path = n.faultPath
+	} else {
+		path = n.routes.Route(src, dst, n.rng)
+	}
 	if n.cfg.Mode == SegmentLevel {
 		return n.transferSegments(path, b, head)
 	}
@@ -263,5 +314,6 @@ func (n *Network) Reset() {
 	}
 	n.transfers = 0
 	n.bytes = 0
+	n.unroutable = 0
 	n.rng = rand.New(rand.NewSource(n.cfg.Seed))
 }

@@ -90,6 +90,30 @@ func (c *Churn) LinkBusy() []time.Duration {
 	return busy
 }
 
+// SetFaults attaches a live fault set to the session's network: subsequent
+// admissions route around blocked links (see network.SetFaults). The caller
+// keeps ownership of the set and mutates it between admissions as fault
+// events fire.
+func (c *Churn) SetFaults(fs *topology.FaultSet) error { return c.e.net.SetFaults(fs) }
+
+// Unroutable returns the number of transfers so far that had no healthy
+// path and fell back to healthy-route timing.
+func (c *Churn) Unroutable() int { return c.e.net.Unroutable() }
+
+// ReleaseTerminals truncates the recorded occupancy of the given terminals
+// to at, freeing them for re-admission from that instant. The churn engine
+// calls this when a fault kills a running job: the job's remaining replay
+// stays on the link timeline (its ranks were already drained in one pass —
+// the residue models abort/drain traffic), but the terminals themselves may
+// host a new job immediately.
+func (c *Churn) ReleaseTerminals(at time.Duration, terms []int) {
+	for _, t := range terms {
+		if t >= 0 && t < len(c.term) && c.term[t].used && c.term[t].finish > at {
+			c.term[t].finish = at
+		}
+	}
+}
+
 // AdmitAt starts the given jobs at simulated time start — which must not
 // precede any earlier admission — and drains them to completion, returning
 // one job-scoped Result per job in input order. Each Result's ExecTime and

@@ -115,3 +115,23 @@ func TestChurnTerminalReuse(t *testing.T) {
 		t.Error("admission time going backwards accepted")
 	}
 }
+
+// TestChurnReleaseTerminals asserts the kill path: after an early release,
+// the same terminals are admissible from the release instant even though the
+// original occupant's replay ran past it.
+func TestChurnReleaseTerminals(t *testing.T) {
+	tr := genTrace(t, "alya", 8)
+	c, err := NewChurn(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.AdmitAt(0, Job{Trace: tr, Terminals: identTerms(tr.NP)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kill := first[0].ExecTime / 2
+	c.ReleaseTerminals(kill, identTerms(tr.NP))
+	if _, err := c.AdmitAt(kill, Job{Trace: tr, Terminals: identTerms(tr.NP)}); err != nil {
+		t.Fatalf("admission onto early-released terminals rejected: %v", err)
+	}
+}

@@ -1,0 +1,308 @@
+package scenario
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"ibpower/internal/multijob"
+	"ibpower/internal/topology"
+)
+
+// FaultClause is one failure process of a scenario: entities of one kind
+// (link, switch, term) fail with inter-failure gaps drawn from Proc (the
+// same machinery as job arrivals) and are repaired MTTR later — or never,
+// when MTTR is zero.
+type FaultClause struct {
+	Kind multijob.FaultKind
+	Proc ArrivalProc   // mean-time-between-failures process
+	MTTR time.Duration // mean time to repair; 0 = permanent failure
+}
+
+// String renders the clause in canonical ParseFaults form.
+func (c FaultClause) String() string {
+	s := c.Kind.String() + ":" + c.Proc.String()
+	if c.MTTR > 0 {
+		s += ":mttr=" + c.MTTR.String()
+	}
+	return s
+}
+
+// ParseFaults parses a comma-separated fault spec such as
+//
+//	link:poisson:10m:mttr=2m,switch:fixed:5m
+//
+// Each clause is kind:dist:mean[:mttr=duration], where kind is link, switch,
+// or term and dist:mean is an arrival process (ParseArrivalProc).
+func ParseFaults(s string) ([]FaultClause, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []FaultClause
+	for _, part := range strings.Split(s, ",") {
+		c, err := parseFaultClause(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func parseFaultClause(s string) (FaultClause, error) {
+	kindStr, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return FaultClause{}, fmt.Errorf("scenario: fault clause %q wants kind:dist:mean[:mttr=d]", s)
+	}
+	var c FaultClause
+	switch kindStr {
+	case "link":
+		c.Kind = multijob.FaultLink
+	case "switch":
+		c.Kind = multijob.FaultSwitch
+	case "term":
+		c.Kind = multijob.FaultTerminal
+	default:
+		return FaultClause{}, fmt.Errorf("scenario: unknown fault kind %q (want link, switch, or term)", kindStr)
+	}
+	if i := strings.LastIndex(rest, ":mttr="); i >= 0 {
+		mttr, err := time.ParseDuration(rest[i+len(":mttr="):])
+		if err != nil {
+			return FaultClause{}, fmt.Errorf("scenario: fault mttr %q: %v", rest[i+len(":mttr="):], err)
+		}
+		if mttr <= 0 {
+			return FaultClause{}, fmt.Errorf("scenario: fault mttr must be positive, got %v", mttr)
+		}
+		c.MTTR = mttr
+		rest = rest[:i]
+	}
+	proc, err := ParseArrivalProc(rest)
+	if err != nil {
+		return FaultClause{}, err
+	}
+	c.Proc = proc
+	return c, nil
+}
+
+// FormatFaults renders clauses in canonical ParseFaults form.
+func FormatFaults(cs []FaultClause) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// maxStreamFailures caps how many failures one clause may generate, so an
+// aggressive fault rate cannot spin a scenario forever.
+const maxStreamFailures = 4096
+
+// faultKey identifies a fabric entity across clauses, so two clauses of the
+// same kind never double-fail one entity.
+type faultKey struct {
+	kind  multijob.FaultKind
+	index int32
+}
+
+// faultClauseState is one clause's lazy generator: its own RNG, its entity
+// population, and the next failure it will emit.
+type faultClauseState struct {
+	clause FaultClause
+	rng    *rand.Rand
+	pop    []int32
+	last   time.Duration
+	next   multijob.FaultEvent
+	ok     bool
+	fails  int
+}
+
+// faultRepairHeap orders pending repair events by (time, kind, index).
+type faultRepairHeap []multijob.FaultEvent
+
+func (h faultRepairHeap) Len() int { return len(h) }
+func (h faultRepairHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	if h[i].Kind != h[j].Kind {
+		return h[i].Kind < h[j].Kind
+	}
+	return h[i].Index < h[j].Index
+}
+func (h faultRepairHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *faultRepairHeap) Push(x any)   { *h = append(*h, x.(multijob.FaultEvent)) }
+func (h *faultRepairHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	x := old[n]
+	*h = old[:n]
+	return x
+}
+
+// FaultStream expands fault clauses into a lazy, time-ordered event stream —
+// the standard multijob.FaultSource. Every draw comes from per-clause RNGs
+// seeded by a derivation of the scenario seed, so adding faults to a spec
+// never perturbs the arrival stream, and the same (clauses, fabric, seed)
+// triple always yields the same events. Failed entities are skipped until
+// their repair fires (an entity never double-fails), and each clause stops
+// after maxStreamFailures failures.
+type FaultStream struct {
+	clauses []faultClauseState
+	repairs faultRepairHeap
+	down    map[faultKey]bool
+}
+
+// faultSeed derives the fault-layer RNG seed for one clause from the
+// scenario seed, far away from the arrival stream's direct use of the seed.
+func faultSeed(seed int64, clause int) int64 {
+	return (seed ^ 0x5DEECE66D) + int64(clause)*0x9E3779B9
+}
+
+// NewFaultStream builds the event stream for clauses over fabric f. Link
+// faults draw from the switch-to-switch cables (host cables are the terminal
+// clause's population: a dead host link and a dead terminal are the same
+// failure), switch faults from every switch, terminal faults from every
+// terminal.
+func NewFaultStream(clauses []FaultClause, f topology.Fabric, seed int64) (*FaultStream, error) {
+	tab := f.Table()
+	var cables []int32
+	swSet := make(map[int32]bool)
+	for id := 0; id < tab.Len(); id += 2 {
+		if tab.SwitchToSwitch(topology.LinkID(id)) {
+			cables = append(cables, int32(id))
+		}
+		if tab.Kind[id]&topology.LinkFromSwitch != 0 {
+			swSet[tab.From[id]] = true
+		}
+		if tab.Kind[id]&topology.LinkToSwitch != 0 {
+			swSet[tab.To[id]] = true
+		}
+	}
+	switches := make([]int32, 0, len(swSet))
+	for sw := range swSet {
+		switches = append(switches, sw)
+	}
+	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
+	terminals := make([]int32, f.NumTerminals())
+	for i := range terminals {
+		terminals[i] = int32(i)
+	}
+
+	s := &FaultStream{down: make(map[faultKey]bool)}
+	for ci, c := range clauses {
+		var pop []int32
+		switch c.Kind {
+		case multijob.FaultLink:
+			pop = cables
+		case multijob.FaultSwitch:
+			pop = switches
+		case multijob.FaultTerminal:
+			pop = terminals
+		default:
+			return nil, fmt.Errorf("scenario: fault clause %d has unknown kind %d", ci, c.Kind)
+		}
+		if len(pop) == 0 {
+			return nil, fmt.Errorf("scenario: fabric %s has no %s entities to fail", f.Name(), c.Kind)
+		}
+		s.clauses = append(s.clauses, faultClauseState{
+			clause: c,
+			rng:    rand.New(rand.NewSource(faultSeed(seed, ci))),
+			pop:    pop,
+		})
+	}
+	for i := range s.clauses {
+		s.advance(&s.clauses[i])
+	}
+	return s, nil
+}
+
+// advance generates cs's next failure: a gap draw, then an entity draw
+// (redrawn a few times if it lands on an already-failed entity; a fully
+// saturated draw forfeits that failure slot, keeping the stream finite).
+func (s *FaultStream) advance(cs *faultClauseState) {
+	cs.ok = false
+	for cs.fails < maxStreamFailures {
+		gap := cs.clause.Proc.Gap(cs.rng)
+		if gap < time.Nanosecond {
+			gap = time.Nanosecond
+		}
+		cs.last += gap
+		cs.fails++
+		var entity int32
+		found := false
+		for try := 0; try < 4; try++ {
+			e := cs.pop[cs.rng.Intn(len(cs.pop))]
+			if !s.down[faultKey{cs.clause.Kind, e}] {
+				entity, found = e, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		s.down[faultKey{cs.clause.Kind, entity}] = true
+		cs.next = multijob.FaultEvent{At: cs.last, Kind: cs.clause.Kind, Index: entity}
+		cs.ok = true
+		return
+	}
+}
+
+// peekSource returns where the next event comes from: -1 for the repair
+// heap, a clause index otherwise, or -2 when the stream is dry. Repairs win
+// ties so capacity is restored before new damage lands at the same instant.
+func (s *FaultStream) peekSource() int {
+	src, at := -2, time.Duration(0)
+	if len(s.repairs) > 0 {
+		src, at = -1, s.repairs[0].At
+	}
+	for i := range s.clauses {
+		cs := &s.clauses[i]
+		if cs.ok && (src == -2 || cs.next.At < at) {
+			src, at = i, cs.next.At
+		}
+	}
+	return src
+}
+
+// Peek implements multijob.FaultSource.
+func (s *FaultStream) Peek() (multijob.FaultEvent, bool) {
+	switch src := s.peekSource(); src {
+	case -2:
+		return multijob.FaultEvent{}, false
+	case -1:
+		return s.repairs[0], true
+	default:
+		return s.clauses[src].next, true
+	}
+}
+
+// Pop implements multijob.FaultSource. Popping a failure schedules its
+// repair (when the clause has an MTTR) and pre-draws the clause's next
+// failure; popping a repair frees the entity for future failures.
+func (s *FaultStream) Pop() multijob.FaultEvent {
+	src := s.peekSource()
+	if src == -2 {
+		panic("scenario: Pop on a dry fault stream")
+	}
+	if src == -1 {
+		ev := heap.Pop(&s.repairs).(multijob.FaultEvent)
+		delete(s.down, faultKey{ev.Kind, ev.Index})
+		return ev
+	}
+	cs := &s.clauses[src]
+	ev := cs.next
+	if cs.clause.MTTR > 0 {
+		heap.Push(&s.repairs, multijob.FaultEvent{
+			At: ev.At + cs.clause.MTTR, Kind: ev.Kind, Repair: true, Index: ev.Index,
+		})
+	}
+	s.advance(cs)
+	return ev
+}
+
+// RepairPending implements multijob.FaultSource.
+func (s *FaultStream) RepairPending() bool { return len(s.repairs) > 0 }

@@ -2,6 +2,9 @@ package scenario
 
 import (
 	"testing"
+	"time"
+
+	"ibpower/internal/topology"
 )
 
 // FuzzScenarioSpec hammers the spec grammar: any input must either error
@@ -25,6 +28,10 @@ func FuzzScenarioSpec(f *testing.F) {
 		"size=choices:1@1e-300:2@1e300",
 		"apps=+++,size=normal:NaN:Inf",
 		",,,=,=,==",
+		"faults=link:poisson:10m:mttr=2m,switch:fixed:5m",
+		"jobs=4,faults=term:fixed:1s,arrival=poisson:20s",
+		"jobs=3,jobs=4",
+		"faults=link:poisson:10m,faults=term:fixed:1s",
 	} {
 		f.Add(s)
 	}
@@ -53,6 +60,77 @@ func FuzzScenarioSpec(f *testing.F) {
 		for i, a := range arrivals {
 			if a.At < 0 || a.Job.NP < 2 {
 				t.Fatalf("spec %q generated invalid arrival %d: %+v", canon, i, a)
+			}
+		}
+	})
+}
+
+// FuzzFaultSpec hammers the fault-clause grammar the same way: any input
+// must either error cleanly or produce clauses whose canonical rendering is
+// a reparse fixed point, and whose event stream expands deterministically in
+// non-decreasing time order with fail/repair pairing intact.
+func FuzzFaultSpec(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"link:poisson:10m:mttr=2m",
+		"switch:fixed:5m",
+		"term:poisson:30s:mttr=90s",
+		"link:poisson:10m:mttr=2m,switch:fixed:5m,term:fixed:7s",
+		"link:fixed:1ns:mttr=1ns",
+		"switch:poisson:1h,switch:poisson:1h",
+		"term:fixed:0s",
+		"link:poisson:-3s",
+		"mttr=2m",
+		"link:poisson:10m:mttr=",
+		":::,:::",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		clauses, err := ParseFaults(s)
+		if err != nil {
+			return
+		}
+		canon := FormatFaults(clauses)
+		again, err := ParseFaults(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q does not reparse: %v", canon, s, err)
+		}
+		if FormatFaults(again) != canon {
+			t.Fatalf("canonical form is not a fixed point: %q -> %q", canon, FormatFaults(again))
+		}
+		if len(clauses) == 0 {
+			return
+		}
+		stream, err := NewFaultStream(clauses, topology.Paper(), 7)
+		if err != nil {
+			t.Fatalf("accepted clauses %q do not stream: %v", canon, err)
+		}
+		last := time.Duration(-1)
+		downAt := make(map[faultKey]bool)
+		for i := 0; i < 200; i++ {
+			ev, ok := stream.Peek()
+			if !ok {
+				break
+			}
+			if got := stream.Pop(); got != ev {
+				t.Fatalf("Pop %+v differs from Peek %+v", got, ev)
+			}
+			if ev.At < last {
+				t.Fatalf("event %d out of order: %v after %v", i, ev.At, last)
+			}
+			last = ev.At
+			k := faultKey{ev.Kind, ev.Index}
+			if ev.Repair {
+				if !downAt[k] {
+					t.Fatalf("repair of healthy entity %+v", ev)
+				}
+				delete(downAt, k)
+			} else {
+				if downAt[k] {
+					t.Fatalf("double fail of %+v", ev)
+				}
+				downAt[k] = true
 			}
 		}
 	})

@@ -21,6 +21,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -52,6 +53,18 @@ type Config struct {
 	SelectGT     func(tr *trace.Trace) (time.Duration, error)
 	Generate     func(app string, np int) (*trace.Trace, error)
 	Dedicated    func(tr *trace.Trace, gt time.Duration, displacement float64) (*replay.Result, error)
+
+	// Ctx stops the event loop early when cancelled.
+	Ctx context.Context
+	// Retry governs requeueing of fault-killed jobs when the spec has fault
+	// clauses; the zero value selects DefaultRetryPolicy.
+	Retry multijob.RetryPolicy
+}
+
+// DefaultRetryPolicy is applied when the spec injects faults and the config
+// leaves Retry zero: three retries with 1s exponential backoff.
+func DefaultRetryPolicy() multijob.RetryPolicy {
+	return multijob.RetryPolicy{MaxRetries: 3, Backoff: time.Second}
 }
 
 // Run expands the spec and simulates the scenario. The result is
@@ -72,6 +85,25 @@ func Run(cfg Config) (*multijob.ChurnResult, error) {
 	if opt.Seed == 0 {
 		opt.Seed = cfg.Spec.Seed
 	}
+	// The fault stream draws from RNGs derived from the spec seed, entirely
+	// separate from the arrival stream's, so "the same spec plus faults"
+	// sees the same jobs arrive at the same times.
+	var faults multijob.FaultSource
+	retry := cfg.Retry
+	if len(cfg.Spec.Faults) > 0 {
+		fabric, err := cfg.Replay.Fabric()
+		if err != nil {
+			return nil, err
+		}
+		fs, err := NewFaultStream(cfg.Spec.Faults, fabric, cfg.Spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		faults = fs
+		if retry == (multijob.RetryPolicy{}) {
+			retry = DefaultRetryPolicy()
+		}
+	}
 	return multijob.RunChurn(multijob.ChurnConfig{
 		Arrivals:     arrivals,
 		Schedule:     fn,
@@ -83,5 +115,8 @@ func Run(cfg Config) (*multijob.ChurnResult, error) {
 		SelectGT:     cfg.SelectGT,
 		Generate:     cfg.Generate,
 		Dedicated:    cfg.Dedicated,
+		Ctx:          cfg.Ctx,
+		Faults:       faults,
+		Retry:        retry,
 	})
 }
