@@ -423,6 +423,11 @@ func BenchmarkBigFabricReplay(b *testing.B) { benchio.BenchBigFabricReplay(b) }
 
 func BenchmarkReplayAlya16(b *testing.B) { benchio.BenchReplayAlya16(b) }
 
+// BenchmarkStreamReplay reports events/s for the file-backed streaming replay
+// path: the alya-16 workload packed into the binary trace format and replayed
+// through bounded per-rank read windows; bytes/op stays O(window).
+func BenchmarkStreamReplay(b *testing.B) { benchio.BenchStreamReplay(b) }
+
 // BenchmarkMultijob times the shared-fabric engine: a gromacs + alya mix
 // round-robin-interleaved across the paper XGFT's leaf switches.
 func BenchmarkMultijob(b *testing.B) { benchio.BenchMultijob(b) }

@@ -16,6 +16,7 @@
 //	weak              claim check: weak vs strong scaling (Section III)
 //	bench             headline benchmarks -> BENCH_<label>.json trajectory point
 //	topos             registered fabrics with size and compact-table memory
+//	trace             packed binary trace files: pack, cat, info
 //
 // Every subcommand accepts -predictor to select the idle predictor from the
 // registry (ngram, oracle, offline, lastvalue, ewma, static-gt); compare
@@ -34,7 +35,10 @@
 // registry; -faults injects seeded link/switch/terminal failures
 // ("link:poisson:10m:mttr=2m,switch:fixed:5m") with degraded routing and
 // job retry, and -faultsweep grids ";"-separated fault specs against every
-// scheduler (E17). Run "ibpower <subcommand> -h" for flags.
+// scheduler (E17). Replay-driven subcommands accept -tracefile to serve
+// workloads from a packed binary trace file (written by "ibpower trace
+// pack") through a bounded streaming window instead of the generator.
+// Run "ibpower <subcommand> -h" for flags.
 package main
 
 import (
@@ -96,6 +100,8 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "topos":
 		err = cmdTopos(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -110,7 +116,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ibpower <tableI|gt|overheads|figures|compare|multijob|scenario|timeline|ppa|energy|dvs|weak|bench|topos> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: ibpower <tableI|gt|overheads|figures|compare|multijob|scenario|timeline|ppa|energy|dvs|weak|bench|topos|trace> [flags]`)
 }
 
 // cmdBench runs the headline benchmark suite (internal/benchio) and writes a
@@ -211,11 +217,18 @@ func cmdWeak(args []string) error {
 	pred := predFlag(fs, predictor.DefaultName)
 	topo := topoFlag(fs)
 	d := fs.Float64("d", 0.01, "displacement factor")
+	tf := traceFileFlag(fs)
 	fs.Parse(args)
 	if err := checkFlags(*pred, *topo); err != nil {
 		return err
 	}
-	rows, err := harness.NewRunner(*opt, configWith(*par, *pred, *topo)).WeakScaling(*d)
+	runner := harness.NewRunner(*opt, configWith(*par, *pred, *topo))
+	closeTF, err := attachTraceFile(runner, *tf)
+	if err != nil {
+		return err
+	}
+	defer closeTF()
+	rows, err := runner.WeakScaling(*d)
 	if err != nil {
 		return err
 	}
@@ -370,11 +383,18 @@ func cmdTableI(args []string) error {
 	par := parFlag(fs)
 	pred := predFlag(fs, predictor.DefaultName)
 	topo := topoFlag(fs)
+	tf := traceFileFlag(fs)
 	fs.Parse(args)
 	if err := checkFlags(*pred, *topo); err != nil {
 		return err
 	}
-	rows, err := harness.NewRunner(*opt, configWith(*par, *pred, *topo)).TableI()
+	runner := harness.NewRunner(*opt, configWith(*par, *pred, *topo))
+	closeTF, err := attachTraceFile(runner, *tf)
+	if err != nil {
+		return err
+	}
+	defer closeTF()
+	rows, err := runner.TableI()
 	if err != nil {
 		return err
 	}
@@ -389,6 +409,7 @@ func cmdGT(args []string) error {
 	topo := topoFlag(fs)
 	app := fs.String("app", "", "application (empty: Table III over all apps)")
 	np := fs.Int("np", 64, "process count for -app sweeps")
+	tf := traceFileFlag(fs)
 	fs.Parse(args)
 	if err := checkFlags(*pred, *topo); err != nil {
 		return err
@@ -396,20 +417,42 @@ func cmdGT(args []string) error {
 	if *app == "" {
 		// Table III: GT selection always scores the reference n-gram
 		// predictor (see harness.ChooseGT); -predictor is validated only.
-		rows, err := harness.NewRunner(*opt, configWith(*par, *pred, *topo)).TableIII()
+		runner := harness.NewRunner(*opt, configWith(*par, *pred, *topo))
+		closeTF, err := attachTraceFile(runner, *tf)
+		if err != nil {
+			return err
+		}
+		defer closeTF()
+		rows, err := runner.TableIII()
 		if err != nil {
 			return err
 		}
 		return harness.WriteTableIII(os.Stdout, rows)
 	}
-	tr, err := workloads.Generate(*app, *np, *opt)
-	if err != nil {
-		return err
+	var src trace.Source
+	if *tf != "" {
+		f, err := trace.OpenFile(*tf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if f.Has(*app, *np) {
+			if src, err = f.Source(*app, *np); err != nil {
+				return err
+			}
+		}
+	}
+	if src == nil {
+		tr, err := workloads.Generate(*app, *np, *opt)
+		if err != nil {
+			return err
+		}
+		src = tr
 	}
 	// The GT sweep scores hit rate on the network-free offline runner
 	// (predictor + controller only), so the fabric cannot affect it: -topo
 	// is validated only, like on ppa and bench.
-	pts, err := harness.GTSweepNamed(tr, *pred, harness.DefaultGTGrid(), *par)
+	pts, err := harness.GTSweepNamed(src, *pred, harness.DefaultGTGrid(), *par)
 	if err != nil {
 		return err
 	}
@@ -422,11 +465,18 @@ func cmdOverheads(args []string) error {
 	par := parFlag(fs)
 	pred := predFlag(fs, predictor.DefaultName)
 	topo := topoFlag(fs)
+	tf := traceFileFlag(fs)
 	fs.Parse(args)
 	if err := checkFlags(*pred, *topo); err != nil {
 		return err
 	}
-	rows, err := harness.NewRunner(*opt, configWith(*par, *pred, *topo)).TableIV()
+	runner := harness.NewRunner(*opt, configWith(*par, *pred, *topo))
+	closeTF, err := attachTraceFile(runner, *tf)
+	if err != nil {
+		return err
+	}
+	defer closeTF()
+	rows, err := runner.TableIV()
 	if err != nil {
 		return err
 	}
@@ -441,6 +491,7 @@ func cmdFigures(args []string) error {
 	topo := topoFlag(fs)
 	d := fs.Float64("d", 0, "displacement factor (0: all of 0.10, 0.05, 0.01)")
 	apps := fs.String("apps", "", "comma-separated app filter")
+	tf := traceFileFlag(fs)
 	fs.Parse(args)
 	if err := checkFlags(*pred, *topo); err != nil {
 		return err
@@ -452,6 +503,11 @@ func cmdFigures(args []string) error {
 	// One Runner across displacement factors: traces and GT choices are
 	// generated once and shared by all three figures.
 	runner := harness.NewRunner(*opt, configWith(*par, *pred, *topo))
+	closeTF, err := attachTraceFile(runner, *tf)
+	if err != nil {
+		return err
+	}
+	defer closeTF()
 	for _, disp := range ds {
 		rows, err := runner.Figure(disp)
 		if err != nil {
@@ -480,6 +536,7 @@ func cmdCompare(args []string) error {
 	topo := topoFlag(fs)
 	d := fs.Float64("d", 0.01, "displacement factor")
 	apps := fs.String("apps", "", "comma-separated app filter")
+	tf := traceFileFlag(fs)
 	fs.Parse(args)
 	if err := checkFlags(*pred, *topo); err != nil {
 		return err
@@ -496,7 +553,13 @@ func cmdCompare(args []string) error {
 			only = append(only, strings.TrimSpace(a))
 		}
 	}
-	rows, err := harness.NewRunner(*opt, configWith(*par, "", *topo)).Compare(*d, names, only...)
+	runner := harness.NewRunner(*opt, configWith(*par, "", *topo))
+	closeTF, err := attachTraceFile(runner, *tf)
+	if err != nil {
+		return err
+	}
+	defer closeTF()
+	rows, err := runner.Compare(*d, names, only...)
 	if err != nil {
 		return err
 	}
@@ -519,6 +582,7 @@ func cmdMultijob(args []string) error {
 		"placement policy (one of: "+strings.Join(multijob.Names(), ", ")+")")
 	d := fs.Float64("d", 0.01, "displacement factor")
 	sweepAll := fs.Bool("sweep", false, "run every placement over the default job mixes (ignores -jobs/-placement)")
+	tf := traceFileFlag(fs)
 	fs.Parse(args)
 	if err := checkFlags(*pred, *topo); err != nil {
 		return err
@@ -527,6 +591,11 @@ func cmdMultijob(args []string) error {
 		return err
 	}
 	runner := harness.NewRunner(*opt, configWith(*par, *pred, *topo))
+	closeTF, err := attachTraceFile(runner, *tf)
+	if err != nil {
+		return err
+	}
+	defer closeTF()
 	if *sweepAll {
 		rows, err := runner.MultijobSweep(nil, nil, *d)
 		if err != nil {
@@ -575,6 +644,7 @@ func cmdScenario(args []string) error {
 		"fault spec as kind:dist:mean[:mttr=d],... (kinds: link, switch, term; e.g. link:poisson:10m:mttr=2m,switch:fixed:5m); overrides the spec's faults key")
 	faultSweep := fs.String("faultsweep", "",
 		"resilience grid (E17): \";\"-separated fault specs (empty item = fault-free baseline) x every scheduler; ignores -sched/-faults")
+	tf := traceFileFlag(fs)
 	fs.Parse(args)
 	if err := checkFlags(*pred, *topo); err != nil {
 		return err
@@ -604,6 +674,11 @@ func cmdScenario(args []string) error {
 		}
 	}
 	runner := harness.NewRunner(*opt, configWith(*par, *pred, *topo))
+	closeTF, err := attachTraceFile(runner, *tf)
+	if err != nil {
+		return err
+	}
+	defer closeTF()
 	if *faultSweep != "" {
 		rows, err := runner.ScenarioFaultSweep(spec, strings.Split(*faultSweep, ";"), nil, *d)
 		if err != nil {

@@ -4,6 +4,8 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -16,6 +18,7 @@ import (
 	"ibpower/internal/replay"
 	"ibpower/internal/scenario"
 	"ibpower/internal/topology"
+	"ibpower/internal/trace"
 	"ibpower/internal/workloads"
 )
 
@@ -35,6 +38,7 @@ type Bench struct {
 func Suite() []Bench {
 	return []Bench{
 		{Name: "BenchmarkReplayAlya16", Fn: BenchReplayAlya16},
+		{Name: "BenchmarkStreamReplay", Fn: BenchStreamReplay},
 		{Name: "BenchmarkMultijob", Fn: BenchMultijob},
 		{Name: "BenchmarkScenarioChurn", Fn: BenchScenarioChurn},
 		{Name: "BenchmarkChurnWithFaults", Fn: BenchChurnWithFaults},
@@ -112,6 +116,49 @@ func BenchReplayAlya16(b *testing.B) {
 		}
 	}
 	b.ReportMetric(calls*float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+}
+
+// BenchStreamReplay measures the file-backed streaming replay path: the same
+// alya-16 workload as BenchmarkReplayAlya16, packed once into the binary
+// on-disk format and replayed through bounded per-rank read windows.
+// events/s counts trace ops pulled through cursors; the gated bytes/op is the
+// heap cost of one full replay, which stays O(window) however long the trace
+// is — regressions that decode a rank into a slice show up here immediately.
+func BenchStreamReplay(b *testing.B) {
+	src, err := workloads.NewSource("alya", 16, workloads.Options{IterScale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.ibt")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := trace.WriteBinarySources(f, src); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	bf, err := trace.OpenFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bf.Close()
+	fsrc, err := bf.Source("alya", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := replay.DefaultConfig().WithPower(20*time.Microsecond, 0.01)
+	events := float64(bf.NumOps(0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := replay.RunSource(fsrc, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(events*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
 // BenchMultijob times the shared-fabric engine on a two-job mix: gromacs and

@@ -92,7 +92,7 @@ func (r *Runner) Compare(displacement float64, names []string, apps ...string) (
 	}
 	return sweep.Map(context.Background(), r.workers(len(cells)), cells,
 		func(_ context.Context, _ int, c cell) (CompareRow, error) {
-			tr, err := r.trace(c.p.app, c.p.np)
+			src, err := r.source(c.p.app, c.p.np)
 			if err != nil {
 				return CompareRow{}, err
 			}
@@ -104,7 +104,7 @@ func (r *Runner) Compare(displacement float64, names []string, apps ...string) (
 			if err != nil {
 				return CompareRow{}, err
 			}
-			res, err := replay.Run(tr, r.Cfg.WithPredictor(c.name).WithPower(gt, displacement))
+			res, err := replay.RunSource(src, r.Cfg.WithPredictor(c.name).WithPower(gt, displacement))
 			if err != nil {
 				return CompareRow{}, fmt.Errorf("%s %s np=%d: %w", c.name, c.p.app, c.p.np, err)
 			}

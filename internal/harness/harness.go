@@ -65,30 +65,30 @@ type GTSweepPoint struct {
 }
 
 // GTSweep evaluates the MPI-call hit rate across grouping thresholds for one
-// generated workload (experiments E6/E7). Thresholds start at GTMin. Grid
+// workload source (experiments E6/E7). Thresholds start at GTMin. Grid
 // points run on the default worker pool.
-func GTSweep(tr *trace.Trace, gts []time.Duration) ([]GTSweepPoint, error) {
-	return GTSweepParallel(tr, gts, 0)
+func GTSweep(src trace.Source, gts []time.Duration) ([]GTSweepPoint, error) {
+	return GTSweepParallel(src, gts, 0)
 }
 
 // GTSweepParallel is GTSweep with an explicit pool size (0 selects
 // GOMAXPROCS, 1 is serial). Points are returned in grid order whatever the
 // pool size.
-func GTSweepParallel(tr *trace.Trace, gts []time.Duration, workers int) ([]GTSweepPoint, error) {
-	return GTSweepNamed(tr, predictor.DefaultName, gts, workers)
+func GTSweepParallel(src trace.Source, gts []time.Duration, workers int) ([]GTSweepPoint, error) {
+	return GTSweepNamed(src, predictor.DefaultName, gts, workers)
 }
 
 // GTSweepNamed is GTSweepParallel for any registered predictor: the hit
 // rate reported at each threshold is the predictor's own quality metric
 // (detector-based for the n-gram PPA, resolved-prediction-based for the
 // baselines), evaluated on the network-free offline runner.
-func GTSweepNamed(tr *trace.Trace, name string, gts []time.Duration, workers int) ([]GTSweepPoint, error) {
+func GTSweepNamed(src trace.Source, name string, gts []time.Duration, workers int) ([]GTSweepPoint, error) {
 	if err := validateGrid(gts); err != nil {
 		return nil, err
 	}
 	return sweep.Map(context.Background(), workers, gts,
 		func(_ context.Context, _ int, gt time.Duration) (GTSweepPoint, error) {
-			res, err := predictor.RunOfflineNamed(name, tr,
+			res, err := predictor.RunOfflineNamed(name, src,
 				predictor.Config{GT: gt, Displacement: 0.01}, predictor.DefaultOverheads())
 			if err != nil {
 				return GTSweepPoint{}, err
@@ -132,16 +132,16 @@ func DefaultGTGrid() []time.Duration {
 // treated as a property of the workload's idle-interval distribution, and
 // the Compare experiment reuses it unchanged for every predictor so that
 // all of them run at the same operating point.
-func ChooseGT(tr *trace.Trace, grid []time.Duration, tolPct float64) (time.Duration, float64, error) {
-	return chooseGT(tr, grid, tolPct, 1)
+func ChooseGT(src trace.Source, grid []time.Duration, tolPct float64) (time.Duration, float64, error) {
+	return chooseGT(src, grid, tolPct, 1)
 }
 
 // ChooseGTParallel is ChooseGT with the grid evaluated on a pool of at most
 // workers goroutines (0 selects GOMAXPROCS). The selection is made over the
 // complete score vector in grid order, so the chosen GT is identical at
 // every pool size.
-func ChooseGTParallel(tr *trace.Trace, grid []time.Duration, tolPct float64, workers int) (time.Duration, float64, error) {
-	return chooseGT(tr, grid, tolPct, workers)
+func ChooseGTParallel(src trace.Source, grid []time.Duration, tolPct float64, workers int) (time.Duration, float64, error) {
+	return chooseGT(src, grid, tolPct, workers)
 }
 
 // gtPoint is the selection criterion evaluated at one grid threshold.
@@ -152,7 +152,7 @@ type gtPoint struct {
 }
 
 // gtScores evaluates every grid threshold on the pool.
-func gtScores(tr *trace.Trace, grid []time.Duration, workers int) ([]gtPoint, error) {
+func gtScores(src trace.Source, grid []time.Duration, workers int) ([]gtPoint, error) {
 	// delayWeight penalises realized reactivation delay: a microsecond of
 	// added execution time costs far more than a microsecond of missed
 	// low-power opportunity (it propagates between processes).
@@ -162,7 +162,7 @@ func gtScores(tr *trace.Trace, grid []time.Duration, workers int) ([]gtPoint, er
 	}
 	return sweep.Map(context.Background(), workers, grid,
 		func(_ context.Context, _ int, gt time.Duration) (gtPoint, error) {
-			res, err := predictor.RunOffline(tr, predictor.Config{GT: gt, Displacement: 0.01})
+			res, err := predictor.RunOffline(src, predictor.Config{GT: gt, Displacement: 0.01})
 			if err != nil {
 				return gtPoint{}, err
 			}
@@ -171,11 +171,11 @@ func gtScores(tr *trace.Trace, grid []time.Duration, workers int) ([]gtPoint, er
 		})
 }
 
-func chooseGT(tr *trace.Trace, grid []time.Duration, tolPct float64, workers int) (time.Duration, float64, error) {
+func chooseGT(src trace.Source, grid []time.Duration, tolPct float64, workers int) (time.Duration, float64, error) {
 	if len(grid) == 0 {
 		return 0, 0, fmt.Errorf("harness: empty GT grid")
 	}
-	pts, err := gtScores(tr, grid, workers)
+	pts, err := gtScores(src, grid, workers)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -240,20 +240,21 @@ func Figure(displacement float64, opt workloads.Options, cfg replay.Config) ([]F
 	return NewRunner(opt, cfg).Figure(displacement)
 }
 
-// FigurePoint runs baseline and mechanism replays for one workload.
-func FigurePoint(tr *trace.Trace, gt time.Duration, displacement float64, cfg replay.Config) (*FigureRow, error) {
-	base, err := replay.Run(tr, cfg)
+// FigurePoint runs baseline and mechanism replays for one workload source.
+func FigurePoint(src trace.Source, gt time.Duration, displacement float64, cfg replay.Config) (*FigureRow, error) {
+	base, err := replay.RunSource(src, cfg)
 	if err != nil {
 		return nil, err
 	}
 	pcfg := cfg.WithPower(gt, displacement)
-	res, err := replay.Run(tr, pcfg)
+	res, err := replay.RunSource(src, pcfg)
 	if err != nil {
 		return nil, err
 	}
+	m := src.Meta()
 	return &FigureRow{
-		App:             tr.App,
-		NP:              tr.NP,
+		App:             m.App,
+		NP:              m.NP,
 		GT:              gt,
 		SavingPct:       res.AvgSavingPct(),
 		TimeIncreasePct: res.TimeIncreasePct(base),

@@ -136,7 +136,7 @@ func TestChooseGTParallelMatchesSerial(t *testing.T) {
 // (app, np, opt): repeated and concurrent lookups return the same trace.
 func TestRunnerTraceCache(t *testing.T) {
 	r := runnerWith(0)
-	first, err := r.trace("alya", 8)
+	first, err := r.source("alya", 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestRunnerTraceCache(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			tr, err := r.trace("alya", 8)
+			tr, err := r.source("alya", 8)
 			if err != nil {
 				t.Error(err)
 				return
@@ -160,7 +160,7 @@ func TestRunnerTraceCache(t *testing.T) {
 	// Different options must miss the cache.
 	o := r.Opt
 	o.Weak = true
-	weak, err := r.traceOpt("alya", 8, o)
+	weak, err := r.sourceOpt("alya", 8, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestRunnerGTCache(t *testing.T) {
 	if gt1 != gt2 || hit1 != hit2 {
 		t.Errorf("cached GT choice differs: (%v, %v) vs (%v, %v)", gt1, hit1, gt2, hit2)
 	}
-	tr, err := r.trace("alya", 8)
+	tr, err := r.source("alya", 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestRunnerGTCache(t *testing.T) {
 // pool: an unknown application must fail the whole sweep.
 func TestRunnerRejectsUnknownApp(t *testing.T) {
 	r := runnerWith(4)
-	if _, err := r.trace("notanapp", 8); err == nil {
+	if _, err := r.source("notanapp", 8); err == nil {
 		t.Fatal("unknown app accepted")
 	}
 	if _, _, err := r.chooseGT("notanapp", 8, r.Opt, 1.0); err == nil {

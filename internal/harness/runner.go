@@ -17,9 +17,9 @@ import (
 // Runner evaluates harness experiments over one workload configuration. It
 // adds two things over the package-level entry points it backs:
 //
-//   - a per-run cache so each (application, NP, Options) trace is generated
-//     once and each Table III grouping threshold is chosen once, no matter
-//     how many tables and figures a run regenerates;
+//   - a per-run cache so each (application, NP, Options) trace source is
+//     resolved once and each Table III grouping threshold is chosen once, no
+//     matter how many tables and figures a run regenerates;
 //   - a bounded worker pool (Cfg.Parallelism, GOMAXPROCS-sized by default)
 //     that sweeps independent experiment points concurrently.
 //
@@ -32,6 +32,17 @@ import (
 type Runner struct {
 	Opt workloads.Options
 	Cfg replay.Config
+
+	// File optionally serves workloads from a packed binary trace file
+	// instead of the generator: when an (app, NP) entry exists in the file
+	// it is replayed through a bounded streaming window, and only workloads
+	// missing from the file fall back to workloads.Generate. The cache then
+	// holds the file handle's cursor factory, never the decoded ops. Entries
+	// only stand in for the Runner's own Opt — experiments that vary the
+	// generation options per point (WeakScaling) always regenerate, since a
+	// packed file records one options setting. Set before the first
+	// experiment; the caller keeps ownership and closes the file after use.
+	File *trace.File
 
 	mu     sync.Mutex
 	traces map[traceKey]*traceEntry
@@ -70,7 +81,7 @@ type traceKey struct {
 
 type traceEntry struct {
 	once sync.Once
-	tr   *trace.Trace
+	src  trace.Source
 	err  error
 }
 
@@ -104,14 +115,17 @@ type dedKey struct {
 // workers sizes the pool for n points.
 func (r *Runner) workers(n int) int { return sweep.Workers(r.Cfg.Parallelism, n) }
 
-// trace returns the cached trace for (app, np) under r.Opt.
-func (r *Runner) trace(app string, np int) (*trace.Trace, error) {
-	return r.traceOpt(app, np, r.Opt)
+// source returns the cached trace source for (app, np) under r.Opt. Its
+// signature matches the multijob/scenario Generate hook.
+func (r *Runner) source(app string, np int) (trace.Source, error) {
+	return r.sourceOpt(app, np, r.Opt)
 }
 
-// traceOpt returns the cached trace for (app, np, opt), invoking
-// workloads.Generate at most once per key even under concurrent callers.
-func (r *Runner) traceOpt(app string, np int, opt workloads.Options) (*trace.Trace, error) {
+// sourceOpt returns the cached trace source for (app, np, opt), resolving it
+// at most once per key even under concurrent callers: from the attached
+// packed file when it has the entry (and opt is the Runner's own Opt — a
+// file records one options setting), otherwise from workloads.Generate.
+func (r *Runner) sourceOpt(app string, np int, opt workloads.Options) (trace.Source, error) {
 	k := traceKey{app: app, np: np, opt: opt}
 	r.mu.Lock()
 	e, ok := r.traces[k]
@@ -120,8 +134,14 @@ func (r *Runner) traceOpt(app string, np int, opt workloads.Options) (*trace.Tra
 		r.traces[k] = e
 	}
 	r.mu.Unlock()
-	e.once.Do(func() { e.tr, e.err = workloads.Generate(app, np, opt) })
-	return e.tr, e.err
+	e.once.Do(func() {
+		if r.File != nil && opt == r.Opt && r.File.Has(app, np) {
+			e.src, e.err = r.File.Source(app, np)
+			return
+		}
+		e.src, e.err = workloads.Generate(app, np, opt)
+	})
+	return e.src, e.err
 }
 
 // chooseGT returns the cached Table III grouping threshold for
@@ -137,14 +157,14 @@ func (r *Runner) chooseGT(app string, np int, opt workloads.Options, tolPct floa
 	}
 	r.mu.Unlock()
 	e.once.Do(func() {
-		tr, err := r.traceOpt(app, np, opt)
+		src, err := r.sourceOpt(app, np, opt)
 		if err != nil {
 			e.err = err
 			return
 		}
 		// Serial over the grid: the point sweep above already saturates the
 		// pool, and nested parallelism would oversubscribe it.
-		e.gt, e.hit, e.err = ChooseGT(tr, DefaultGTGrid(), tolPct)
+		e.gt, e.hit, e.err = ChooseGT(src, DefaultGTGrid(), tolPct)
 	})
 	return e.gt, e.hit, e.err
 }
@@ -163,14 +183,14 @@ func (r *Runner) baseline(app string, np int) (*replay.Result, error) {
 	}
 	r.mu.Unlock()
 	e.once.Do(func() {
-		tr, err := r.trace(app, np)
+		src, err := r.source(app, np)
 		if err != nil {
 			e.err = err
 			return
 		}
 		bcfg := r.Cfg
 		bcfg.Power = replay.PowerConfig{}
-		e.res, e.err = replay.Run(tr, bcfg)
+		e.res, e.err = replay.RunSource(src, bcfg)
 	})
 	return e.res, e.err
 }
@@ -190,7 +210,7 @@ func (r *Runner) dedicated(app string, np int, gt time.Duration, d float64) (*re
 	}
 	r.mu.Unlock()
 	e.once.Do(func() {
-		tr, err := r.traceOpt(app, np, r.Opt)
+		src, err := r.sourceOpt(app, np, r.Opt)
 		if err != nil {
 			e.err = err
 			return
@@ -200,7 +220,7 @@ func (r *Runner) dedicated(app string, np int, gt time.Duration, d float64) (*re
 		// tuning from r.Cfg), so the overhead compares like with like.
 		bcfg := r.Cfg
 		bcfg.Power = multijob.JobPower(r.Cfg, gt, d)
-		e.res, e.err = replay.Run(tr, bcfg)
+		e.res, e.err = replay.RunSource(src, bcfg)
 	})
 	return e.res, e.err
 }
@@ -223,16 +243,20 @@ func allPoints() []point {
 }
 
 // TableI computes the idle-interval distribution rows (experiment E1) on
-// the pool.
+// the pool, streaming each rank once.
 func (r *Runner) TableI() ([]TableIRow, error) {
 	pts := allPoints()
 	return sweep.Map(context.Background(), r.workers(len(pts)), pts,
 		func(_ context.Context, _ int, p point) (TableIRow, error) {
-			tr, err := r.trace(p.app, p.np)
+			src, err := r.source(p.app, p.np)
 			if err != nil {
 				return TableIRow{}, err
 			}
-			return TableIRow{App: p.app, NP: p.np, Dist: tr.IdleDistribution()}, nil
+			dist, err := trace.SourceIdleDistribution(src)
+			if err != nil {
+				return TableIRow{}, err
+			}
+			return TableIRow{App: p.app, NP: p.np, Dist: dist}, nil
 		})
 }
 
@@ -255,7 +279,7 @@ func (r *Runner) Figure(displacement float64) ([]FigureRow, error) {
 	pts := allPoints()
 	return sweep.Map(context.Background(), r.workers(len(pts)), pts,
 		func(_ context.Context, _ int, p point) (FigureRow, error) {
-			tr, err := r.trace(p.app, p.np)
+			src, err := r.source(p.app, p.np)
 			if err != nil {
 				return FigureRow{}, err
 			}
@@ -263,7 +287,7 @@ func (r *Runner) Figure(displacement float64) ([]FigureRow, error) {
 			if err != nil {
 				return FigureRow{}, err
 			}
-			row, err := FigurePoint(tr, gt, displacement, r.Cfg)
+			row, err := FigurePoint(src, gt, displacement, r.Cfg)
 			if err != nil {
 				return FigureRow{}, fmt.Errorf("%s np=%d: %w", p.app, p.np, err)
 			}
@@ -277,13 +301,13 @@ func (r *Runner) Figure(displacement float64) ([]FigureRow, error) {
 // contend for CPUs and inflate the reported timings.
 func (r *Runner) TableIV() ([]TableIVRow, error) {
 	type prep struct {
-		tr *trace.Trace
-		gt time.Duration
+		src trace.Source
+		gt  time.Duration
 	}
 	apps := workloads.Apps()
 	preps, err := sweep.Map(context.Background(), r.workers(len(apps)), apps,
 		func(_ context.Context, _ int, app string) (prep, error) {
-			tr, err := r.trace(app, 16)
+			src, err := r.source(app, 16)
 			if err != nil {
 				return prep{}, err
 			}
@@ -291,14 +315,14 @@ func (r *Runner) TableIV() ([]TableIVRow, error) {
 			if err != nil {
 				return prep{}, err
 			}
-			return prep{tr: tr, gt: gt}, nil
+			return prep{src: src, gt: gt}, nil
 		})
 	if err != nil {
 		return nil, err
 	}
 	var rows []TableIVRow
 	for i, app := range apps {
-		rep, err := predictor.MeasureOverheadsNamed(r.predictorName(), preps[i].tr,
+		rep, err := predictor.MeasureOverheadsNamed(r.predictorName(), preps[i].src,
 			predictor.Config{GT: preps[i].gt, Displacement: 0.01})
 		if err != nil {
 			return nil, err
@@ -325,7 +349,7 @@ func (r *Runner) WeakScaling(displacement float64) ([]WeakScalingRow, error) {
 			for i, weak := range []bool{false, true} {
 				o := r.Opt
 				o.Weak = weak
-				tr, err := r.traceOpt(p.app, p.np, o)
+				src, err := r.sourceOpt(p.app, p.np, o)
 				if err != nil {
 					return WeakScalingRow{}, err
 				}
@@ -333,7 +357,7 @@ func (r *Runner) WeakScaling(displacement float64) ([]WeakScalingRow, error) {
 				if err != nil {
 					return WeakScalingRow{}, err
 				}
-				row, err := FigurePoint(tr, gt, displacement, r.Cfg)
+				row, err := FigurePoint(src, gt, displacement, r.Cfg)
 				if err != nil {
 					return WeakScalingRow{}, fmt.Errorf("%s np=%d weak=%v: %w", p.app, p.np, weak, err)
 				}

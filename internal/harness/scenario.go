@@ -27,13 +27,15 @@ func (r *Runner) scenarioConfig(spec scenario.Spec, sched, placement string, dis
 		Opt:          r.Opt,
 		Displacement: displacement,
 		Replay:       r.Cfg,
-		Generate:     r.trace,
-		SelectGT: func(tr *trace.Trace) (time.Duration, error) {
-			gt, _, err := r.chooseGT(tr.App, tr.NP, r.Opt, 1.0)
+		Generate:     r.source,
+		SelectGT: func(src trace.Source) (time.Duration, error) {
+			m := src.Meta()
+			gt, _, err := r.chooseGT(m.App, m.NP, r.Opt, 1.0)
 			return gt, err
 		},
-		Dedicated: func(tr *trace.Trace, gt time.Duration, d float64) (*replay.Result, error) {
-			return r.dedicated(tr.App, tr.NP, gt, d)
+		Dedicated: func(src trace.Source, gt time.Duration, d float64) (*replay.Result, error) {
+			m := src.Meta()
+			return r.dedicated(m.App, m.NP, gt, d)
 		},
 	}
 	cfg.Replay.Parallelism = parallelism

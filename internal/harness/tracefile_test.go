@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ibpower/internal/multijob"
+	"ibpower/internal/replay"
+	"ibpower/internal/trace"
+	"ibpower/internal/workloads"
+)
+
+// packWorkloads writes the given (app, np) workloads under opt into a packed
+// binary trace file and opens it, registering cleanup. Packing goes through
+// workloads.NewSource, so the file holds exactly the op streams the
+// generator would feed the replay directly.
+func packWorkloads(t *testing.T, opt workloads.Options, entries map[string][]int) *trace.File {
+	t.Helper()
+	var srcs []trace.Source
+	for app, nps := range entries {
+		for _, np := range nps {
+			src, err := workloads.NewSource(app, np, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srcs = append(srcs, src)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "pack.ibt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinarySources(f, srcs...); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := trace.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tf.Close() })
+	return tf
+}
+
+// scenarioEntries derives the (app, np) set a scenario spec's arrival stream
+// needs, so the packed file covers every job shape the churn will admit.
+func scenarioEntries(t *testing.T) map[string][]int {
+	t.Helper()
+	spec := testScenarioSpec(t)
+	arrivals, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]map[int]bool{}
+	entries := map[string][]int{}
+	for _, a := range arrivals {
+		if seen[a.Job.App] == nil {
+			seen[a.Job.App] = map[int]bool{}
+		}
+		if !seen[a.Job.App][a.Job.NP] {
+			seen[a.Job.App][a.Job.NP] = true
+			entries[a.Job.App] = append(entries[a.Job.App], a.Job.NP)
+		}
+	}
+	if len(entries) == 0 {
+		t.Fatal("spec expanded to no arrivals")
+	}
+	return entries
+}
+
+// TestCompareGoldenFromTraceFile replays the pinned single-job compare
+// golden from a packed binary trace file instead of the generator, at three
+// pool sizes: the tentpole acceptance gate that the streamed on-disk path is
+// bit-identical to materialized in-memory replay.
+func TestCompareGoldenFromTraceFile(t *testing.T) {
+	opt := workloads.Options{Seed: 42, IterScale: 0.1}
+	tf := packWorkloads(t, opt, map[string][]int{"alya": workloads.ProcCounts("alya")})
+	want, err := os.ReadFile(filepath.Join("testdata", "compare_alya_scale10.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4, 0} {
+		cfg := replay.DefaultConfig()
+		cfg.Parallelism = par
+		r := NewRunner(opt, cfg)
+		r.File = tf
+		rows, err := r.Compare(0.01, nil, "alya")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCompare(&buf, 0.01, rows); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("tracefile-served compare at Parallelism %d drifted from golden\n--- got ---\n%s\n--- want ---\n%s",
+				par, buf.Bytes(), want)
+		}
+	}
+}
+
+// TestScenarioGoldenFromTraceFile replays the pinned churn golden from a
+// packed trace file at three pool sizes — cursors are re-opened per
+// admission, so file-backed jobs must churn exactly like generated ones.
+func TestScenarioGoldenFromTraceFile(t *testing.T) {
+	opt := workloads.Options{Seed: 42, IterScale: 0.05}
+	tf := packWorkloads(t, opt, scenarioEntries(t))
+	want, err := os.ReadFile(filepath.Join("testdata", "scenario_fcfs_roundrobin.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4, 0} {
+		cfg := replay.DefaultConfig()
+		cfg.Parallelism = par
+		r := NewRunner(opt, cfg)
+		r.File = tf
+		res, err := r.Scenario(testScenarioSpec(t), "fcfs", "roundrobin", 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := multijob.WriteChurn(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("tracefile-served scenario at Parallelism %d drifted from golden", par)
+		}
+	}
+}
+
+// TestScenarioFaultGoldenFromTraceFile replays the pinned fault-injected
+// churn golden from a packed trace file at three pool sizes: fault retries
+// re-admit the same file-backed source, so a retry must replay the job from
+// its first op exactly as the generator-backed path does.
+func TestScenarioFaultGoldenFromTraceFile(t *testing.T) {
+	opt := workloads.Options{Seed: 42, IterScale: 0.05}
+	tf := packWorkloads(t, opt, scenarioEntries(t))
+	want, err := os.ReadFile(filepath.Join("testdata", "scenario_faults_fcfs_roundrobin.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4, 0} {
+		cfg := replay.DefaultConfig()
+		cfg.Parallelism = par
+		r := NewRunner(opt, cfg)
+		r.File = tf
+		res, err := r.Scenario(testFaultScenarioSpec(t), "fcfs", "roundrobin", 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := multijob.WriteChurn(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("tracefile-served fault scenario at Parallelism %d drifted from golden", par)
+		}
+	}
+}

@@ -67,9 +67,9 @@ type ChurnConfig struct {
 	Opt          workloads.Options
 	Displacement float64
 	Replay       replay.Config
-	SelectGT     func(tr *trace.Trace) (time.Duration, error)
-	Generate     func(app string, np int) (*trace.Trace, error)
-	Dedicated    func(tr *trace.Trace, gt time.Duration, displacement float64) (*replay.Result, error)
+	SelectGT     func(src trace.Source) (time.Duration, error)
+	Generate     func(app string, np int) (trace.Source, error)
+	Dedicated    func(src trace.Source, gt time.Duration, displacement float64) (*replay.Result, error)
 
 	// Ctx, when non-nil, is checked between events: a cancelled context
 	// stops the scenario with ctx.Err() instead of running it out.
@@ -251,19 +251,19 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 	workers := sweep.Workers(cfg.Replay.Parallelism, len(specs))
 	preps, err := sweep.Map(ctx, workers, specs,
 		func(_ context.Context, _ int, js JobSpec) (churnPrep, error) {
-			tr, err := base.generate(js)
+			src, err := base.generate(js)
 			if err != nil {
 				return churnPrep{}, err
 			}
-			gt, err := base.selectGT(tr)
+			gt, err := base.selectGT(src)
 			if err != nil {
 				return churnPrep{}, err
 			}
-			ded, err := base.runDedicated(tr, gt, cfg.Displacement)
+			ded, err := base.runDedicated(src, gt, cfg.Displacement)
 			if err != nil {
 				return churnPrep{}, err
 			}
-			return churnPrep{tr: tr, gt: gt, ded: ded}, nil
+			return churnPrep{src: src, gt: gt, ded: ded}, nil
 		})
 	if err != nil {
 		return nil, err
@@ -443,7 +443,7 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 				}
 				p := preps[index[q.Spec]]
 				pws[k] = JobPower(cfg.Replay, p.gt, cfg.Displacement)
-				batch = append(batch, replay.Job{Trace: p.tr, Terminals: ts, Power: &pws[k]})
+				batch = append(batch, replay.Job{Source: p.src, Terminals: ts, Power: &pws[k]})
 				ids = append(ids, q.ID)
 				terms = append(terms, ts)
 			}
@@ -610,10 +610,11 @@ func (st *churnState) kill(t int, now time.Duration, free *FreeList,
 }
 
 // churnPrep is the once-per-distinct-(app, NP) preparation every admission
-// of that shape reuses: the trace, its grouping threshold, and the
-// dedicated-fabric baseline.
+// of that shape reuses: the trace source, its grouping threshold, and the
+// dedicated-fabric baseline. Each admission — including a fault retry —
+// opens fresh cursors on src, so the source is shared but never consumed.
 type churnPrep struct {
-	tr  *trace.Trace
+	src trace.Source
 	gt  time.Duration
 	ded *replay.Result
 }

@@ -59,16 +59,19 @@ type Config struct {
 	Replay replay.Config
 	// SelectGT chooses the grouping threshold for one job's trace; nil uses
 	// the minimum admissible threshold 2·Treact. The harness and CLI install
-	// the Table III selection here (harness.ChooseGT).
-	SelectGT func(tr *trace.Trace) (time.Duration, error)
-	// Generate overrides trace generation, letting callers reuse cached
-	// traces (harness.Runner does); nil generates fresh with Opt.
-	Generate func(app string, np int) (*trace.Trace, error)
+	// the Table III selection here (harness.ChooseGT). The hook receives a
+	// trace.Source — an in-memory *Trace, a generator, or a packed trace
+	// file — so threshold selection works without materializing the trace.
+	SelectGT func(src trace.Source) (time.Duration, error)
+	// Generate overrides trace delivery, letting callers reuse cached
+	// traces or serve streaming sources from a packed file (harness.Runner
+	// does both); nil generates fresh in-memory traces with Opt.
+	Generate func(app string, np int) (trace.Source, error)
 	// Dedicated overrides the dedicated-fabric baseline replay of one job
 	// (the denominator of the sharing overhead). The baseline is
 	// placement-independent, so callers sweeping placements cache it per
 	// (job, GT) — harness.Runner does; nil replays fresh.
-	Dedicated func(tr *trace.Trace, gt time.Duration, displacement float64) (*replay.Result, error)
+	Dedicated func(src trace.Source, gt time.Duration, displacement float64) (*replay.Result, error)
 }
 
 // JobStats is the per-job slice of a shared-fabric run.
@@ -158,20 +161,21 @@ func Run(cfg Config) (*Result, error) {
 	// Generate every job's trace and choose its grouping threshold on the
 	// worker pool (input order, so results are parallelism-independent).
 	type prep struct {
-		tr *trace.Trace
-		gt time.Duration
+		src  trace.Source
+		meta trace.Meta
+		gt   time.Duration
 	}
 	preps, err := sweep.Map(context.Background(), workers, cfg.Jobs,
 		func(_ context.Context, _ int, js JobSpec) (prep, error) {
-			tr, err := cfg.generate(js)
+			src, err := cfg.generate(js)
 			if err != nil {
 				return prep{}, err
 			}
-			gt, err := cfg.selectGT(tr)
+			gt, err := cfg.selectGT(src)
 			if err != nil {
 				return prep{}, err
 			}
-			return prep{tr: tr, gt: gt}, nil
+			return prep{src: src, meta: src.Meta(), gt: gt}, nil
 		})
 	if err != nil {
 		return nil, err
@@ -179,7 +183,7 @@ func Run(cfg Config) (*Result, error) {
 
 	sizes := make([]int, len(cfg.Jobs))
 	for j, p := range preps {
-		sizes[j] = p.tr.NP
+		sizes[j] = p.meta.NP
 	}
 	terms, err := Place(cfg.Placement, fabric, sizes, cfg.Opt.Seed)
 	if err != nil {
@@ -192,7 +196,7 @@ func Run(cfg Config) (*Result, error) {
 	pws := make([]replay.PowerConfig, len(cfg.Jobs))
 	for j, p := range preps {
 		pws[j] = cfg.jobPower(p.gt, d)
-		rjobs[j] = replay.Job{Trace: p.tr, Terminals: terms[j], Power: &pws[j]}
+		rjobs[j] = replay.Job{Source: p.src, Terminals: terms[j], Power: &pws[j]}
 	}
 
 	// The dedicated-fabric baselines — each job alone on the same fabric,
@@ -208,7 +212,7 @@ func Run(cfg Config) (*Result, error) {
 	go func() {
 		res, err := sweep.Map(context.Background(), workers, preps,
 			func(_ context.Context, j int, p prep) (*replay.Result, error) {
-				return cfg.runDedicated(p.tr, p.gt, d)
+				return cfg.runDedicated(p.src, p.gt, d)
 			})
 		dedCh <- dedOut{res: res, err: err}
 	}()
@@ -227,7 +231,7 @@ func Run(cfg Config) (*Result, error) {
 	for j, p := range preps {
 		sh := shared.Jobs[j]
 		st := JobStats{
-			App: p.tr.App, NP: p.tr.NP, Predictor: predName, GT: p.gt,
+			App: p.meta.App, NP: p.meta.NP, Predictor: predName, GT: p.gt,
 			Exec:       sh.ExecTime,
 			Dedicated:  dedicated[j].ExecTime,
 			SavingPct:  sh.AvgSavingPct(),
@@ -250,27 +254,38 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-func (c Config) generate(js JobSpec) (*trace.Trace, error) {
+// generate resolves a job's trace source. The default path materializes with
+// workloads.Generate rather than wrapping workloads.NewSource: a mix's ranks
+// replay concurrently, so the engine would hold most of the trace in cursor
+// form anyway, and the materialized build costs O(NP·iters) generator work
+// versus O(NP²·iters) for rank-at-a-time generation of all NP ranks.
+// Consumers that drain one rank at a time (trace packing, offline GT runs)
+// use NewSource directly and stay O(one rank).
+func (c Config) generate(js JobSpec) (trace.Source, error) {
 	if c.Generate != nil {
 		return c.Generate(js.App, js.NP)
 	}
-	return workloads.Generate(js.App, js.NP, c.Opt)
+	tr, err := workloads.Generate(js.App, js.NP, c.Opt)
+	if err != nil {
+		return nil, err
+	}
+	return tr, nil
 }
 
-func (c Config) selectGT(tr *trace.Trace) (time.Duration, error) {
+func (c Config) selectGT(src trace.Source) (time.Duration, error) {
 	if c.SelectGT != nil {
-		return c.SelectGT(tr)
+		return c.SelectGT(src)
 	}
 	return 2 * power.Treact, nil
 }
 
-func (c Config) runDedicated(tr *trace.Trace, gt time.Duration, d float64) (*replay.Result, error) {
+func (c Config) runDedicated(src trace.Source, gt time.Duration, d float64) (*replay.Result, error) {
 	if c.Dedicated != nil {
-		return c.Dedicated(tr, gt, d)
+		return c.Dedicated(src, gt, d)
 	}
 	bcfg := c.Replay
 	bcfg.Power = JobPower(c.Replay, gt, d)
-	return replay.Run(tr, bcfg)
+	return replay.RunSource(src, bcfg)
 }
 
 // JobPower builds one job's effective power block from a replay

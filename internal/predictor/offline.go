@@ -16,8 +16,8 @@ import (
 // follows it, which can push a gram-internal gap across the grouping
 // threshold, so GT selection must see the same timing as the full replay.
 // This is the fast path used for the GT sweeps of Table III and Figure 10.
-func RunOffline(tr *trace.Trace, cfg Config) (*OfflineResult, error) {
-	return RunOfflineOverheads(tr, cfg, DefaultOverheads())
+func RunOffline(src trace.Source, cfg Config) (*OfflineResult, error) {
+	return RunOfflineOverheads(src, cfg, DefaultOverheads())
 }
 
 // OfflineResult carries per-rank predictor statistics plus the realized link
@@ -45,28 +45,41 @@ func (o *OfflineResult) TotalLow() time.Duration {
 // rank's stream drives a predictor and a link power controller: shutdown
 // actions program the wake timer and early calls pay the reactivation delay,
 // exactly as in the full replay minus network effects.
-func RunOfflineOverheads(tr *trace.Trace, cfg Config, ov OverheadModel) (*OfflineResult, error) {
-	return RunOfflineNamed(DefaultName, tr, cfg, ov)
+func RunOfflineOverheads(src trace.Source, cfg Config, ov OverheadModel) (*OfflineResult, error) {
+	return RunOfflineNamed(DefaultName, src, cfg, ov)
 }
 
 // RunOfflineNamed is RunOfflineOverheads for any registered predictor:
 // trace-aware predictors (oracle, offline) are primed with each rank's op
-// stream before it is replayed. Predictors that never set Action.PPAInvoked
-// are charged only the interception overhead per call.
-func RunOfflineNamed(name string, tr *trace.Trace, cfg Config, ov OverheadModel) (*OfflineResult, error) {
+// stream before it is replayed (only they force a rank to be materialized —
+// every other predictor streams one op at a time). Predictors that never set
+// Action.PPAInvoked are charged only the interception overhead per call.
+func RunOfflineNamed(name string, src trace.Source, cfg Config, ov OverheadModel) (*OfflineResult, error) {
+	m := src.Meta()
 	out := &OfflineResult{
-		Stats: make([]Stats, tr.NP),
-		Acct:  make([]power.Accounting, tr.NP),
+		Stats: make([]Stats, m.NP),
+		Acct:  make([]power.Accounting, m.NP),
 	}
-	for r := 0; r < tr.NP; r++ {
+	for r := 0; r < m.NP; r++ {
 		p, err := NewNamed(name, cfg)
 		if err != nil {
 			return nil, err
 		}
-		Prime(p, tr.Ranks[r])
+		if IsTraceAware(p) {
+			ops, err := trace.RankOps(src, r)
+			if err != nil {
+				return nil, err
+			}
+			Prime(p, ops)
+		}
 		ctrl := power.NewController(cfg.Treact)
 		var t time.Duration
-		for _, op := range tr.Ranks[r] {
+		cur := src.Open(r)
+		for {
+			op, ok := cur.Next()
+			if !ok {
+				break
+			}
 			switch op.Kind {
 			case trace.OpCompute:
 				t += op.Duration
@@ -80,6 +93,9 @@ func RunOfflineNamed(name string, tr *trace.Trace, cfg Config, ov OverheadModel)
 					ctrl.Shutdown(t, act.PredictedIdle)
 				}
 			}
+		}
+		if err := cur.Err(); err != nil {
+			return nil, err
 		}
 		p.Flush()
 		ctrl.Finish(t)
@@ -108,24 +124,36 @@ type OverheadReport struct {
 // MeasureOverheads runs the predictor over every rank of the trace and
 // measures the real wall-clock cost of each OnCall invocation, attributing
 // it to PPA-invoked calls versus plain interceptions.
-func MeasureOverheads(tr *trace.Trace, cfg Config) (OverheadReport, error) {
-	return MeasureOverheadsNamed(DefaultName, tr, cfg)
+func MeasureOverheads(src trace.Source, cfg Config) (OverheadReport, error) {
+	return MeasureOverheadsNamed(DefaultName, src, cfg)
 }
 
 // MeasureOverheadsNamed is MeasureOverheads for any registered predictor.
 // For predictors that never invoke the PPA the per-invoked-call column stays
 // zero and only the amortized per-call cost is meaningful.
-func MeasureOverheadsNamed(name string, tr *trace.Trace, cfg Config) (OverheadReport, error) {
+func MeasureOverheadsNamed(name string, src trace.Source, cfg Config) (OverheadReport, error) {
 	var rep OverheadReport
 	var invokedTime time.Duration
-	for r := 0; r < tr.NP; r++ {
+	m := src.Meta()
+	for r := 0; r < m.NP; r++ {
 		p, err := NewNamed(name, cfg)
 		if err != nil {
 			return rep, err
 		}
-		Prime(p, tr.Ranks[r])
+		if IsTraceAware(p) {
+			ops, err := trace.RankOps(src, r)
+			if err != nil {
+				return rep, err
+			}
+			Prime(p, ops)
+		}
 		var t time.Duration
-		for _, op := range tr.Ranks[r] {
+		cur := src.Open(r)
+		for {
+			op, ok := cur.Next()
+			if !ok {
+				break
+			}
 			switch op.Kind {
 			case trace.OpCompute:
 				t += op.Duration
@@ -140,6 +168,9 @@ func MeasureOverheadsNamed(name string, tr *trace.Trace, cfg Config) (OverheadRe
 					invokedTime += el
 				}
 			}
+		}
+		if err := cur.Err(); err != nil {
+			return rep, err
 		}
 	}
 	if rep.Calls > 0 {

@@ -145,6 +145,14 @@ func Prime(p Predictor, ops []trace.Op) {
 	}
 }
 
+// IsTraceAware reports whether p needs Prime. Streaming consumers check it
+// before materializing a rank's ops: only trace-aware predictors justify
+// paying O(rank) memory for lookahead, everything else replays at O(window).
+func IsTraceAware(p Predictor) bool {
+	_, ok := p.(TraceAware)
+	return ok
+}
+
 func init() {
 	Register(DefaultName, func(cfg Config) (Predictor, error) { return New(cfg) })
 }

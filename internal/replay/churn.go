@@ -6,6 +6,7 @@ import (
 
 	"ibpower/internal/network"
 	"ibpower/internal/topology"
+	"ibpower/internal/trace"
 )
 
 // Churn is an incremental shared-fabric replay session: jobs are admitted
@@ -134,29 +135,33 @@ func (c *Churn) AdmitAt(start time.Duration, jobs ...Job) ([]*Result, error) {
 	c.now = start
 	claimed := make(map[int]int) // terminal -> batch job index
 	pws := make([]PowerConfig, len(jobs))
+	srcs := make([]trace.Source, len(jobs))
+	metas := make([]trace.Meta, len(jobs))
 	for j, job := range jobs {
-		tr := job.Trace
-		if tr == nil {
+		src := job.src()
+		if src == nil {
 			return nil, fmt.Errorf("replay: churn job %d has no trace", j)
 		}
-		if err := tr.Validate(); err != nil {
+		if err := trace.ValidateSource(src); err != nil {
 			return nil, err
 		}
-		if len(job.Terminals) != tr.NP {
+		srcs[j], metas[j] = src, src.Meta()
+		m := metas[j]
+		if len(job.Terminals) != m.NP {
 			return nil, fmt.Errorf("replay: churn job %d (%s): %d terminals for %d ranks (churn admissions must be placed explicitly)",
-				j, tr.App, len(job.Terminals), tr.NP)
+				j, m.App, len(job.Terminals), m.NP)
 		}
 		for r, t := range job.Terminals {
 			if t < 0 || t >= len(c.term) {
 				return nil, fmt.Errorf("replay: churn job %d (%s) rank %d: terminal %d out of range [0,%d)",
-					j, tr.App, r, t, len(c.term))
+					j, m.App, r, t, len(c.term))
 			}
 			if prev, taken := claimed[t]; taken {
 				return nil, fmt.Errorf("replay: churn jobs %d and %d both placed on terminal %d", prev, j, t)
 			}
 			if c.term[t].used && c.term[t].finish > start {
 				return nil, fmt.Errorf("replay: churn job %d (%s) rank %d: terminal %d busy until %v at admission time %v",
-					j, tr.App, r, t, c.term[t].finish, start)
+					j, m.App, r, t, c.term[t].finish, start)
 			}
 			claimed[t] = j
 		}
@@ -170,8 +175,10 @@ func (c *Churn) AdmitAt(start time.Duration, jobs ...Job) ([]*Result, error) {
 	from := len(c.e.rk)
 	added := make([]*jobState, len(jobs))
 	for j, job := range jobs {
-		id, app := c.jobN+j, job.Trace.App
-		js, err := c.e.addJob(job.Trace, pws[j], job.Terminals, start, func(r int) string {
+		id, app := c.jobN+j, metas[j].App
+		// addJob opens fresh cursors, so re-admitting a job (a fault retry)
+		// replays its source from the first op.
+		js, err := c.e.addJob(srcs[j], pws[j], job.Terminals, start, func(r int) string {
 			return fmt.Sprintf("job %d %s rank %d", id, app, r)
 		})
 		if err != nil {

@@ -21,13 +21,14 @@ type rankState struct {
 	base int // global index of the job's rank 0
 	np   int // the job's communicator size
 	term int // fabric terminal hosting the rank
-	ops  []trace.Op
-	pc   int
+	cur  trace.Cursor // the rank's op stream; in-memory, generated, or on-disk
+	nops int          // ops consumed so far (error reporting)
 	clk  time.Duration
 	done bool
 
 	// Current MPI call.
 	inCall    bool
+	op        trace.Op // the call being executed (finishCall reports it)
 	callStart time.Duration
 	micro     []microOp
 	mi        int
@@ -91,9 +92,13 @@ type pairQueues struct {
 	recv ptQueue // posted receives waiting for a matching send
 }
 
-// jobState is one placed workload during a (possibly multi-job) replay.
+// jobState is one placed workload during a (possibly multi-job) replay. It
+// holds the job's source and identity, never the decoded ops — rank streams
+// live only inside the per-rank cursors.
 type jobState struct {
-	tr   *trace.Trace
+	src  trace.Source
+	app  string
+	np   int
 	pw   PowerConfig // the job's effective power configuration
 	base int         // global index of the job's rank 0
 
@@ -112,6 +117,7 @@ type engine struct {
 	jobs []*jobState
 	rk   []*rankState // all jobs' ranks, dense in global index order
 	pt   map[pairKey]*pairQueues
+	err  error // first cursor decode failure; drain surfaces it
 
 	// work is a fixed-capacity ring of runnable ranks (global indexes).
 	// inWork dedupes, so at most len(rk) ranks are ever queued and the ring
@@ -138,7 +144,15 @@ func (e *engine) pair(k pairKey) *pairQueues {
 // bit-identical to that dedicated-fabric engine. All validation (trace,
 // network, registries, capacity) happens in RunJobs.
 func Run(tr *trace.Trace, cfg Config) (*Result, error) {
-	mr, err := RunJobs([]Job{{Trace: tr}}, cfg)
+	return RunSource(tr, cfg)
+}
+
+// RunSource replays a streaming trace source under cfg: the single-job
+// counterpart of Run for traces that are generated on the fly or read from a
+// packed trace file through bounded windows. For an in-memory *Trace it is
+// exactly Run.
+func RunSource(src trace.Source, cfg Config) (*Result, error) {
+	mr, err := RunJobs([]Job{{Source: src}}, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -149,20 +163,32 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 // the given admission time, and returns the job's state. label names a
 // rank's recorded timeline. Ranks are not yet runnable; callers queue them
 // via enqueue once the whole admission batch is in place.
-func (e *engine) addJob(tr *trace.Trace, pw PowerConfig, terms []int, start time.Duration, label func(r int) string) (*jobState, error) {
-	js := &jobState{tr: tr, pw: pw, base: len(e.rk)}
+//
+// Each rank pulls ops through its own cursor, opened here — re-admitting the
+// same source (a churn retry) replays from the first op again. Trace-aware
+// predictors are the one consumer that still needs the whole rank stream up
+// front (the oracle's lookahead); only they pay a materialization.
+func (e *engine) addJob(src trace.Source, pw PowerConfig, terms []int, start time.Duration, label func(r int) string) (*jobState, error) {
+	m := src.Meta()
+	js := &jobState{src: src, app: m.App, np: m.NP, pw: pw, base: len(e.rk)}
 	e.jobs = append(e.jobs, js)
-	for r := 0; r < tr.NP; r++ {
+	for r := 0; r < m.NP; r++ {
 		rs := &rankState{
-			r: r, g: js.base + r, base: js.base, np: tr.NP,
-			term: terms[r], ops: tr.Ranks[r], clk: start, jb: js,
+			r: r, g: js.base + r, base: js.base, np: m.NP,
+			term: terms[r], cur: src.Open(r), clk: start, jb: js,
 		}
 		if pw.Enabled {
 			p, err := predictor.NewNamed(pw.PredictorName, pw.Predictor)
 			if err != nil {
 				return nil, err
 			}
-			predictor.Prime(p, tr.Ranks[r])
+			if predictor.IsTraceAware(p) {
+				ops, err := trace.RankOps(src, r)
+				if err != nil {
+					return nil, fmt.Errorf("replay: %s rank %d: %w", m.App, r, err)
+				}
+				predictor.Prime(p, ops)
+			}
 			rs.pred = p
 			rs.ctrl = power.NewControllerAt(pw.Predictor.Treact, start)
 			if pw.DeepSleep {
@@ -202,10 +228,13 @@ func (e *engine) drain() error {
 		e.inWork[g] = false
 		e.advance(e.rk[g])
 	}
+	if e.err != nil {
+		return e.err
+	}
 	for _, rs := range e.rk {
 		if !rs.done {
-			return fmt.Errorf("replay: deadlock: %s rank %d blocked at op %d/%d (micro %d/%d)",
-				rs.jb.tr.App, rs.r, rs.pc, len(rs.ops), rs.mi, len(rs.micro))
+			return fmt.Errorf("replay: deadlock: %s rank %d blocked at op %d (micro %d/%d)",
+				rs.jb.app, rs.r, rs.nops, rs.mi, len(rs.micro))
 		}
 	}
 	return nil
@@ -239,22 +268,28 @@ func (e *engine) advance(rs *rankState) {
 			}
 			continue
 		}
-		if rs.pc >= len(rs.ops) {
+		op, ok := rs.cur.Next()
+		if !ok {
+			if err := rs.cur.Err(); err != nil {
+				if e.err == nil {
+					e.err = fmt.Errorf("replay: %s: %w", rs.jb.app, err)
+				}
+			}
 			rs.done = true
 			if rs.pred != nil {
 				rs.pred.Flush()
 			}
 			return
 		}
-		op := rs.ops[rs.pc]
+		rs.nops++
 		switch op.Kind {
 		case trace.OpCompute:
 			rs.clk += op.Duration
-			rs.pc++
 		case trace.OpCall:
 			if rs.pred != nil {
 				rs.clk += rs.jb.pw.Overheads.Interception
 			}
+			rs.op = op
 			rs.callStart = rs.clk
 			// Shared read-only decomposition: identical call shapes across
 			// ranks, iterations and concurrent runs reuse one sequence.
@@ -312,8 +347,7 @@ func (e *engine) stepMicro(rs *rankState) bool {
 // idle interval (Algorithm 3).
 func (e *engine) finishCall(rs *rankState) {
 	rs.inCall = false
-	op := rs.ops[rs.pc]
-	rs.pc++
+	op := rs.op
 	if rs.pred == nil {
 		return
 	}

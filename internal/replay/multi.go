@@ -15,7 +15,15 @@ import (
 // peers stay job-local, so the same trace replays unchanged whether the job
 // has the fabric to itself or shares it.
 type Job struct {
+	// Trace is the in-memory form of the job's op streams. Exactly one of
+	// Trace and Source must be set; Trace is the materialized shorthand
+	// (*trace.Trace implements trace.Source, so the two paths replay
+	// bit-identically).
 	Trace *trace.Trace
+	// Source streams the job's op streams through cursors — a packed trace
+	// file or an on-the-fly generator — so the engine holds O(window) of the
+	// trace per rank instead of all of it.
+	Source trace.Source
 	// Terminals maps job-local rank -> fabric terminal. Terminals of all
 	// jobs in one RunJobs call must be disjoint (one MPI process per
 	// terminal). nil places the job's ranks contiguously after the previous
@@ -26,6 +34,18 @@ type Job struct {
 	// so each job can carry its own grouping threshold and predictor (the
 	// multi-tenant scenario: every tenant tunes its own mechanism).
 	Power *PowerConfig
+}
+
+// src resolves the job's op stream: Source when set, else the in-memory
+// Trace; nil when the job has neither.
+func (j Job) src() trace.Source {
+	if j.Source != nil {
+		return j.Source
+	}
+	if j.Trace != nil {
+		return j.Trace
+	}
+	return nil
 }
 
 // MultiResult is the outcome of a shared-fabric multi-job replay.
@@ -79,21 +99,24 @@ func RunJobs(jobs []Job, cfg Config) (*MultiResult, error) {
 	// Validate traces and placements: every rank on a distinct terminal.
 	owner := make(map[int]int) // terminal -> job index
 	total := 0
+	srcs := make([]trace.Source, len(jobs))
+	metas := make([]trace.Meta, len(jobs))
 	for j := range jobs {
-		tr := jobs[j].Trace
-		if tr == nil {
+		src := jobs[j].src()
+		if src == nil {
 			return nil, fmt.Errorf("replay: job %d has no trace", j)
 		}
-		if err := tr.Validate(); err != nil {
+		if err := trace.ValidateSource(src); err != nil {
 			return nil, err
 		}
-		total += tr.NP
+		srcs[j], metas[j] = src, src.Meta()
+		total += metas[j].NP
 		if jobs[j].Terminals == nil {
 			continue // placed linearly below, after total is known
 		}
-		if len(jobs[j].Terminals) != tr.NP {
+		if len(jobs[j].Terminals) != metas[j].NP {
 			return nil, fmt.Errorf("replay: job %d (%s): %d terminals for %d ranks",
-				j, tr.App, len(jobs[j].Terminals), tr.NP)
+				j, metas[j].App, len(jobs[j].Terminals), metas[j].NP)
 		}
 	}
 	if total > nt {
@@ -114,12 +137,12 @@ func RunJobs(jobs []Job, cfg Config) (*MultiResult, error) {
 		for r, t := range terms[j] {
 			if t < 0 || t >= nt {
 				return nil, fmt.Errorf("replay: job %d (%s) rank %d: terminal %d out of range [0,%d)",
-					j, jobs[j].Trace.App, r, t, nt)
+					j, metas[j].App, r, t, nt)
 			}
 			if prev, taken := owner[t]; taken {
 				if prev == j {
 					return nil, fmt.Errorf("replay: job %d (%s) places two ranks on terminal %d",
-						j, jobs[j].Trace.App, t)
+						j, metas[j].App, t)
 				}
 				return nil, fmt.Errorf("replay: jobs %d and %d both placed on terminal %d",
 					prev, j, t)
@@ -132,7 +155,7 @@ func RunJobs(jobs []Job, cfg Config) (*MultiResult, error) {
 		if jobs[j].Terminals != nil {
 			continue
 		}
-		terms[j] = make([]int, jobs[j].Trace.NP)
+		terms[j] = make([]int, metas[j].NP)
 		for r := range terms[j] {
 			for {
 				if _, taken := owner[next]; !taken {
@@ -166,9 +189,9 @@ func RunJobs(jobs []Job, cfg Config) (*MultiResult, error) {
 		pt:  make(map[pairKey]*pairQueues),
 	}
 	for j := range jobs {
-		j, tr := j, jobs[j].Trace
-		_, err := e.addJob(tr, pws[j], terms[j], 0, func(r int) string {
-			return timelineLabel(len(jobs), j, tr.App, r)
+		j, app := j, metas[j].App
+		_, err := e.addJob(srcs[j], pws[j], terms[j], 0, func(r int) string {
+			return timelineLabel(len(jobs), j, app, r)
 		})
 		if err != nil {
 			return nil, err

@@ -103,7 +103,7 @@ func (e *engine) collect() *MultiResult {
 // accounting closes at the job's absolute completion, so a churned job's
 // window spans exactly its own lifetime [start, finish].
 func (e *engine) collectJob(js *jobState, start time.Duration) *Result {
-	np := js.tr.NP
+	np := js.np
 	res := &Result{RankFinish: make([]time.Duration, np)}
 	finish := start
 	for r := 0; r < np; r++ {

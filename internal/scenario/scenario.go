@@ -50,9 +50,9 @@ type Config struct {
 	Opt          workloads.Options
 	Displacement float64
 	Replay       replay.Config
-	SelectGT     func(tr *trace.Trace) (time.Duration, error)
-	Generate     func(app string, np int) (*trace.Trace, error)
-	Dedicated    func(tr *trace.Trace, gt time.Duration, displacement float64) (*replay.Result, error)
+	SelectGT     func(src trace.Source) (time.Duration, error)
+	Generate     func(app string, np int) (trace.Source, error)
+	Dedicated    func(src trace.Source, gt time.Duration, displacement float64) (*replay.Result, error)
 
 	// Ctx stops the event loop early when cancelled.
 	Ctx context.Context

@@ -1,0 +1,616 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// The binary trace format packs one or more traces into a single file read
+// through bounded per-rank windows:
+//
+//	header  "IBTP" + version byte (1)
+//	data    per trace, per rank: ops back-to-back, varint-encoded
+//	index   uvarint ntraces; per trace: uvarint len(app), app bytes,
+//	        uvarint np; per rank: uvarint offset, uvarint nbytes, uvarint nops
+//	footer  uint64 LE index offset + "IBTX" (fixed 12 bytes)
+//
+// Each op is a tag byte followed by its uvarint operands (all values are
+// non-negative by construction — Validate/CheckOp enforce it):
+//
+//	0x00 compute   duration_ns
+//	0x01 send      peer bytes
+//	0x02 recv      peer
+//	0x03 sendrecv  peer recvpeer bytes
+//	0x04 allreduce bytes
+//	0x05 barrier
+//	0x06 bcast     root bytes
+//	0x07 reduce    root bytes
+//	0x08 alltoall  bytes
+//
+// The index sits at the end so packing needs only a counting writer (no
+// io.Seeker): WriteBinarySources streams each rank straight to the output
+// and records offsets as it goes, holding O(one rank window) memory when the
+// sources themselves stream.
+
+const (
+	binMagic    = "IBTP"
+	binVersion  = 1
+	idxMagic    = "IBTX"
+	binFooterSz = 8 + len(idxMagic)
+
+	// DefaultWindow is the per-cursor read buffer: the bounded memory a
+	// streamed rank costs during replay, regardless of trace length.
+	DefaultWindow = 64 << 10
+
+	// Parser caps: a corrupt or adversarial index must not drive huge
+	// allocations before any data is read.
+	maxBinTraces = 1 << 20
+	maxBinRanks  = 1 << 20
+	maxBinApp    = 4096
+)
+
+// Op tags of the binary format.
+const (
+	tagCompute byte = iota
+	tagSend
+	tagRecv
+	tagSendrecv
+	tagAllreduce
+	tagBarrier
+	tagBcast
+	tagReduce
+	tagAlltoall
+	tagMax = tagAlltoall
+)
+
+// rankIndex locates one rank's encoded stream inside the file.
+type rankIndex struct {
+	off    int64
+	nbytes int64
+	nops   int64
+}
+
+// fileEntry is one packed trace: its identity plus the per-rank index.
+type fileEntry struct {
+	meta  Meta
+	ranks []rankIndex
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// appendOp encodes op onto buf. The op must already satisfy CheckOp.
+func appendOp(buf []byte, op Op) ([]byte, error) {
+	switch op.Kind {
+	case OpCompute:
+		buf = append(buf, tagCompute)
+		buf = binary.AppendUvarint(buf, uint64(op.Duration.Nanoseconds()))
+	case OpCall:
+		switch op.Call {
+		case CallSend:
+			buf = append(buf, tagSend)
+			buf = binary.AppendUvarint(buf, uint64(op.Peer))
+			buf = binary.AppendUvarint(buf, uint64(op.Bytes))
+		case CallRecv:
+			buf = append(buf, tagRecv)
+			buf = binary.AppendUvarint(buf, uint64(op.Peer))
+		case CallSendrecv:
+			buf = append(buf, tagSendrecv)
+			buf = binary.AppendUvarint(buf, uint64(op.Peer))
+			buf = binary.AppendUvarint(buf, uint64(op.RecvPeer))
+			buf = binary.AppendUvarint(buf, uint64(op.Bytes))
+		case CallAllreduce:
+			buf = append(buf, tagAllreduce)
+			buf = binary.AppendUvarint(buf, uint64(op.Bytes))
+		case CallBarrier:
+			buf = append(buf, tagBarrier)
+		case CallBcast:
+			buf = append(buf, tagBcast)
+			buf = binary.AppendUvarint(buf, uint64(op.Root))
+			buf = binary.AppendUvarint(buf, uint64(op.Bytes))
+		case CallReduce:
+			buf = append(buf, tagReduce)
+			buf = binary.AppendUvarint(buf, uint64(op.Root))
+			buf = binary.AppendUvarint(buf, uint64(op.Bytes))
+		case CallAlltoall:
+			buf = append(buf, tagAlltoall)
+			buf = binary.AppendUvarint(buf, uint64(op.Bytes))
+		default:
+			return buf, fmt.Errorf("trace: cannot encode call %v", op.Call)
+		}
+	default:
+		return buf, fmt.Errorf("trace: cannot encode op kind %d", op.Kind)
+	}
+	return buf, nil
+}
+
+// decodeOp reads one op from br. Ops are reconstructed through the package
+// constructors so unused fields carry the same sentinels (-1) as in-memory
+// traces — a decoded trace re-encodes byte-identically and compares
+// deep-equal to its original.
+func decodeOp(br *bufio.Reader) (Op, error) {
+	tag, err := br.ReadByte()
+	if err != nil {
+		return Op{}, err
+	}
+	if tag > tagMax {
+		return Op{}, fmt.Errorf("unknown op tag 0x%02x", tag)
+	}
+	u := func() (int, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, err
+		}
+		if v > 1<<62 {
+			return 0, fmt.Errorf("varint operand %d overflows", v)
+		}
+		return int(v), nil
+	}
+	switch tag {
+	case tagCompute:
+		ns, err := u()
+		if err != nil {
+			return Op{}, err
+		}
+		return Compute(time.Duration(ns)), nil
+	case tagSend:
+		peer, err := u()
+		if err != nil {
+			return Op{}, err
+		}
+		n, err := u()
+		if err != nil {
+			return Op{}, err
+		}
+		return Send(peer, n), nil
+	case tagRecv:
+		peer, err := u()
+		if err != nil {
+			return Op{}, err
+		}
+		return Recv(peer), nil
+	case tagSendrecv:
+		sp, err := u()
+		if err != nil {
+			return Op{}, err
+		}
+		rp, err := u()
+		if err != nil {
+			return Op{}, err
+		}
+		n, err := u()
+		if err != nil {
+			return Op{}, err
+		}
+		return Sendrecv(sp, rp, n), nil
+	case tagAllreduce:
+		n, err := u()
+		if err != nil {
+			return Op{}, err
+		}
+		return Allreduce(n), nil
+	case tagBarrier:
+		return Barrier(), nil
+	case tagBcast:
+		root, err := u()
+		if err != nil {
+			return Op{}, err
+		}
+		n, err := u()
+		if err != nil {
+			return Op{}, err
+		}
+		return Bcast(root, n), nil
+	case tagReduce:
+		root, err := u()
+		if err != nil {
+			return Op{}, err
+		}
+		n, err := u()
+		if err != nil {
+			return Op{}, err
+		}
+		return Reduce(root, n), nil
+	default: // tagAlltoall
+		n, err := u()
+		if err != nil {
+			return Op{}, err
+		}
+		return Alltoall(n), nil
+	}
+}
+
+// WriteBinarySources packs the sources into the binary format. Ranks are
+// drained one cursor at a time, so packing a streaming source (the workloads
+// generator, another file) holds one rank window in memory, never the whole
+// trace. Every op is validated with CheckOp before encoding; duplicate
+// (app, NP) identities are rejected because the file index is keyed on them.
+func WriteBinarySources(w io.Writer, srcs ...Source) error {
+	if len(srcs) == 0 {
+		return fmt.Errorf("trace: nothing to pack")
+	}
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	if _, err := cw.Write(append([]byte(binMagic), binVersion)); err != nil {
+		return err
+	}
+	seen := make(map[Meta]bool, len(srcs))
+	entries := make([]fileEntry, 0, len(srcs))
+	var buf []byte
+	for _, src := range srcs {
+		m := src.Meta()
+		if m.NP <= 0 {
+			return fmt.Errorf("trace: %s: NP must be positive, got %d", m.App, m.NP)
+		}
+		if len(m.App) > maxBinApp {
+			return fmt.Errorf("trace: app name %q too long", m.App[:32]+"...")
+		}
+		if seen[m] {
+			return fmt.Errorf("trace: duplicate trace %s np=%d in pack", m.App, m.NP)
+		}
+		seen[m] = true
+		ent := fileEntry{meta: m, ranks: make([]rankIndex, m.NP)}
+		for r := 0; r < m.NP; r++ {
+			start := cw.n
+			c := src.Open(r)
+			var nops int64
+			for {
+				op, ok := c.Next()
+				if !ok {
+					break
+				}
+				if err := CheckOp(m.NP, r, int(nops), op); err != nil {
+					return err
+				}
+				var err error
+				buf, err = appendOp(buf[:0], op)
+				if err != nil {
+					return err
+				}
+				if _, err := cw.Write(buf); err != nil {
+					return err
+				}
+				nops++
+			}
+			if err := c.Err(); err != nil {
+				return fmt.Errorf("trace: %s np=%d rank %d: %w", m.App, m.NP, r, err)
+			}
+			ent.ranks[r] = rankIndex{off: start, nbytes: cw.n - start, nops: nops}
+		}
+		entries = append(entries, ent)
+	}
+	idxOff := cw.n
+	buf = binary.AppendUvarint(buf[:0], uint64(len(entries)))
+	for _, ent := range entries {
+		buf = binary.AppendUvarint(buf, uint64(len(ent.meta.App)))
+		buf = append(buf, ent.meta.App...)
+		buf = binary.AppendUvarint(buf, uint64(ent.meta.NP))
+		for _, rix := range ent.ranks {
+			buf = binary.AppendUvarint(buf, uint64(rix.off))
+			buf = binary.AppendUvarint(buf, uint64(rix.nbytes))
+			buf = binary.AppendUvarint(buf, uint64(rix.nops))
+		}
+	}
+	if _, err := cw.Write(buf); err != nil {
+		return err
+	}
+	var foot [binFooterSz]byte
+	binary.LittleEndian.PutUint64(foot[:8], uint64(idxOff))
+	copy(foot[8:], idxMagic)
+	if _, err := cw.Write(foot[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteBinary packs in-memory traces into the binary format.
+func WriteBinary(w io.Writer, traces ...*Trace) error {
+	srcs := make([]Source, len(traces))
+	for i, t := range traces {
+		srcs[i] = t
+	}
+	return WriteBinarySources(w, srcs...)
+}
+
+// EncodeBinary packs in-memory traces and returns the encoded bytes.
+func EncodeBinary(traces ...*Trace) ([]byte, error) {
+	var b bytes.Buffer
+	if err := WriteBinary(&b, traces...); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// File is an opened binary trace file: the handle plus the decoded index.
+// Ops are never held here — each Open of a rank reads the rank's byte range
+// through its own bounded window, so a File's memory footprint is the index,
+// not the trace. A File is safe for concurrent cursor opens (io.ReaderAt is
+// position-independent).
+type File struct {
+	ra      io.ReaderAt
+	closer  io.Closer
+	entries []fileEntry
+	window  int
+}
+
+// OpenFile opens a binary trace file from disk.
+func OpenFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	bf, err := OpenBinary(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	bf.closer = f
+	return bf, nil
+}
+
+// OpenBinary opens a binary trace image from any random-access reader of the
+// given size. Only the index is decoded.
+func OpenBinary(ra io.ReaderAt, size int64) (*File, error) {
+	hdrLen := int64(len(binMagic) + 1)
+	if size < hdrLen+int64(binFooterSz) {
+		return nil, fmt.Errorf("trace: binary image too short (%d bytes)", size)
+	}
+	var hdr [5]byte
+	if _, err := ra.ReadAt(hdr[:], 0); err != nil {
+		return nil, err
+	}
+	if string(hdr[:4]) != binMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != binVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d", hdr[4])
+	}
+	var foot [binFooterSz]byte
+	if _, err := ra.ReadAt(foot[:], size-int64(binFooterSz)); err != nil {
+		return nil, err
+	}
+	if string(foot[8:]) != idxMagic {
+		return nil, fmt.Errorf("trace: bad index magic %q", foot[8:])
+	}
+	idxOff := int64(binary.LittleEndian.Uint64(foot[:8]))
+	if idxOff < hdrLen || idxOff > size-int64(binFooterSz) {
+		return nil, fmt.Errorf("trace: index offset %d out of range", idxOff)
+	}
+	dataEnd := idxOff
+	br := bufio.NewReader(io.NewSectionReader(ra, idxOff, size-int64(binFooterSz)-idxOff))
+	uv := func(what string) (int64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("trace: index: %s: %w", what, err)
+		}
+		if v > 1<<62 {
+			return 0, fmt.Errorf("trace: index: %s %d overflows", what, v)
+		}
+		return int64(v), nil
+	}
+	ntr, err := uv("trace count")
+	if err != nil {
+		return nil, err
+	}
+	if ntr == 0 || ntr > maxBinTraces {
+		return nil, fmt.Errorf("trace: index: implausible trace count %d", ntr)
+	}
+	f := &File{ra: ra, window: DefaultWindow}
+	seen := make(map[Meta]bool, ntr)
+	for t := int64(0); t < ntr; t++ {
+		alen, err := uv("app name length")
+		if err != nil {
+			return nil, err
+		}
+		if alen > maxBinApp {
+			return nil, fmt.Errorf("trace: index: implausible app name length %d", alen)
+		}
+		app := make([]byte, alen)
+		if _, err := io.ReadFull(br, app); err != nil {
+			return nil, fmt.Errorf("trace: index: app name: %w", err)
+		}
+		np, err := uv("process count")
+		if err != nil {
+			return nil, err
+		}
+		if np <= 0 || np > maxBinRanks {
+			return nil, fmt.Errorf("trace: index: implausible process count %d", np)
+		}
+		ent := fileEntry{meta: Meta{App: string(app), NP: int(np)}, ranks: make([]rankIndex, np)}
+		if seen[ent.meta] {
+			return nil, fmt.Errorf("trace: index: duplicate trace %s np=%d", ent.meta.App, ent.meta.NP)
+		}
+		seen[ent.meta] = true
+		for r := int64(0); r < np; r++ {
+			off, err := uv("rank offset")
+			if err != nil {
+				return nil, err
+			}
+			nbytes, err := uv("rank byte length")
+			if err != nil {
+				return nil, err
+			}
+			nops, err := uv("rank op count")
+			if err != nil {
+				return nil, err
+			}
+			if off < hdrLen || nbytes < 0 || off+nbytes > dataEnd {
+				return nil, fmt.Errorf("trace: index: %s np=%d rank %d: byte range [%d,%d) outside data section",
+					ent.meta.App, np, r, off, off+nbytes)
+			}
+			if nops > nbytes {
+				return nil, fmt.Errorf("trace: index: %s np=%d rank %d: %d ops cannot fit in %d bytes",
+					ent.meta.App, np, r, nops, nbytes)
+			}
+			ent.ranks[r] = rankIndex{off: off, nbytes: nbytes, nops: nops}
+		}
+		f.entries = append(f.entries, ent)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("trace: index: trailing bytes")
+	}
+	return f, nil
+}
+
+// SetWindow sets the per-cursor read buffer size in bytes for subsequently
+// opened cursors. The default is DefaultWindow (64 KiB).
+func (f *File) SetWindow(n int) {
+	if n < 16 {
+		n = 16
+	}
+	f.window = n
+}
+
+// Entries lists the packed traces in file order.
+func (f *File) Entries() []Meta {
+	out := make([]Meta, len(f.entries))
+	for i, e := range f.entries {
+		out[i] = e.meta
+	}
+	return out
+}
+
+// Has reports whether the file packs a trace for (app, np).
+func (f *File) Has(app string, np int) bool {
+	for _, e := range f.entries {
+		if e.meta.App == app && e.meta.NP == np {
+			return true
+		}
+	}
+	return false
+}
+
+// Source returns the streaming source for the packed (app, np) trace.
+func (f *File) Source(app string, np int) (Source, error) {
+	for i := range f.entries {
+		if f.entries[i].meta.App == app && f.entries[i].meta.NP == np {
+			return &FileSource{f: f, ent: &f.entries[i]}, nil
+		}
+	}
+	return nil, fmt.Errorf("trace: file has no trace %s np=%d", app, np)
+}
+
+// SourceAt returns the i'th packed trace as a streaming source.
+func (f *File) SourceAt(i int) Source {
+	return &FileSource{f: f, ent: &f.entries[i]}
+}
+
+// Len returns the number of packed traces.
+func (f *File) Len() int { return len(f.entries) }
+
+// NumOps returns the total op count of the i'th packed trace, from the index
+// alone.
+func (f *File) NumOps(i int) int64 {
+	var n int64
+	for _, rix := range f.entries[i].ranks {
+		n += rix.nops
+	}
+	return n
+}
+
+// DataBytes returns the encoded byte size of the i'th packed trace.
+func (f *File) DataBytes(i int) int64 {
+	var n int64
+	for _, rix := range f.entries[i].ranks {
+		n += rix.nbytes
+	}
+	return n
+}
+
+// Close closes the underlying file when the File owns one (OpenFile).
+func (f *File) Close() error {
+	if f.closer != nil {
+		return f.closer.Close()
+	}
+	return nil
+}
+
+// FileSource streams one packed trace. Implements Source; each Open reads
+// the rank's byte range through a fresh bounded window.
+type FileSource struct {
+	f   *File
+	ent *fileEntry
+}
+
+// Meta returns the packed trace's identity.
+func (s *FileSource) Meta() Meta { return s.ent.meta }
+
+// Open returns a cursor over rank r's encoded stream. The cursor holds one
+// window-sized buffer; Next decodes in place and allocates nothing in steady
+// state.
+func (s *FileSource) Open(r int) Cursor {
+	rix := s.ent.ranks[r]
+	window := s.f.window
+	if int64(window) > rix.nbytes && rix.nbytes >= 16 {
+		window = int(rix.nbytes)
+	}
+	sr := io.NewSectionReader(s.f.ra, rix.off, rix.nbytes)
+	return &fileCursor{
+		sr: sr, br: bufio.NewReaderSize(sr, window),
+		np: s.ent.meta.NP, rank: r, nops: rix.nops,
+	}
+}
+
+// fileCursor decodes one rank's stream through a bounded window, validating
+// each op with CheckOp as it is produced.
+type fileCursor struct {
+	sr   *io.SectionReader
+	br   *bufio.Reader
+	np   int
+	rank int
+	nops int64
+	i    int64
+	err  error
+}
+
+func (c *fileCursor) Next() (Op, bool) {
+	if c.err != nil || c.i >= c.nops {
+		return Op{}, false
+	}
+	op, err := decodeOp(c.br)
+	if err != nil {
+		c.err = fmt.Errorf("trace: rank %d op %d: decode: %w", c.rank, c.i, err)
+		return Op{}, false
+	}
+	if err := CheckOp(c.np, c.rank, int(c.i), op); err != nil {
+		c.err = err
+		return Op{}, false
+	}
+	c.i++
+	if c.i == c.nops {
+		// The index said this many ops in this many bytes; trailing garbage
+		// means the two disagree.
+		if _, err := c.br.ReadByte(); err != io.EOF {
+			c.err = fmt.Errorf("trace: rank %d: trailing bytes after op %d", c.rank, c.nops)
+			return Op{}, false
+		}
+	}
+	return op, true
+}
+
+func (c *fileCursor) Rewind() {
+	c.sr.Seek(0, io.SeekStart)
+	c.br.Reset(c.sr)
+	c.i = 0
+	c.err = nil
+}
+
+func (c *fileCursor) Err() error { return c.err }

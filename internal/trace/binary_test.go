@@ -1,0 +1,243 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// buildFull exercises every op kind and call type once.
+func buildFull() *Trace {
+	tr := New("demo", 3)
+	tr.Append(0, Compute(123*time.Nanosecond))
+	tr.Append(0, Send(1, 77))
+	tr.Append(1, Recv(0))
+	tr.Append(1, Sendrecv(2, 0, 55))
+	tr.Append(2, Sendrecv(0, 1, 55))
+	tr.Append(0, Sendrecv(1, 2, 55))
+	tr.Append(2, Allreduce(8))
+	tr.Append(2, Barrier())
+	tr.Append(2, Bcast(0, 16))
+	tr.Append(2, Reduce(1, 32))
+	tr.Append(2, Alltoall(64))
+	return tr
+}
+
+func materializeAll(t *testing.T, f *File) []*Trace {
+	t.Helper()
+	var out []*Trace
+	for i := 0; i < f.Len(); i++ {
+		tr, err := Materialize(f.SourceAt(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	a, b := buildFull(), buildValid()
+	enc, err := EncodeBinary(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenBinary(bytes.NewReader(enc), int64(len(enc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", f.Len())
+	}
+	want := []Meta{{App: "demo", NP: 3}, {App: "test", NP: 2}}
+	if !reflect.DeepEqual(f.Entries(), want) {
+		t.Fatalf("Entries = %v", f.Entries())
+	}
+	got := materializeAll(t, f)
+	for i, orig := range []*Trace{a, b} {
+		if got[i].App != orig.App || got[i].NP != orig.NP {
+			t.Fatalf("trace %d meta %s/%d", i, got[i].App, got[i].NP)
+		}
+		if !reflect.DeepEqual(got[i].Ranks, orig.Ranks) {
+			t.Errorf("trace %d roundtrip mismatch:\n got %+v\nwant %+v", i, got[i].Ranks, orig.Ranks)
+		}
+	}
+	// Re-encoding the decoded traces is byte-identical.
+	enc2, err := EncodeBinary(got...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Error("re-encode differs from original encoding")
+	}
+	if f.NumOps(0) != int64(a.NumOps()) {
+		t.Errorf("NumOps(0) = %d, want %d", f.NumOps(0), a.NumOps())
+	}
+	if f.Has("demo", 3) == false || f.Has("demo", 4) || f.Has("nope", 3) {
+		t.Error("Has lookups wrong")
+	}
+	if _, err := f.Source("nope", 3); err == nil {
+		t.Error("Source for missing trace accepted")
+	}
+}
+
+func TestBinarySmallWindow(t *testing.T) {
+	tr := buildFull()
+	enc, err := EncodeBinary(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenBinary(bytes.NewReader(enc), int64(len(enc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetWindow(1) // clamped to bufio's minimum; forces many refills
+	got, err := Materialize(f.SourceAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Ranks, tr.Ranks) {
+		t.Error("tiny-window decode mismatch")
+	}
+}
+
+func TestBinaryCursorRewind(t *testing.T) {
+	tr := buildFull()
+	enc, err := EncodeBinary(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenBinary(bytes.NewReader(enc), int64(len(enc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.SourceAt(0).Open(2)
+	var first []Op
+	for {
+		op, ok := c.Next()
+		if !ok {
+			break
+		}
+		first = append(first, op)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	c.Rewind()
+	var second []Op
+	for {
+		op, ok := c.Next()
+		if !ok {
+			break
+		}
+		second = append(second, op)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("rewind mismatch:\n got %+v\nwant %+v", second, first)
+	}
+	if !reflect.DeepEqual(first, tr.Ranks[2]) {
+		t.Errorf("cursor ops != rank ops")
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	enc, err := EncodeBinary(buildFull())
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := func(b []byte) (*File, error) {
+		return OpenBinary(bytes.NewReader(b), int64(len(b)))
+	}
+	if _, err := open(enc[:4]); err == nil {
+		t.Error("truncated image accepted")
+	}
+	bad := append([]byte("XXXX"), enc[4:]...)
+	if _, err := open(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = bytes.Clone(enc)
+	bad[4] = 99
+	if _, err := open(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+	bad = bytes.Clone(enc)
+	bad[len(bad)-1] = 'Z'
+	if _, err := open(bad); err == nil {
+		t.Error("bad index magic accepted")
+	}
+	bad = bytes.Clone(enc)
+	bad[len(bad)-12] = 0xFF // index offset out of range
+	if _, err := open(bad); err == nil {
+		t.Error("bad index offset accepted")
+	}
+	// Corrupt one data byte: an out-of-range peer or bad tag must surface
+	// through Cursor.Err, not crash.
+	bad = bytes.Clone(enc)
+	bad[5] = 0xFF // first op's tag
+	f, err := open(bad)
+	if err != nil {
+		return // index parse may legitimately fail too
+	}
+	c := f.SourceAt(0).Open(0)
+	for {
+		if _, ok := c.Next(); !ok {
+			break
+		}
+	}
+	if c.Err() == nil {
+		t.Error("corrupt op stream decoded without error")
+	}
+}
+
+func TestWriteBinaryRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf); err == nil {
+		t.Error("empty pack accepted")
+	}
+	tr := buildValid()
+	if err := WriteBinary(&buf, tr, tr); err == nil {
+		t.Error("duplicate (app, np) accepted")
+	}
+	bad := New("x", 2)
+	bad.Append(0, Send(7, 1)) // peer out of range
+	if err := WriteBinary(&buf, bad); err == nil {
+		t.Error("invalid op accepted at pack time")
+	}
+}
+
+func TestFileOpenClose(t *testing.T) {
+	path := t.TempDir() + "/t.ibt"
+	tr := buildFull()
+	out, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(out, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Materialize(f.SourceAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Ranks, tr.Ranks) {
+		t.Error("file roundtrip mismatch")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path + ".missing"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -27,14 +27,28 @@ import (
 // ignored.
 
 // Write serialises the trace in the text format.
-func (t *Trace) Write(w io.Writer) error {
+func (t *Trace) Write(w io.Writer) error { return WriteText(w, t) }
+
+// WriteText serialises any source in the text format, streaming one rank
+// cursor at a time — converting a packed binary file to text never holds
+// more than the cursor's read window.
+func WriteText(w io.Writer, src Source) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "#app %s %d\n", t.App, t.NP)
-	for r, ops := range t.Ranks {
-		for _, op := range ops {
+	m := src.Meta()
+	fmt.Fprintf(bw, "#app %s %d\n", m.App, m.NP)
+	for r := 0; r < m.NP; r++ {
+		cur := src.Open(r)
+		for {
+			op, ok := cur.Next()
+			if !ok {
+				break
+			}
 			if err := writeOp(bw, r, op); err != nil {
 				return err
 			}
+		}
+		if err := cur.Err(); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
@@ -90,7 +104,7 @@ func Read(r io.Reader) (*Trace, error) {
 				return nil, fmt.Errorf("trace: line %d: malformed header", lineno)
 			}
 			np, err := strconv.Atoi(fields[2])
-			if err != nil || np <= 0 {
+			if err != nil || np <= 0 || np > maxBinRanks {
 				return nil, fmt.Errorf("trace: line %d: bad process count %q", lineno, fields[2])
 			}
 			t = New(fields[1], np)

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Meta identifies a trace: the application name and its communicator size.
+// Source implementations surface it without materializing any rank stream.
+type Meta struct {
+	App string
+	NP  int
+}
+
+// Cursor walks one rank's operation stream in order. Next returns the next
+// op until the stream is exhausted; after Next reports false, Err
+// distinguishes end-of-stream (nil) from a decode or validation failure.
+// Rewind restarts the stream from the first op — replay retries and
+// multi-pass consumers (predictor priming, offline runs) re-read a rank
+// without re-opening the source.
+type Cursor interface {
+	Next() (Op, bool)
+	Rewind()
+	Err() error
+}
+
+// Source is a trace whose rank streams are read through cursors rather than
+// indexed as slices. The in-memory Trace, the workloads generator, and the
+// binary trace file all implement it, so every consumer from replay to the
+// scenario harness is agnostic to whether ops live in memory, are generated
+// on the fly, or stream from disk through a bounded window.
+//
+// Open may be called multiple times per rank; cursors are independent. A
+// Source must be safe for concurrent Open calls (the harness prepares jobs
+// on a worker pool), but an individual Cursor is not.
+type Source interface {
+	Meta() Meta
+	Open(rank int) Cursor
+}
+
+// Meta returns the trace's identity. *Trace implements Source.
+func (t *Trace) Meta() Meta { return Meta{App: t.App, NP: t.NP} }
+
+// Open returns a cursor over rank r's in-memory op slice.
+func (t *Trace) Open(r int) Cursor { return &sliceCursor{ops: t.Ranks[r]} }
+
+// sliceCursor streams an in-memory op slice. The zero-allocation hot path:
+// Next is an index increment, Rewind resets it.
+type sliceCursor struct {
+	ops []Op
+	i   int
+}
+
+func (c *sliceCursor) Next() (Op, bool) {
+	if c.i >= len(c.ops) {
+		return Op{}, false
+	}
+	op := c.ops[c.i]
+	c.i++
+	return op, true
+}
+
+func (c *sliceCursor) Rewind()    { c.i = 0 }
+func (c *sliceCursor) Err() error { return nil }
+
+// SliceCursor returns a cursor over an in-memory op slice, for sources whose
+// ranks are already materialized (the workloads generator source reuses it).
+func SliceCursor(ops []Op) Cursor { return &sliceCursor{ops: ops} }
+
+// RankOps drains rank r of src into a slice. For an in-memory *Trace it
+// returns the rank's backing slice without copying; other sources pay one
+// materialization, so callers should reserve it for consumers that genuinely
+// need random access (trace-aware predictor priming, offline replays).
+func RankOps(src Source, r int) ([]Op, error) {
+	if t, ok := src.(*Trace); ok {
+		return t.Ranks[r], nil
+	}
+	c := src.Open(r)
+	var ops []Op
+	for {
+		op, ok := c.Next()
+		if !ok {
+			break
+		}
+		ops = append(ops, op)
+	}
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// Materialize drains every rank of src into an in-memory Trace. A *Trace is
+// returned as-is.
+func Materialize(src Source) (*Trace, error) {
+	if t, ok := src.(*Trace); ok {
+		return t, nil
+	}
+	m := src.Meta()
+	t := New(m.App, m.NP)
+	for r := 0; r < m.NP; r++ {
+		ops, err := RankOps(src, r)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s np=%d rank %d: %w", m.App, m.NP, r, err)
+		}
+		t.Ranks[r] = ops
+	}
+	return t, nil
+}
+
+// ValidateSource checks what a source can verify without materializing it: an
+// in-memory *Trace runs the full structural Validate; streaming sources check
+// the meta block here and validate each op as it is decoded (every Cursor.Next
+// of the binary reader runs CheckOp), surfacing failures through Cursor.Err.
+func ValidateSource(src Source) error {
+	if t, ok := src.(*Trace); ok {
+		return t.Validate()
+	}
+	m := src.Meta()
+	if m.NP <= 0 {
+		return fmt.Errorf("trace: %s: NP must be positive, got %d", m.App, m.NP)
+	}
+	return nil
+}
+
+// CheckOp validates one operation of rank r's stream against communicator
+// size np; i is the op's index within the stream, carried into every error so
+// a failure names the exact offending record. It is the single validation
+// point shared by Trace.Validate, the binary decoder, and the pack writer.
+func CheckOp(np, r, i int, op Op) error {
+	switch op.Kind {
+	case OpCompute:
+		if op.Duration < 0 {
+			return fmt.Errorf("trace: rank %d op %d: negative compute duration", r, i)
+		}
+	case OpCall:
+		if op.Bytes < 0 {
+			return fmt.Errorf("trace: rank %d op %d: negative byte count", r, i)
+		}
+		switch op.Call {
+		case CallSend, CallRecv:
+			if op.Peer < 0 || op.Peer >= np {
+				return fmt.Errorf("trace: rank %d op %d: peer %d out of range", r, i, op.Peer)
+			}
+			if op.Peer == r {
+				return fmt.Errorf("trace: rank %d op %d: self message", r, i)
+			}
+		case CallSendrecv:
+			if op.Peer < 0 || op.Peer >= np {
+				return fmt.Errorf("trace: rank %d op %d: sendrecv send peer %d out of range", r, i, op.Peer)
+			}
+			if op.RecvPeer < 0 || op.RecvPeer >= np {
+				return fmt.Errorf("trace: rank %d op %d: sendrecv recv peer %d out of range", r, i, op.RecvPeer)
+			}
+		case CallBcast, CallReduce:
+			if op.Root < 0 || op.Root >= np {
+				return fmt.Errorf("trace: rank %d op %d: root %d out of range", r, i, op.Root)
+			}
+		}
+	default:
+		return fmt.Errorf("trace: rank %d op %d: unknown kind %d", r, i, op.Kind)
+	}
+	return nil
+}
+
+// SourceIdleDistribution aggregates the Table I idle-interval distribution
+// over every rank of src, streaming one op at a time — the cursor-based
+// counterpart of (*Trace).IdleDistribution, with O(1) memory per rank.
+func SourceIdleDistribution(src Source) (IdleDist, error) {
+	var d IdleDist
+	m := src.Meta()
+	for r := 0; r < m.NP; r++ {
+		c := src.Open(r)
+		var cur time.Duration
+		seenCall := false
+		for {
+			op, ok := c.Next()
+			if !ok {
+				break
+			}
+			switch op.Kind {
+			case OpCompute:
+				cur += op.Duration
+			case OpCall:
+				if seenCall && cur > 0 {
+					d.Add(cur)
+				}
+				seenCall = true
+				cur = 0
+			}
+		}
+		if err := c.Err(); err != nil {
+			return IdleDist{}, fmt.Errorf("trace: %s np=%d rank %d: %w", m.App, m.NP, r, err)
+		}
+	}
+	return d, nil
+}

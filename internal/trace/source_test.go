@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceImplementsSource(t *testing.T) {
+	var _ Source = (*Trace)(nil)
+	tr := buildValid()
+	if tr.Meta() != (Meta{App: "test", NP: 2}) {
+		t.Fatalf("Meta = %v", tr.Meta())
+	}
+	c := tr.Open(0)
+	var got []Op
+	for {
+		op, ok := c.Next()
+		if !ok {
+			break
+		}
+		got = append(got, op)
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	if !reflect.DeepEqual(got, tr.Ranks[0]) {
+		t.Errorf("cursor ops mismatch")
+	}
+	c.Rewind()
+	if op, ok := c.Next(); !ok || !reflect.DeepEqual(op, tr.Ranks[0][0]) {
+		t.Error("rewind did not restart the stream")
+	}
+}
+
+func TestRankOpsAndMaterialize(t *testing.T) {
+	tr := buildValid()
+	// *Trace fast path: same backing slice, no copy.
+	ops, err := RankOps(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &ops[0] != &tr.Ranks[1][0] {
+		t.Error("RankOps copied an in-memory trace's rank")
+	}
+	if got, err := Materialize(tr); err != nil || got != tr {
+		t.Error("Materialize of *Trace must return it unchanged")
+	}
+	// Through a non-Trace source: equal content.
+	enc, err := EncodeBinary(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenBinary(bytes.NewReader(enc), int64(len(enc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Materialize(f.SourceAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Ranks, tr.Ranks) {
+		t.Error("Materialize mismatch")
+	}
+}
+
+func TestValidateSource(t *testing.T) {
+	if err := ValidateSource(buildValid()); err != nil {
+		t.Fatal(err)
+	}
+	bad := buildValid()
+	bad.Append(0, Send(9, 1))
+	if err := ValidateSource(bad); err == nil {
+		t.Error("invalid *Trace accepted")
+	}
+	enc, _ := EncodeBinary(buildValid())
+	f, err := OpenBinary(bytes.NewReader(enc), int64(len(enc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := f.Source("test", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSource(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Satellite: every validation error names the offending rank and op index,
+// and sendrecv recv peers are checked independently of send peers.
+func TestCheckOpErrorsNameRankAndIndex(t *testing.T) {
+	cases := []struct {
+		name string
+		op   Op
+		want []string
+	}{
+		{"send peer", Send(9, 1), []string{"rank 3", "op 7", "peer 9"}},
+		{"self message", Send(3, 1), []string{"rank 3", "op 7", "self"}},
+		{"sendrecv send peer", Sendrecv(-1, 0, 8), []string{"rank 3", "op 7", "send peer -1"}},
+		{"sendrecv recv peer", Sendrecv(0, 4, 8), []string{"rank 3", "op 7", "recv peer 4"}},
+		{"root", Bcast(11, 4), []string{"rank 3", "op 7", "root 11"}},
+		{"negative bytes", Op{Kind: OpCall, Call: CallAllreduce, Bytes: -2}, []string{"rank 3", "op 7", "byte count"}},
+		{"negative compute", Op{Kind: OpCompute, Duration: -time.Second}, []string{"rank 3", "op 7", "compute"}},
+		{"unknown kind", Op{Kind: 42}, []string{"rank 3", "op 7", "kind 42"}},
+	}
+	for _, c := range cases {
+		err := CheckOp(4, 3, 7, c.op)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		for _, frag := range c.want {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("%s: error %q missing %q", c.name, err, frag)
+			}
+		}
+	}
+	if err := CheckOp(4, 3, 7, Sendrecv(0, 1, 8)); err != nil {
+		t.Errorf("valid sendrecv rejected: %v", err)
+	}
+}
+
+func TestSourceIdleDistributionMatchesMaterialized(t *testing.T) {
+	tr := New("x", 2)
+	for r := 0; r < 2; r++ {
+		tr.Append(r, Barrier())
+		tr.Append(r, Compute(300*time.Microsecond))
+		tr.Append(r, Barrier())
+		tr.Append(r, Compute(50*time.Microsecond))
+		tr.Append(r, Barrier())
+	}
+	want := tr.IdleDistribution()
+	got, err := SourceIdleDistribution(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("streamed dist = %v, want %v", got, want)
+	}
+	enc, _ := EncodeBinary(tr)
+	f, err := OpenBinary(bytes.NewReader(enc), int64(len(enc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = SourceIdleDistribution(f.SourceAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("file dist = %v, want %v", got, want)
+	}
+}
+
+// Satellite: the cursor hot path allocates nothing in steady state — the
+// in-memory cursor trivially, the file cursor because varint decode runs
+// inside the pre-sized window buffer.
+func TestCursorNextAllocs(t *testing.T) {
+	tr := buildFull()
+	c := tr.Open(2)
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Rewind()
+		for {
+			if _, ok := c.Next(); !ok {
+				break
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("slice cursor: %v allocs/run, want 0", allocs)
+	}
+	enc, err := EncodeBinary(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenBinary(bytes.NewReader(enc), int64(len(enc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := f.SourceAt(0).Open(2)
+	allocs = testing.AllocsPerRun(200, func() {
+		fc.Rewind()
+		for {
+			if _, ok := fc.Next(); !ok {
+				break
+			}
+		}
+		if fc.Err() != nil {
+			t.Fatal(fc.Err())
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("file cursor: %v allocs/run, want 0", allocs)
+	}
+}

@@ -189,9 +189,11 @@ func (t *Trace) ComputeTime(r int) time.Duration {
 	return d
 }
 
-// Validate checks structural invariants: peer ranks in range, non-negative
-// sizes and durations, collectives consistent across ranks is NOT required
-// here (replay validates alignment when executing).
+// Validate checks structural invariants: peer ranks in range (both sendrecv
+// directions), non-negative sizes and durations. Collectives consistent
+// across ranks is NOT required here (replay validates alignment when
+// executing). Every failure names the offending rank and op index. The
+// per-op rules live in CheckOp, shared with the streaming binary decoder.
 func (t *Trace) Validate() error {
 	if t.NP <= 0 {
 		return fmt.Errorf("trace: NP must be positive, got %d", t.NP)
@@ -201,34 +203,8 @@ func (t *Trace) Validate() error {
 	}
 	for r, ops := range t.Ranks {
 		for i, op := range ops {
-			switch op.Kind {
-			case OpCompute:
-				if op.Duration < 0 {
-					return fmt.Errorf("trace: rank %d op %d: negative compute duration", r, i)
-				}
-			case OpCall:
-				if op.Bytes < 0 {
-					return fmt.Errorf("trace: rank %d op %d: negative byte count", r, i)
-				}
-				switch op.Call {
-				case CallSend, CallRecv:
-					if op.Peer < 0 || op.Peer >= t.NP {
-						return fmt.Errorf("trace: rank %d op %d: peer %d out of range", r, i, op.Peer)
-					}
-					if op.Peer == r {
-						return fmt.Errorf("trace: rank %d op %d: self message", r, i)
-					}
-				case CallSendrecv:
-					if op.Peer < 0 || op.Peer >= t.NP || op.RecvPeer < 0 || op.RecvPeer >= t.NP {
-						return fmt.Errorf("trace: rank %d op %d: sendrecv peers (%d,%d) out of range", r, i, op.Peer, op.RecvPeer)
-					}
-				case CallBcast, CallReduce:
-					if op.Root < 0 || op.Root >= t.NP {
-						return fmt.Errorf("trace: rank %d op %d: root %d out of range", r, i, op.Root)
-					}
-				}
-			default:
-				return fmt.Errorf("trace: rank %d op %d: unknown kind %d", r, i, op.Kind)
+			if err := CheckOp(t.NP, r, i, op); err != nil {
+				return err
 			}
 		}
 	}

@@ -1,0 +1,82 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"ibpower/internal/trace"
+)
+
+// The generator source's per-rank streams must be bit-identical to the
+// corresponding ranks of the fully materialized trace, for every registered
+// application — the exactness contract that lets replay results be
+// independent of how a trace is delivered.
+func TestSourceMatchesGenerate(t *testing.T) {
+	opt := Options{Seed: 7, IterScale: 0.05}
+	for _, app := range Apps() {
+		np := 8
+		if app == "nasbt" {
+			np = 9
+		}
+		full, err := Generate(app, np, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := NewSource(app, np, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src.Meta() != (trace.Meta{App: app, NP: np}) {
+			t.Fatalf("%s: Meta = %v", app, src.Meta())
+		}
+		got, err := trace.Materialize(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Ranks, full.Ranks) {
+			t.Errorf("%s: streamed ranks differ from Generate", app)
+		}
+	}
+}
+
+func TestSourceWeakAndRewind(t *testing.T) {
+	opt := Options{Seed: 3, IterScale: 0.05, Weak: true}
+	full, err := Generate("alya", 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource("alya", 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := src.Open(5)
+	drain := func() []trace.Op {
+		var ops []trace.Op
+		for {
+			op, ok := c.Next()
+			if !ok {
+				break
+			}
+			ops = append(ops, op)
+		}
+		return ops
+	}
+	first := drain()
+	c.Rewind()
+	second := drain()
+	if !reflect.DeepEqual(first, second) {
+		t.Error("rewind changed the stream")
+	}
+	if !reflect.DeepEqual(first, full.Ranks[5]) {
+		t.Error("weak-scaling streamed rank differs from Generate")
+	}
+}
+
+func TestNewSourceErrors(t *testing.T) {
+	if _, err := NewSource("nope", 8, Options{}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := NewSource("alya", 1, Options{}); err == nil {
+		t.Error("np=1 accepted")
+	}
+}

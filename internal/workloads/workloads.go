@@ -44,6 +44,17 @@ type Options struct {
 	// strong scaling runs" (Section III); the WeakScaling experiment tests
 	// that claim.
 	Weak bool
+
+	// only restricts generation to a single rank (value rank+1; 0 generates
+	// all ranks). Only NewSource sets it, which is why it is unexported:
+	// callers' Options values always compare equal regardless of how the
+	// trace is later streamed, so Options stays usable as a cache key.
+	//
+	// Restricting to one rank is exact, not approximate: structure decisions
+	// draw from the shared rng at iteration level only (never per rank) and
+	// per-rank timing draws from jit[r], seeded independently per rank — so
+	// rank r of a filtered build is identical to rank r of a full build.
+	only int
 }
 
 func (o Options) seed() int64 {
@@ -113,6 +124,8 @@ func ProcCounts(app string) []int {
 type builder struct {
 	tr    *trace.Trace
 	np    int
+	lo    int // first rank to emit (Options.only filter)
+	hi    int // one past the last rank to emit
 	weak  bool
 	rng   *rand.Rand    // structure decisions, shared
 	jit   []*rand.Rand  // per-rank compute jitter
@@ -124,13 +137,18 @@ func newBuilder(app string, np int, opt Options, sigma float64, noise time.Durat
 	b := &builder{
 		tr:    trace.New(app, np),
 		np:    np,
+		lo:    0,
+		hi:    np,
 		weak:  opt.Weak,
 		rng:   rand.New(rand.NewSource(opt.seed())),
 		jit:   make([]*rand.Rand, np),
 		sigma: sigma,
 		noise: noise,
 	}
-	for r := range b.jit {
+	if opt.only > 0 {
+		b.lo, b.hi = opt.only-1, opt.only
+	}
+	for r := b.lo; r < b.hi; r++ {
 		b.jit[r] = rand.New(rand.NewSource(opt.seed()*7919 + int64(r)*104729 + 13))
 	}
 	return b
@@ -174,7 +192,7 @@ func clamp(x, lo, hi float64) float64 {
 
 // computeAll appends a jittered compute burst of mean d to every rank.
 func (b *builder) computeAll(d time.Duration) {
-	for r := 0; r < b.np; r++ {
+	for r := b.lo; r < b.hi; r++ {
 		b.tr.Append(r, trace.Compute(b.jitter(r, d)))
 	}
 }
@@ -182,7 +200,7 @@ func (b *builder) computeAll(d time.Duration) {
 // ringExchange appends a ring sendrecv: every rank sends to (r+off) and
 // receives from (r-off).
 func (b *builder) ringExchange(off, bytes int) {
-	for r := 0; r < b.np; r++ {
+	for r := b.lo; r < b.hi; r++ {
 		to := (r + off) % b.np
 		from := (r - off%b.np + b.np) % b.np
 		b.tr.Append(r, trace.Sendrecv(to, from, bytes))
@@ -191,21 +209,21 @@ func (b *builder) ringExchange(off, bytes int) {
 
 // allreduce appends an allreduce on every rank.
 func (b *builder) allreduce(bytes int) {
-	for r := 0; r < b.np; r++ {
+	for r := b.lo; r < b.hi; r++ {
 		b.tr.Append(r, trace.Allreduce(bytes))
 	}
 }
 
 // barrier appends a barrier on every rank.
 func (b *builder) barrier() {
-	for r := 0; r < b.np; r++ {
+	for r := b.lo; r < b.hi; r++ {
 		b.tr.Append(r, trace.Barrier())
 	}
 }
 
 // bcast appends a broadcast from root.
 func (b *builder) bcast(root, bytes int) {
-	for r := 0; r < b.np; r++ {
+	for r := b.lo; r < b.hi; r++ {
 		b.tr.Append(r, trace.Bcast(root, bytes))
 	}
 }
@@ -274,7 +292,7 @@ func (b *builder) initPhase(setup time.Duration) {
 // finalizePhase emits a reduction of results and a final barrier.
 func (b *builder) finalizePhase(teardown time.Duration) {
 	b.computeAll(teardown)
-	for r := 0; r < b.np; r++ {
+	for r := b.lo; r < b.hi; r++ {
 		b.tr.Append(r, trace.Reduce(0, 1<<13))
 	}
 	b.computeAll(teardown / 2)
