@@ -446,6 +446,11 @@ func BenchmarkChurnWithFaults(b *testing.B) { benchio.BenchChurnWithFaults(b) }
 // detected pattern being predicted over interned grams (zero allocations).
 func BenchmarkDetectorAddGram(b *testing.B) { benchio.BenchDetectorAddGram(b) }
 
+// BenchmarkTimeSeriesRecord measures the streaming telemetry record path
+// (span + sample recording into P²-sketched interval buckets), the work
+// -timeseries adds per simulated transfer; must stay at 0 allocs/op.
+func BenchmarkTimeSeriesRecord(b *testing.B) { benchio.BenchTimeSeriesRecord(b) }
+
 func BenchmarkMiniMPIAllreduce(b *testing.B) {
 	const np = 8
 	b.ResetTimer()

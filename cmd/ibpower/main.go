@@ -583,6 +583,7 @@ func cmdMultijob(args []string) error {
 	d := fs.Float64("d", 0.01, "displacement factor")
 	sweepAll := fs.Bool("sweep", false, "run every placement over the default job mixes (ignores -jobs/-placement)")
 	tf := traceFileFlag(fs)
+	tsPath := timeseriesFlag(fs)
 	fs.Parse(args)
 	if err := checkFlags(*pred, *topo); err != nil {
 		return err
@@ -590,7 +591,14 @@ func cmdMultijob(args []string) error {
 	if err := multijob.CheckRegistered(*placement); err != nil {
 		return err
 	}
-	runner := harness.NewRunner(*opt, configWith(*par, *pred, *topo))
+	if *tsPath != "" && *sweepAll {
+		return fmt.Errorf("ibpower: -timeseries records a single run; drop -sweep")
+	}
+	cfg := configWith(*par, *pred, *topo)
+	if *tsPath != "" {
+		cfg.Telemetry.Enabled = true
+	}
+	runner := harness.NewRunner(*opt, cfg)
 	closeTF, err := attachTraceFile(runner, *tf)
 	if err != nil {
 		return err
@@ -611,7 +619,13 @@ func cmdMultijob(args []string) error {
 	if err != nil {
 		return err
 	}
-	return multijob.WriteResult(os.Stdout, res)
+	if err := multijob.WriteResult(os.Stdout, res); err != nil {
+		return err
+	}
+	if *tsPath != "" {
+		return writeTimeSeries(*tsPath, res.Series)
+	}
+	return nil
 }
 
 // cmdScenario simulates job churn on one shared fabric (experiment E16):
@@ -645,6 +659,7 @@ func cmdScenario(args []string) error {
 	faultSweep := fs.String("faultsweep", "",
 		"resilience grid (E17): \";\"-separated fault specs (empty item = fault-free baseline) x every scheduler; ignores -sched/-faults")
 	tf := traceFileFlag(fs)
+	tsPath := timeseriesFlag(fs)
 	fs.Parse(args)
 	if err := checkFlags(*pred, *topo); err != nil {
 		return err
@@ -673,7 +688,14 @@ func cmdScenario(args []string) error {
 			return err
 		}
 	}
-	runner := harness.NewRunner(*opt, configWith(*par, *pred, *topo))
+	if *tsPath != "" && (*sweepAll || *faultSweep != "") {
+		return fmt.Errorf("ibpower: -timeseries records a single scenario cell; drop -sweep/-faultsweep")
+	}
+	cfg := configWith(*par, *pred, *topo)
+	if *tsPath != "" {
+		cfg.Telemetry.Enabled = true
+	}
+	runner := harness.NewRunner(*opt, cfg)
 	closeTF, err := attachTraceFile(runner, *tf)
 	if err != nil {
 		return err
@@ -698,7 +720,13 @@ func cmdScenario(args []string) error {
 	if err != nil {
 		return err
 	}
-	return multijob.WriteChurn(os.Stdout, res)
+	if err := multijob.WriteChurn(os.Stdout, res); err != nil {
+		return err
+	}
+	if *tsPath != "" {
+		return writeTimeSeries(*tsPath, res.Series)
+	}
+	return nil
 }
 
 func filterRows(rows []harness.FigureRow, apps string) []harness.FigureRow {
@@ -726,6 +754,7 @@ func cmdTimeline(args []string) error {
 	d := fs.Float64("d", 0.10, "displacement factor")
 	width := fs.Int("width", 100, "rendering width")
 	prv := fs.Bool("prv", false, "emit Paraver-like records instead of ASCII")
+	tsPath := timeseriesFlag(fs)
 	fs.Parse(args)
 	if err := checkFlags(*pred, *topo); err != nil {
 		return err
@@ -741,6 +770,9 @@ func cmdTimeline(args []string) error {
 	}
 	cfg := replay.DefaultConfig().WithPredictor(*pred).WithFabric(*topo).WithPower(gt, *d)
 	cfg.Power.RecordTimelines = true
+	if *tsPath != "" {
+		cfg.Telemetry.Enabled = true
+	}
 	res, err := replay.Run(tr, cfg)
 	if err != nil {
 		return err
@@ -748,9 +780,16 @@ func cmdTimeline(args []string) error {
 	fmt.Printf("%s with %d MPI processes, GT=%v, displacement=%.0f%%, predictor %s (Figure 6)\n",
 		*app, *np, gt, *d*100, *pred)
 	if *prv {
-		return trace.WriteParaver(os.Stdout, res.Timelines)
+		if err := trace.WriteParaver(os.Stdout, res.Timelines); err != nil {
+			return err
+		}
+	} else if err := trace.Render(os.Stdout, res.Timelines, *width); err != nil {
+		return err
 	}
-	return trace.Render(os.Stdout, res.Timelines, *width)
+	if *tsPath != "" {
+		return writeTimeSeries(*tsPath, res.Series)
+	}
+	return nil
 }
 
 // cmdPPA replays the paper's Figure 2/3 walkthrough: the Alya event stream

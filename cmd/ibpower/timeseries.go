@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ibpower/internal/stats"
+)
+
+// timeseriesFlag registers the telemetry output path on the single-run
+// replay-driven subcommands (timeline, multijob, scenario). Empty leaves
+// telemetry off; any other value enables streaming recording and writes the
+// time-series document there after the run.
+func timeseriesFlag(fs *flag.FlagSet) *string {
+	return fs.String("timeseries", "",
+		"write streaming telemetry to this file (versioned JSON; .prom suffix selects Prometheus text exposition; - = stdout)")
+}
+
+// writeTimeSeries emits the recorder to the -timeseries destination. The
+// JSON document is a deterministic function of the simulation, so its bytes
+// are bit-identical at any -parallel setting.
+func writeTimeSeries(path string, ts *stats.TimeSeries) error {
+	if ts == nil {
+		return fmt.Errorf("ibpower: run recorded no telemetry")
+	}
+	var buf bytes.Buffer
+	var err error
+	if strings.HasSuffix(path, ".prom") {
+		err = ts.WriteProm(&buf, "")
+	} else {
+		err = ts.WriteJSON(&buf)
+	}
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = os.Stdout.Write(buf.Bytes())
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}

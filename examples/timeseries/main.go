@@ -1,0 +1,93 @@
+// Timeseries: streaming telemetry over a power-managed replay. The run is
+// opted into the O(1)-memory telemetry layer (ReplayConfig.WithTelemetry):
+// P² sketches summarise each series' whole distribution while fixed-tick
+// buckets keep its shape over simulated time, all without storing a single
+// raw sample. The example replays one workload with the mechanism on, then
+// renders a per-series summary (count, mean, p50/p95/p99 from the sketches)
+// and an ASCII profile of host-link power draw per interval — the same data
+// `ibpower timeline -timeseries` and `ibpower scenario -timeseries` emit as
+// versioned JSON or Prometheus text.
+//
+//	go run ./examples/timeseries [-app gromacs] [-np 16] [-prom]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ibpower"
+)
+
+func main() {
+	app := flag.String("app", "gromacs", "workload to replay")
+	np := flag.Int("np", 16, "MPI processes")
+	seed := flag.Int64("seed", 42, "generation seed")
+	scale := flag.Float64("scale", 1.0, "iteration count multiplier")
+	d := flag.Float64("d", 0.25, "displacement factor")
+	tick := flag.Duration("tick", time.Millisecond, "initial telemetry bucket width")
+	prom := flag.Bool("prom", false, "dump the Prometheus text exposition instead of the summary")
+	flag.Parse()
+
+	tr, err := ibpower.GenerateWorkload(*app, *np, ibpower.WorkloadOptions{Seed: *seed, IterScale: *scale})
+	if err != nil {
+		fatal(err)
+	}
+	gt, _, err := ibpower.ChooseGT(tr)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := ibpower.DefaultReplayConfig().WithPower(gt, *d).WithTelemetry(*tick)
+	res, err := ibpower.Replay(tr, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	ts := res.Series
+
+	if *prom {
+		if err := ts.WriteProm(os.Stdout, ""); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("%s np=%d: %v simulated, %d telemetry buckets of %v\n\n",
+		*app, *np, res.ExecTime.Round(time.Microsecond), ts.Buckets(), ts.Tick())
+	fmt.Printf("%-13s %-13s %8s %12s %12s %12s %12s\n",
+		"series", "unit", "count", "mean", "p50", "p95", "p99")
+	for id := ibpower.SeriesID(0); int(id) < ts.NumSeries(); id++ {
+		sk := ts.Sketch(id)
+		fmt.Printf("%-13s %-13s %8d %12.6g %12.6g %12.6g %12.6g\n",
+			ts.Name(id), ts.Unit(id), sk.Count(), sk.Mean(), sk.P50(), sk.P95(), sk.P99())
+	}
+
+	// Per-interval host-link power draw: the span series' bucket sums are
+	// link-seconds weighted by each mode's draw fraction, so low buckets are
+	// intervals the mechanism had most lanes shut down.
+	id, ok := ts.Lookup("power.host")
+	if !ok {
+		fatal(fmt.Errorf("no power.host series recorded"))
+	}
+	var max float64
+	for b := 0; b < ts.Buckets(); b++ {
+		if s := ts.BucketSum(id, b); s > max {
+			max = s
+		}
+	}
+	fmt.Printf("\npower.host per %v interval (link-seconds × draw fraction):\n", ts.Tick())
+	for b := 0; b < ts.Buckets(); b++ {
+		s := ts.BucketSum(id, b)
+		width := 0
+		if max > 0 {
+			width = int(s / max * 50)
+		}
+		fmt.Printf("%4d |%-50s| %.6g\n", b, strings.Repeat("#", width), s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "timeseries:", err)
+	os.Exit(1)
+}

@@ -16,6 +16,7 @@ var exampleArgs = map[string][]string{
 	"gtsweep":     {"-app", "gromacs", "-np", "8", "-scale", "0.05"},
 	"tracedriven": {"-app", "alya", "-np", "8", "-scale", "0.05"},
 	"multijob":    {"-jobs", "gromacs:8,alya:8", "-scale", "0.05"},
+	"timeseries":  {"-app", "gromacs", "-np", "8", "-scale", "0.05"},
 }
 
 // TestExamplesSmoke executes every examples/ program with tiny iteration

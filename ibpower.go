@@ -61,6 +61,7 @@ import (
 	"ibpower/internal/predictor"
 	"ibpower/internal/replay"
 	"ibpower/internal/scenario"
+	"ibpower/internal/stats"
 	"ibpower/internal/topology"
 	"ibpower/internal/trace"
 	"ibpower/internal/workloads"
@@ -186,6 +187,35 @@ type (
 	// RetryPolicy governs requeueing of fault-killed jobs: a retry budget
 	// and an exponential backoff base.
 	RetryPolicy = multijob.RetryPolicy
+)
+
+// Streaming telemetry types (internal/stats).
+type (
+	// P2Quantile is a Jain/Chlamtac P² streaming quantile estimator: any
+	// quantile φ in O(1) memory with no stored samples. Mergeable.
+	P2Quantile = stats.P2Quantile
+	// KahanMean is a compensated (Neumaier) streaming mean/sum accumulator.
+	KahanMean = stats.KahanMean
+	// Welford is an online mean/variance accumulator with a
+	// Chan/Golub/LeVeque parallel merge.
+	Welford = stats.Welford
+	// Sketch summarises a value stream: count, compensated mean, min, max
+	// and P² estimates of p50/p95/p99. Mergeable across shards.
+	Sketch = stats.Sketch
+	// TimeSeries is an interval-bucketed recorder of named series over
+	// simulated time: fixed tick, preallocated rings, zero allocations on
+	// the record path, tick doubling when a run outgrows the ring.
+	TimeSeries = stats.TimeSeries
+	// SeriesID indexes a registered series of a TimeSeries.
+	SeriesID = stats.SeriesID
+	// TimeSeriesDoc is the versioned JSON document a TimeSeries snapshots
+	// to (the ibpower -timeseries output format).
+	TimeSeriesDoc = stats.TimeSeriesDoc
+	// SeriesSnapshot is one series of a TimeSeriesDoc.
+	SeriesSnapshot = stats.SeriesSnapshot
+	// TelemetryConfig opts a replay/multijob/scenario run into streaming
+	// telemetry recording (ReplayConfig.Telemetry); the zero value is off.
+	TelemetryConfig = replay.TelemetryConfig
 )
 
 // Runtime (deployment path) types.
@@ -341,6 +371,20 @@ func FormatScenarioFaults(cs []FaultClause) string { return scenario.FormatFault
 // choice is identical to a serial sweep.
 func ChooseGT(tr *Trace) (gt time.Duration, hitRatePct float64, err error) {
 	return harness.ChooseGTParallel(tr, harness.DefaultGTGrid(), 1.0, 0)
+}
+
+// NewP2Quantile builds a P² estimator for quantile phi in [0,1].
+func NewP2Quantile(phi float64) P2Quantile { return stats.NewP2Quantile(phi) }
+
+// NewSketch builds a stream summary tracking count, mean, min, max and the
+// p50/p95/p99 quantile estimates.
+func NewSketch() *Sketch { return stats.NewSketch() }
+
+// NewTimeSeries builds an interval-bucketed telemetry recorder with the given
+// bucket width and ring capacity (buckets < 2 is clamped; the tick doubles and
+// adjacent buckets fold when a run outgrows the ring).
+func NewTimeSeries(tick time.Duration, buckets int) *TimeSeries {
+	return stats.NewTimeSeries(tick, buckets)
 }
 
 // NewPowerLayer builds the PMPI-style power saving layer for RunSPMD.

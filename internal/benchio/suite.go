@@ -17,6 +17,7 @@ import (
 	"ibpower/internal/predictor"
 	"ibpower/internal/replay"
 	"ibpower/internal/scenario"
+	"ibpower/internal/stats"
 	"ibpower/internal/topology"
 	"ibpower/internal/trace"
 	"ibpower/internal/workloads"
@@ -49,6 +50,7 @@ func Suite() []Bench {
 		{Name: "BenchmarkBigFabricReplay", Fn: BenchBigFabricReplay},
 		{Name: "BenchmarkPredictorOnCall", Fn: BenchPredictorOnCall},
 		{Name: "BenchmarkDetectorAddGram", Fn: BenchDetectorAddGram},
+		{Name: "BenchmarkTimeSeriesRecord", Fn: BenchTimeSeriesRecord},
 		{Name: "BenchmarkFig7_Displacement10", Heavy: true, Fn: BenchFig7},
 	}
 }
@@ -387,6 +389,32 @@ func BenchPredictorOnCall(b *testing.B) {
 		}
 		now += gap
 		p.OnCall(id, now, now)
+	}
+}
+
+// BenchTimeSeriesRecord measures the streaming telemetry record path with
+// the replay engine's series registry shape: per op, one busy span on a
+// util class series, one power-draw span, and one hit-rate sample — the
+// work telemetry adds to every simulated transfer. Must stay 0 allocs/op.
+func BenchTimeSeriesRecord(b *testing.B) {
+	ts := stats.NewTimeSeries(time.Millisecond, replay.DefaultTelemetryBuckets)
+	power := ts.AddSpanSeries("power.host", "link-seconds")
+	hit := ts.AddSeries("pred.hit", "hit")
+	util := [4]stats.SeriesID{
+		ts.AddSpanSeries("util.hostup", "busy-seconds"),
+		ts.AddSpanSeries("util.hostdn", "busy-seconds"),
+		ts.AddSpanSeries("util.up", "busy-seconds"),
+		ts.AddSpanSeries("util.down", "busy-seconds"),
+	}
+	var now time.Duration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dur := time.Duration(2+i%17) * time.Microsecond
+		ts.RecordSpan(util[i%4], now, now+dur, dur.Seconds())
+		ts.RecordSpan(power, now, now+50*time.Microsecond, 43e-6)
+		ts.Record(hit, now, float64(i%2))
+		now += 30 * time.Microsecond
 	}
 }
 

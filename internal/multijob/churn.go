@@ -129,6 +129,11 @@ type ChurnResult struct {
 	WastedTermSeconds float64   // terminal-seconds lost to killed attempts
 	Unroutable        int       // transfers with no healthy path left
 	Capacity          []float64 // % of terminals up per UtilBuckets slice
+
+	// Series is the scenario's streaming telemetry recorder (replay-level
+	// power/utilization/hit-rate series plus queue.depth, fabric.occupied
+	// and capacity.up), non-nil only when Replay.Telemetry was enabled.
+	Series *stats.TimeSeries
 }
 
 // UtilBuckets is how many equal time slices the utilization-over-time
@@ -236,6 +241,9 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 		Opt: cfg.Opt, Replay: cfg.Replay,
 		SelectGT: cfg.SelectGT, Generate: cfg.Generate, Dedicated: cfg.Dedicated,
 	}
+	// Telemetry records the scenario's shared timeline only: baseline
+	// replays inside the preps would each waste a throwaway recorder.
+	base.Replay.Telemetry = replay.TelemetryConfig{}
 	var specs []JobSpec
 	index := make(map[JobSpec]int)
 	for _, a := range cfg.Arrivals {
@@ -280,6 +288,17 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 	session, err := replay.NewChurn(cfg.Replay)
 	if err != nil {
 		return nil, err
+	}
+	// Scenario-level telemetry rides on the session's recorder (same bucket
+	// timeline as the replay engine's power/utilization series). Recording
+	// happens once per event instant, inside the serial loop, so the series
+	// are bit-identical at any Replay.Parallelism.
+	tele := session.Telemetry()
+	var sidQueue, sidOcc, sidCap stats.SeriesID
+	if tele != nil {
+		sidQueue = tele.AddSeries("queue.depth", "jobs")
+		sidOcc = tele.AddSeries("fabric.occupied", "terminals")
+		sidCap = tele.AddSeries("capacity.up", "%")
 	}
 
 	// Pending arrivals in (time, index) order; index ties keep input order.
@@ -474,6 +493,14 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 				}
 			}
 			queue = kept
+		}
+		// 6. Sample scenario state at the event instant, after the
+		// scheduler settles: waiting queue depth, occupied terminals, and
+		// the fabric capacity faults have left up.
+		if tele != nil {
+			tele.Record(sidQueue, now, float64(len(queue)))
+			tele.Record(sidOcc, now, float64(nt-free.Free()-free.Down()))
+			tele.Record(sidCap, now, 100*float64(nt-free.Down())/float64(nt))
 		}
 	}
 	if len(queue) > 0 {
@@ -723,6 +750,7 @@ func churnResult(cfg ChurnConfig, fabric topology.Fabric, schedName string,
 	if res.FaultsActive {
 		res.Capacity = capacityProfile(st.capSteps, fabric.NumTerminals(), makespan)
 	}
+	res.Series = session.Telemetry()
 	return res, nil
 }
 

@@ -29,6 +29,7 @@ import (
 	"ibpower/internal/power"
 	"ibpower/internal/predictor"
 	"ibpower/internal/replay"
+	"ibpower/internal/stats"
 	"ibpower/internal/sweep"
 	"ibpower/internal/topology"
 	"ibpower/internal/trace"
@@ -136,6 +137,9 @@ type Result struct {
 	// Terminals records the placement that ran: Terminals[j][r] is the
 	// fabric terminal of job j's rank r.
 	Terminals [][]int
+	// Series is the shared run's streaming telemetry recorder, non-nil only
+	// when Replay.Telemetry was enabled (dedicated baselines never record).
+	Series *stats.TimeSeries
 }
 
 // Run simulates the configured job mix on one shared fabric and returns
@@ -251,6 +255,7 @@ func Run(cfg Config) (*Result, error) {
 		res.Jobs = append(res.Jobs, st)
 	}
 	res.Fabric = fabricStats(fabric, shared, terms)
+	res.Series = shared.Series
 	return res, nil
 }
 
@@ -285,6 +290,9 @@ func (c Config) runDedicated(src trace.Source, gt time.Duration, d float64) (*re
 	}
 	bcfg := c.Replay
 	bcfg.Power = JobPower(c.Replay, gt, d)
+	// Telemetry belongs to the shared run; a baseline recording its own
+	// series would be thrown away with the baseline's MultiResult.
+	bcfg.Telemetry = replay.TelemetryConfig{}
 	return replay.RunSource(src, bcfg)
 }
 

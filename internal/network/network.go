@@ -94,6 +94,10 @@ type Network struct {
 	record    bool
 	intervals [][][2]time.Duration
 
+	// Optional streaming observer: every link reservation is reported as it
+	// happens (telemetry time series), with no per-reservation storage.
+	obs BusyObserver
+
 	transfers int
 	bytes     int64
 }
@@ -118,6 +122,19 @@ func (n *Network) Topology() topology.Fabric { return n.topo }
 
 // Config returns the active configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// BusyObserver receives every link reservation as it is made. Observers
+// must be cheap and allocation-free: the callback sits on the transfer hot
+// path. Reservations of one link arrive in non-decreasing start order, but
+// reservations across links interleave arbitrarily.
+type BusyObserver interface {
+	ObserveBusy(link topology.LinkID, start, end time.Duration)
+}
+
+// Observe attaches a streaming reservation observer (nil detaches). Unlike
+// RecordIntervals it stores nothing per reservation, so it is safe to leave
+// attached for arbitrarily long runs.
+func (n *Network) Observe(o BusyObserver) { n.obs = o }
 
 // RecordIntervals enables per-link busy interval recording. The flat
 // per-LinkID interval table is only allocated once recording is requested,
@@ -277,6 +294,9 @@ func (n *Network) reserve(link topology.LinkID, start, dur time.Duration) {
 	n.busy[link] += dur
 	if n.record && dur > 0 {
 		n.intervals[link] = append(n.intervals[link], [2]time.Duration{start, start + dur})
+	}
+	if n.obs != nil && dur > 0 {
+		n.obs.ObserveBusy(link, start, start+dur)
 	}
 }
 

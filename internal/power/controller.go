@@ -33,6 +33,7 @@ type Controller struct {
 
 	acct     Accounting
 	timeline *trace.Timeline // optional state timeline recording
+	observe  func(m Mode, from, to time.Duration)
 	closed   bool
 
 	// Counters.
@@ -68,6 +69,13 @@ func (c *Controller) RecordTimeline(label string) *trace.Timeline {
 
 // Timeline returns the attached timeline, or nil.
 func (c *Controller) Timeline() *trace.Timeline { return c.timeline }
+
+// Observe attaches fn to receive every closed mode interval [from, to) as
+// accounting advances, in time order. Unlike RecordTimeline nothing is
+// stored, so streaming consumers (telemetry time series) can watch
+// arbitrarily long runs; fn must not allocate if the replay hot path is to
+// stay allocation-free.
+func (c *Controller) Observe(fn func(m Mode, from, to time.Duration)) { c.observe = fn }
 
 // Treact returns the configured lane transition time.
 func (c *Controller) Treact() time.Duration { return c.treact }
@@ -145,6 +153,9 @@ func (c *Controller) account(t time.Duration, next Mode) {
 	}
 	if c.timeline != nil && d > 0 {
 		c.timeline.Add(c.modeSince, t, s)
+	}
+	if c.observe != nil && d > 0 {
+		c.observe(c.mode, c.modeSince, t)
 	}
 	c.mode = next
 	c.modeSince = t

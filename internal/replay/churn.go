@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ibpower/internal/network"
+	"ibpower/internal/stats"
 	"ibpower/internal/topology"
 	"ibpower/internal/trace"
 )
@@ -68,6 +69,10 @@ func NewChurn(cfg Config) (*Churn, error) {
 		return nil, err
 	}
 	e := &engine{net: net, pt: make(map[pairKey]*pairQueues)}
+	if cfg.Telemetry.Enabled {
+		e.tele = newTelemetry(cfg.Telemetry, topo)
+		net.Observe(e.tele)
+	}
 	return &Churn{cfg: cfg, topo: topo, e: e, term: make([]termUse, topo.NumTerminals())}, nil
 }
 
@@ -89,6 +94,17 @@ func (c *Churn) LinkBusy() []time.Duration {
 		busy[i] = c.e.net.LinkBusy(topology.LinkID(i))
 	}
 	return busy
+}
+
+// Telemetry returns the session's streaming recorder, or nil when
+// Config.Telemetry is off. The session records its engine-level series on
+// it; callers (the churn scenario engine) may register and record
+// additional series on the same recorder, sharing one bucket timeline.
+func (c *Churn) Telemetry() *stats.TimeSeries {
+	if c.e.tele == nil {
+		return nil
+	}
+	return c.e.tele.ts
 }
 
 // SetFaults attaches a live fault set to the session's network: subsequent

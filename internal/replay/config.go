@@ -53,6 +53,11 @@ type Config struct {
 	FabricName string
 	Power      PowerConfig
 
+	// Telemetry opts the run into streaming time-series recording
+	// (Result.Series / MultiResult.Series). Off by default; enabling it is
+	// purely observational and changes no simulated result.
+	Telemetry TelemetryConfig
+
 	// Parallelism bounds how many independent experiment points the harness
 	// sweeps concurrently (tables, figures, GT grids). Run itself ignores
 	// it: each point is still replayed by the single-threaded engine, so

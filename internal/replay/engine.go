@@ -43,6 +43,13 @@ type rankState struct {
 	pred predictor.Predictor
 	ctrl *power.Controller
 	jb   *jobState
+
+	// Telemetry baselines: the predictor stats snapshot after the previous
+	// call, so finishCall can record per-call hit deltas without storage.
+	lastPredictions int
+	lastPredHits    int
+	lastTotalCalls  int
+	lastPredCalls   int
 }
 
 // pendingPt is one side of an unmatched point-to-point operation.
@@ -126,6 +133,11 @@ type engine struct {
 	workHead int
 	workLen  int
 	inWork   []bool
+
+	// tele, when non-nil, streams per-interval series (power draw, link
+	// utilization, predictor hit rate) off the hooks the engine already
+	// drives; recording is passive and never changes simulated results.
+	tele *telemetry
 }
 
 // pair returns the queue pair for (src, dst), creating it on first use.
@@ -156,7 +168,9 @@ func RunSource(src trace.Source, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return mr.Jobs[0], nil
+	res := mr.Jobs[0]
+	res.Series = mr.Series
+	return res, nil
 }
 
 // addJob appends one job's ranks to the engine, each starting its clock at
@@ -193,6 +207,13 @@ func (e *engine) addJob(src trace.Source, pw PowerConfig, terms []int, start tim
 			rs.ctrl = power.NewControllerAt(pw.Predictor.Treact, start)
 			if pw.DeepSleep {
 				rs.ctrl.EnableDeep(pw.Deep)
+			}
+			if e.tele != nil {
+				df := 0.0
+				if pw.DeepSleep {
+					df = pw.Deep.PowerFraction
+				}
+				rs.ctrl.Observe(e.tele.observeMode(df))
 			}
 			if pw.RecordTimelines {
 				rs.ctrl.RecordTimeline(label(r))
@@ -358,6 +379,20 @@ func (e *engine) finishCall(rs *rankState) {
 	}
 	if act.Shutdown {
 		rs.ctrl.Shutdown(rs.clk, act.PredictedIdle)
+	}
+	if e.tele != nil {
+		st := rs.pred.Stats()
+		// Baseline predictors report emitted predictions; the n-gram
+		// mechanism reports detector-covered calls. Either way one sample
+		// per opportunity, value = hit fraction, so the series mean is the
+		// run's hit rate and bucket means give it per interval.
+		if d := st.Predictions - rs.lastPredictions; d > 0 {
+			e.tele.recordHit(rs.clk, float64(st.PredHits-rs.lastPredHits)/float64(d))
+		} else if d := st.Detector.TotalCalls - rs.lastTotalCalls; d > 0 {
+			e.tele.recordHit(rs.clk, float64(st.Detector.PredictedCalls-rs.lastPredCalls)/float64(d))
+		}
+		rs.lastPredictions, rs.lastPredHits = st.Predictions, st.PredHits
+		rs.lastTotalCalls, rs.lastPredCalls = st.Detector.TotalCalls, st.Detector.PredictedCalls
 	}
 }
 

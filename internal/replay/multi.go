@@ -6,6 +6,7 @@ import (
 
 	"ibpower/internal/network"
 	"ibpower/internal/predictor"
+	"ibpower/internal/stats"
 	"ibpower/internal/topology"
 	"ibpower/internal/trace"
 )
@@ -66,6 +67,11 @@ type MultiResult struct {
 	// topology link ID), observing every job's messages — the signal that
 	// distinguishes fabric sharing from dedicated runs.
 	LinkBusy []time.Duration
+
+	// Series is the streaming telemetry recorder, non-nil only when
+	// Config.Telemetry was enabled. It is fabric-wide: all jobs' activity
+	// lands on one timeline.
+	Series *stats.TimeSeries
 }
 
 // RunJobs replays several independent jobs concurrently on one shared
@@ -187,6 +193,10 @@ func RunJobs(jobs []Job, cfg Config) (*MultiResult, error) {
 		net: net,
 		rk:  make([]*rankState, 0, total),
 		pt:  make(map[pairKey]*pairQueues),
+	}
+	if cfg.Telemetry.Enabled {
+		e.tele = newTelemetry(cfg.Telemetry, topo)
+		net.Observe(e.tele)
 	}
 	for j := range jobs {
 		j, app := j, metas[j].App

@@ -5,6 +5,7 @@ import (
 
 	"ibpower/internal/power"
 	"ibpower/internal/predictor"
+	"ibpower/internal/stats"
 	"ibpower/internal/topology"
 	"ibpower/internal/trace"
 )
@@ -27,6 +28,11 @@ type Result struct {
 
 	Transfers  int
 	BytesMoved int64
+
+	// Series is the run's streaming telemetry recorder, non-nil only when
+	// Config.Telemetry was enabled on a single-job run (the recorder is
+	// fabric-wide; multi-job runs expose it on MultiResult instead).
+	Series *stats.TimeSeries
 }
 
 // AvgSavingPct returns the switch power saving averaged over all MPI
@@ -94,6 +100,9 @@ func (e *engine) collect() *MultiResult {
 	m.LinkBusy = make([]time.Duration, e.net.NumLinks())
 	for i := range m.LinkBusy {
 		m.LinkBusy[i] = e.net.LinkBusy(topology.LinkID(i))
+	}
+	if e.tele != nil {
+		m.Series = e.tele.ts
 	}
 	return m
 }

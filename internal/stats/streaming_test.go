@@ -1,0 +1,469 @@
+package stats
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// ---------------------------------------------------------------------------
+// P² accuracy tables (experiment E19): estimator vs exact nearest-rank
+// percentiles over the four reference distributions at two stream lengths.
+// Tolerances are range-normalized (|est − exact| / (max − min)) and pinned
+// at roughly 2× the measured error, so a regression in the marker update
+// trips the test while seed-to-seed noise does not. Measured errors are
+// recorded in EXPERIMENTS.md §E19.
+// ---------------------------------------------------------------------------
+
+// accuracyDists are the E19 reference distributions. Zipf exercises the
+// heavy-tailed case where upper quantiles sit far from the mass; bimodal
+// exercises a density gap the median markers must straddle.
+var accuracyDists = []struct {
+	name string
+	gen  func(r *rand.Rand) float64
+}{
+	{"uniform", func(r *rand.Rand) float64 { return r.Float64() }},
+	{"normal", func(r *rand.Rand) float64 { return r.NormFloat64() }},
+	{"zipf", nil}, // built per-rand below: NewZipf captures the source
+	{"bimodal", func(r *rand.Rand) float64 {
+		if r.Intn(2) == 0 {
+			return r.NormFloat64() * 0.5
+		}
+		return 8 + r.NormFloat64()
+	}},
+}
+
+func distGen(name string, r *rand.Rand) func() float64 {
+	if name == "zipf" {
+		z := rand.NewZipf(r, 1.5, 1, 1<<20)
+		return func() float64 { return float64(z.Uint64()) }
+	}
+	for _, d := range accuracyDists {
+		if d.name == name {
+			gen := d.gen
+			return func() float64 { return gen(r) }
+		}
+	}
+	panic("unknown distribution " + name)
+}
+
+// p2Tolerance is the pinned range-normalized error budget per distribution.
+// The heavy-tailed zipf needs headroom at φ=0.99 on short streams. See
+// EXPERIMENTS.md §E19 for the measured values these bound.
+var p2Tolerance = map[string]float64{
+	"uniform": 0.01,
+	"normal":  0.02,
+	"zipf":    0.06,
+	"bimodal": 0.04,
+}
+
+// p2ToleranceOverride widens individual (dist, φ) cells. The bimodal median
+// is the algorithm's documented worst case: the true median sits at the edge
+// of the density gap between the modes, where the parabolic marker update
+// interpolates through a region with no samples, so the estimate lands
+// inside the gap (§E19 caveat). The run-wide shape (p90+) is unaffected.
+var p2ToleranceOverride = map[string]map[float64]float64{
+	"bimodal": {0.50: 0.30},
+}
+
+func TestP2QuantileAccuracyTable(t *testing.T) {
+	phis := []float64{0.50, 0.90, 0.95, 0.99}
+	for _, d := range accuracyDists {
+		for _, n := range []int{1_000, 100_000} {
+			r := rand.New(rand.NewSource(19))
+			gen := distGen(d.name, r)
+			ests := make([]P2Quantile, len(phis))
+			for i, phi := range phis {
+				ests[i] = NewP2Quantile(phi)
+			}
+			xs := make([]float64, n)
+			for i := 0; i < n; i++ {
+				x := gen()
+				xs[i] = x
+				for j := range ests {
+					ests[j].Add(x)
+				}
+			}
+			span := Percentile(xs, 100) - Percentile(xs, 0)
+			if span == 0 {
+				t.Fatalf("%s n=%d: degenerate sample range", d.name, n)
+			}
+			for i, phi := range phis {
+				exact := Percentile(xs, phi*100)
+				got := ests[i].Quantile()
+				relErr := math.Abs(got-exact) / span
+				t.Logf("%s n=%d φ=%.2f: P²=%.6g exact=%.6g range-err=%.2e",
+					d.name, n, phi, got, exact, relErr)
+				tol := p2Tolerance[d.name]
+				if o, ok := p2ToleranceOverride[d.name][phi]; ok {
+					tol = o
+				}
+				if relErr > tol {
+					t.Errorf("%s n=%d φ=%.2f: range-normalized error %.3g exceeds %.3g (P²=%v exact=%v)",
+						d.name, n, phi, relErr, tol, got, exact)
+				}
+			}
+		}
+	}
+}
+
+// TestP2QuantileSmallStreams pins the exact-prefix regime: below five
+// samples the estimator must agree exactly with nearest-rank.
+func TestP2QuantileSmallStreams(t *testing.T) {
+	xs := []float64{7, 3, 9, 1}
+	for n := 0; n <= len(xs); n++ {
+		for _, phi := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			p := NewP2Quantile(phi)
+			for _, x := range xs[:n] {
+				p.Add(x)
+			}
+			var want float64
+			if n > 0 {
+				want = Percentile(xs[:n], phi*100)
+			}
+			if got := p.Quantile(); got != want {
+				t.Errorf("n=%d φ=%v: got %v, want exact nearest-rank %v", n, phi, got, want)
+			}
+		}
+	}
+}
+
+func TestP2QuantileIgnoresNonFinite(t *testing.T) {
+	p := NewP2Quantile(0.5)
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		p.Add(x)
+	}
+	if p.Count() != 0 {
+		t.Fatalf("non-finite samples counted: %d", p.Count())
+	}
+	p.Add(1)
+	p.Add(math.NaN())
+	p.Add(2)
+	if p.Count() != 2 {
+		t.Fatalf("count = %d, want 2", p.Count())
+	}
+	if q := p.Quantile(); math.IsNaN(q) || q < 1 || q > 2 {
+		t.Fatalf("quantile %v out of observed range", q)
+	}
+}
+
+// TestPercentileP2CrossValidation closes the stats test gap: Percentile and
+// P2Quantile estimate the same functional, so on seeded uniform streams long
+// enough for the markers to settle they must agree within a few percent of
+// the sample range — whichever of the two regressed, this trips.
+func TestPercentileP2CrossValidation(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 100 + r.Intn(2000)
+		phi := 0.1 + 0.8*r.Float64()
+		p := NewP2Quantile(phi)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+			p.Add(xs[i])
+		}
+		exact := Percentile(xs, phi*100)
+		span := Percentile(xs, 100) - Percentile(xs, 0)
+		if diff := math.Abs(p.Quantile()-exact) / span; diff > 0.05 {
+			t.Errorf("seed=%d n=%d φ=%.3f: P²=%v vs Percentile=%v (range-err %.3g)",
+				seed, n, phi, p.Quantile(), exact, diff)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Compensated accumulators vs exact 128-bit-plus accumulation.
+// ---------------------------------------------------------------------------
+
+// exactSum accumulates in 200-bit floats — effectively exact for these
+// inputs — to give the compensated accumulators a ground truth.
+func exactSum(xs []float64) float64 {
+	sum := new(big.Float).SetPrec(200)
+	for _, x := range xs {
+		sum.Add(sum, new(big.Float).SetPrec(200).SetFloat64(x))
+	}
+	f, _ := sum.Float64()
+	return f
+}
+
+// TestKahanMeanLargeOffset feeds a sum whose increments vanish below the
+// offset's ulp: naive float64 accumulation drops every increment, the
+// compensated sum keeps them all.
+func TestKahanMeanLargeOffset(t *testing.T) {
+	xs := make([]float64, 1+10_000)
+	xs[0] = 1e16 // ulp(1e16) = 2, so naive += 0.125 is a no-op
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 0.125
+	}
+	var k KahanMean
+	naive := 0.0
+	for _, x := range xs {
+		k.Add(x)
+		naive += x
+	}
+	exact := exactSum(xs)
+	if k.Sum() != exact {
+		t.Errorf("compensated sum %v != exact %v", k.Sum(), exact)
+	}
+	if naive == exact {
+		t.Error("naive sum unexpectedly exact; pathological input no longer pathological")
+	}
+	wantMean := exact / float64(len(xs))
+	if got := k.Mean(); math.Abs(got-wantMean) > math.Abs(wantMean)*1e-15 {
+		t.Errorf("mean %v, want %v", got, wantMean)
+	}
+}
+
+// TestKahanMeanAlternatingSign cancels huge alternating terms; the true sum
+// is the tiny residuals, far below the big terms' ulp.
+func TestKahanMeanAlternatingSign(t *testing.T) {
+	const pairs = 5_000
+	xs := make([]float64, 0, 2*pairs)
+	for i := 0; i < pairs; i++ {
+		xs = append(xs, 1e12+1e-6, -1e12)
+	}
+	var k KahanMean
+	naive := 0.0
+	for _, x := range xs {
+		k.Add(x)
+		naive += x
+	}
+	exact := exactSum(xs)
+	if relErr := math.Abs(k.Sum()-exact) / exact; relErr > 1e-9 {
+		t.Errorf("compensated sum %v vs exact %v (rel err %.3g)", k.Sum(), exact, relErr)
+	}
+	if naiveErr := math.Abs(naive-exact) / exact; naiveErr < 1e-3 {
+		t.Errorf("naive sum error %.3g unexpectedly small; input not pathological", naiveErr)
+	}
+}
+
+// TestWelfordLargeOffset pins the failure mode Welford exists for: variance
+// of samples riding a large offset, where the textbook Σx² − (Σx)²/n formula
+// cancels catastrophically.
+func TestWelfordLargeOffset(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const n = 10_000
+	var w Welford
+	centered := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c := r.NormFloat64()
+		centered[i] = c
+		w.Add(1e9 + c)
+	}
+	// Ground truth from the centered samples (offset shifts mean, not
+	// variance); two-pass on O(1)-magnitude values is accurate.
+	m := Mean(centered)
+	exactVar := 0.0
+	for _, c := range centered {
+		exactVar += (c - m) * (c - m)
+	}
+	exactVar /= n
+	if relErr := math.Abs(w.Variance()-exactVar) / exactVar; relErr > 1e-6 {
+		t.Errorf("Welford variance %v vs exact %v (rel err %.3g)", w.Variance(), exactVar, relErr)
+	}
+	wantMean := 1e9 + m
+	if relErr := math.Abs(w.Mean()-wantMean) / wantMean; relErr > 1e-12 {
+		t.Errorf("Welford mean %v, want %v", w.Mean(), wantMean)
+	}
+}
+
+func TestWelfordMergeMatchesSingleStream(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	xs := make([]float64, 9_999)
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 42
+	}
+	var whole Welford
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	var merged Welford
+	for i := 0; i < len(xs); i += 1000 {
+		end := i + 1000
+		if end > len(xs) {
+			end = len(xs)
+		}
+		var shard Welford
+		for _, x := range xs[i:end] {
+			shard.Add(x)
+		}
+		merged.Merge(&shard)
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("merged count %d != %d", merged.Count(), whole.Count())
+	}
+	if diff := math.Abs(merged.Mean() - whole.Mean()); diff > 1e-9 {
+		t.Errorf("merged mean %v vs single-stream %v", merged.Mean(), whole.Mean())
+	}
+	if relErr := math.Abs(merged.Variance()-whole.Variance()) / whole.Variance(); relErr > 1e-9 {
+		t.Errorf("merged variance %v vs single-stream %v", merged.Variance(), whole.Variance())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sketch merge properties.
+// ---------------------------------------------------------------------------
+
+func sketchShards(xs []float64, k int) []*Sketch {
+	shards := make([]*Sketch, k)
+	for i := range shards {
+		shards[i] = NewSketch()
+	}
+	for i, x := range xs {
+		shards[i%k].Add(x)
+	}
+	return shards
+}
+
+func sketchSummary(s *Sketch) [7]float64 {
+	return [7]float64{float64(s.Count()), s.Mean(), s.Min(), s.Max(), s.P50(), s.P95(), s.P99()}
+}
+
+// TestSketchMergeOrderIndependence merges the same shards as a left fold, in
+// reverse, and as a balanced tree. Counts and extremes must agree exactly;
+// the float-valued fields within a few ulps (the count-weighted quantile
+// combination sums in different orders).
+func TestSketchMergeOrderIndependence(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	xs := make([]float64, 20_000)
+	for i := range xs {
+		xs[i] = r.ExpFloat64() * 10
+	}
+	const k = 8
+	merge := func(order []int) [7]float64 {
+		shards := sketchShards(xs, k)
+		acc := NewSketch()
+		for _, i := range order {
+			acc.Merge(shards[i])
+		}
+		return sketchSummary(acc)
+	}
+	tree := func() [7]float64 {
+		shards := sketchShards(xs, k)
+		for len(shards) > 1 {
+			var next []*Sketch
+			for i := 0; i+1 < len(shards); i += 2 {
+				shards[i].Merge(shards[i+1])
+				next = append(next, shards[i])
+			}
+			if len(shards)%2 == 1 {
+				next = append(next, shards[len(shards)-1])
+			}
+			shards = next
+		}
+		return sketchSummary(shards[0])
+	}
+
+	fwd := merge([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	rev := merge([]int{7, 6, 5, 4, 3, 2, 1, 0})
+	bal := tree()
+	for f, name := range [...]string{"count", "mean", "min", "max", "p50", "p95", "p99"} {
+		for _, got := range [][7]float64{rev, bal} {
+			if diff := math.Abs(got[f] - fwd[f]); diff > math.Abs(fwd[f])*1e-12 {
+				t.Errorf("%s differs across merge orders: %v vs %v", name, got[f], fwd[f])
+			}
+		}
+	}
+}
+
+// TestSketchMergeApproximatesSingleStream: sharded quantile estimates must
+// land near the single-stream estimate (and hence near the exact quantile).
+func TestSketchMergeApproximatesSingleStream(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	xs := make([]float64, 50_000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	whole := NewSketch()
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	merged := NewSketch()
+	for _, sh := range sketchShards(xs, 16) {
+		merged.Merge(sh)
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("count %d != %d", merged.Count(), whole.Count())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Errorf("extremes differ: [%v,%v] vs [%v,%v]",
+			merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+	if diff := math.Abs(merged.Mean() - whole.Mean()); diff > 1e-9 {
+		t.Errorf("mean %v vs %v", merged.Mean(), whole.Mean())
+	}
+	span := whole.Max() - whole.Min()
+	for _, q := range []struct {
+		name         string
+		got, want, p float64
+	}{
+		{"p50", merged.P50(), whole.P50(), 50},
+		{"p95", merged.P95(), whole.P95(), 95},
+		{"p99", merged.P99(), whole.P99(), 99},
+	} {
+		exact := Percentile(xs, q.p)
+		if diff := math.Abs(q.got-exact) / span; diff > 0.03 {
+			t.Errorf("%s: sharded %v vs exact %v (range-err %.3g, single-stream %v)",
+				q.name, q.got, exact, diff, q.want)
+		}
+	}
+}
+
+func TestSketchEmptyAndNonFinite(t *testing.T) {
+	s := NewSketch()
+	for _, got := range []float64{s.Mean(), s.Min(), s.Max(), s.P50(), s.P95(), s.P99()} {
+		if got != 0 {
+			t.Fatalf("empty sketch accessor = %v, want 0", got)
+		}
+	}
+	s.Add(math.NaN())
+	s.Add(math.Inf(1))
+	if s.Count() != 0 {
+		t.Fatalf("non-finite samples counted: %d", s.Count())
+	}
+	s.Add(3)
+	if s.Count() != 1 || s.Min() != 3 || s.Max() != 3 || s.P99() != 3 {
+		t.Fatalf("singleton sketch: count=%d min=%v max=%v p99=%v",
+			s.Count(), s.Min(), s.Max(), s.P99())
+	}
+	// Monotone accessors on a live stream.
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 10_000; i++ {
+		s.Add(r.Float64())
+		if !(s.P50() <= s.P95() && s.P95() <= s.P99()) {
+			t.Fatalf("quantile monotonicity violated at i=%d: p50=%v p95=%v p99=%v",
+				i, s.P50(), s.P95(), s.P99())
+		}
+		if s.P50() < s.Min() || s.P99() > s.Max() {
+			t.Fatalf("estimate outside [min,max] at i=%d", i)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Allocation pins: the record path feeds from the replay inner loop, so
+// these are hard contracts, not aspirations.
+// ---------------------------------------------------------------------------
+
+func TestP2QuantileAddAllocs(t *testing.T) {
+	p := NewP2Quantile(0.95)
+	x := 0.0
+	if avg := testing.AllocsPerRun(1000, func() {
+		p.Add(x)
+		x += 0.7
+	}); avg != 0 {
+		t.Errorf("P2Quantile.Add allocates %.1f/op, want 0", avg)
+	}
+}
+
+func TestSketchAddAllocs(t *testing.T) {
+	s := NewSketch()
+	x := 0.0
+	if avg := testing.AllocsPerRun(1000, func() {
+		s.Add(x)
+		x += 1.3
+	}); avg != 0 {
+		t.Errorf("Sketch.Add allocates %.1f/op, want 0", avg)
+	}
+}

@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// SeriesID indexes one registered series of a TimeSeries.
+type SeriesID int32
+
+// TimeSeries is an interval-bucketed telemetry recorder: every registered
+// series owns a preallocated ring of fixed-width time buckets plus a
+// run-wide Sketch, and the record path touches only those — 0 allocs/op.
+//
+// Memory stays bounded for arbitrarily long runs by tick doubling: when a
+// sample lands past the last bucket, the tick width doubles and adjacent
+// bucket pairs fold together in place, halving the resolution but keeping
+// whole-run coverage in the same storage. The fold schedule is a pure
+// function of the recorded data, so two identical event streams always
+// produce identical buckets — the determinism rule replay telemetry relies
+// on (see DESIGN.md §"Streaming telemetry").
+//
+// Two series kinds exist. A sample series (AddSeries) records point values:
+// the bucket accumulates count and compensated sum, so sum/count is the
+// per-interval mean and the sketch summarizes the value distribution. A
+// span series (AddSpanSeries) records a weight spread over [t0, t1)
+// proportionally to bucket overlap — link busy seconds, low-power
+// link-seconds — and its sketch summarizes the per-span weights.
+type TimeSeries struct {
+	tick       time.Duration
+	maxBuckets int
+	used       int // buckets in use: highest touched index + 1
+	s          []tsSeries
+}
+
+type tsSeries struct {
+	name  string
+	unit  string
+	span  bool
+	sk    Sketch
+	count []int64   // per-bucket samples (or overlapping spans)
+	sum   []float64 // per-bucket compensated sum (or span weight)
+	comp  []float64 // per-bucket Neumaier compensation for sum
+}
+
+// NewTimeSeries returns a recorder with the given initial bucket width and
+// per-series bucket capacity. tick must be positive; maxBuckets is clamped
+// to at least 2 (folding needs a pair).
+func NewTimeSeries(tick time.Duration, maxBuckets int) *TimeSeries {
+	if tick <= 0 {
+		panic(fmt.Sprintf("stats: non-positive time series tick %v", tick))
+	}
+	if maxBuckets < 2 {
+		maxBuckets = 2
+	}
+	return &TimeSeries{tick: tick, maxBuckets: maxBuckets}
+}
+
+// AddSeries registers a sample series and returns its ID. All series must
+// be registered before recording begins; registration allocates the
+// series' whole bucket ring up front.
+func (ts *TimeSeries) AddSeries(name, unit string) SeriesID {
+	return ts.add(name, unit, false)
+}
+
+// AddSpanSeries registers a span series (see the type comment).
+func (ts *TimeSeries) AddSpanSeries(name, unit string) SeriesID {
+	return ts.add(name, unit, true)
+}
+
+func (ts *TimeSeries) add(name, unit string, span bool) SeriesID {
+	se := tsSeries{
+		name: name, unit: unit, span: span,
+		count: make([]int64, ts.maxBuckets),
+		sum:   make([]float64, ts.maxBuckets),
+		comp:  make([]float64, ts.maxBuckets),
+	}
+	se.sk.Init()
+	ts.s = append(ts.s, se)
+	return SeriesID(len(ts.s) - 1)
+}
+
+// Tick returns the current bucket width (it grows by doubling).
+func (ts *TimeSeries) Tick() time.Duration { return ts.tick }
+
+// Buckets returns the number of buckets in use.
+func (ts *TimeSeries) Buckets() int { return ts.used }
+
+// NumSeries returns the number of registered series.
+func (ts *TimeSeries) NumSeries() int { return len(ts.s) }
+
+// Name returns the series name.
+func (ts *TimeSeries) Name(id SeriesID) string { return ts.s[id].name }
+
+// Unit returns the series unit label.
+func (ts *TimeSeries) Unit(id SeriesID) string { return ts.s[id].unit }
+
+// IsSpan reports whether the series records spans rather than samples.
+func (ts *TimeSeries) IsSpan(id SeriesID) bool { return ts.s[id].span }
+
+// Sketch returns the series' run-wide sketch. The pointer aliases live
+// state: callers must not Add through it.
+func (ts *TimeSeries) Sketch(id SeriesID) *Sketch { return &ts.s[id].sk }
+
+// BucketCount returns the sample (or overlapping-span) count of bucket b.
+func (ts *TimeSeries) BucketCount(id SeriesID, b int) int64 { return ts.s[id].count[b] }
+
+// BucketSum returns the compensated value sum (or span weight) of bucket b.
+func (ts *TimeSeries) BucketSum(id SeriesID, b int) float64 {
+	return ts.s[id].sum[b] + ts.s[id].comp[b]
+}
+
+// Lookup returns the ID of the named series.
+func (ts *TimeSeries) Lookup(name string) (SeriesID, bool) {
+	for i := range ts.s {
+		if ts.s[i].name == name {
+			return SeriesID(i), true
+		}
+	}
+	return 0, false
+}
+
+// bucket returns the bucket index for time t, folding the ring as often as
+// needed to bring t inside it. Negative times clamp to bucket 0.
+func (ts *TimeSeries) bucket(t time.Duration) int {
+	if t < 0 {
+		t = 0
+	}
+	b := int(t / ts.tick)
+	for b >= ts.maxBuckets {
+		ts.fold()
+		b = int(t / ts.tick)
+	}
+	if b >= ts.used {
+		ts.used = b + 1
+	}
+	return b
+}
+
+// fold doubles the tick and merges adjacent bucket pairs in place.
+func (ts *TimeSeries) fold() {
+	ts.tick *= 2
+	half := (ts.used + 1) / 2
+	for i := range ts.s {
+		se := &ts.s[i]
+		for j := 0; j < half; j++ {
+			a, b := 2*j, 2*j+1
+			cnt, sum, comp := se.count[a], se.sum[a], se.comp[a]
+			if b < ts.used {
+				cnt += se.count[b]
+				sum, comp = neumaierAdd(sum, comp, se.sum[b])
+				sum, comp = neumaierAdd(sum, comp, se.comp[b])
+			}
+			se.count[j], se.sum[j], se.comp[j] = cnt, sum, comp
+		}
+		for j := half; j < ts.used; j++ {
+			se.count[j], se.sum[j], se.comp[j] = 0, 0, 0
+		}
+	}
+	ts.used = half
+}
+
+// Record adds one sample at time t. Non-finite values are ignored. The
+// path is allocation-free.
+func (ts *TimeSeries) Record(id SeriesID, t time.Duration, v float64) {
+	se := &ts.s[id]
+	before := se.sk.Count()
+	se.sk.Add(v)
+	if se.sk.Count() == before {
+		return // non-finite, rejected by the sketch
+	}
+	b := ts.bucket(t)
+	se.count[b]++
+	se.sum[b], se.comp[b] = neumaierAdd(se.sum[b], se.comp[b], v)
+}
+
+// RecordSpan adds weight w spread over [t0, t1) proportionally to bucket
+// overlap; a zero-length span lands entirely in t0's bucket. The sketch
+// absorbs w once. The path is allocation-free.
+func (ts *TimeSeries) RecordSpan(id SeriesID, t0, t1 time.Duration, w float64) {
+	if t1 < t0 {
+		t0, t1 = t1, t0
+	}
+	se := &ts.s[id]
+	before := se.sk.Count()
+	se.sk.Add(w)
+	if se.sk.Count() == before {
+		return // non-finite weight
+	}
+	if t0 < 0 {
+		t0 = 0
+	}
+	if t1 < 0 {
+		t1 = 0
+	}
+	// The last covered bucket is the one containing t1's final nanosecond;
+	// a span ending exactly on a boundary must not open the next bucket.
+	end := t1
+	if end > t0 {
+		end--
+	}
+	b1 := ts.bucket(end)
+	b0 := int(t0 / ts.tick) // tick is settled now: t0 <= end always fits
+	if b0 == b1 || t1 == t0 {
+		se.count[b0]++
+		se.sum[b0], se.comp[b0] = neumaierAdd(se.sum[b0], se.comp[b0], w)
+		return
+	}
+	span := float64(t1 - t0)
+	for b := b0; b <= b1; b++ {
+		lo, hi := time.Duration(b)*ts.tick, time.Duration(b+1)*ts.tick
+		if t0 > lo {
+			lo = t0
+		}
+		if t1 < hi {
+			hi = t1
+		}
+		if hi <= lo {
+			continue
+		}
+		se.count[b]++
+		part := w * float64(hi-lo) / span
+		se.sum[b], se.comp[b] = neumaierAdd(se.sum[b], se.comp[b], part)
+	}
+}

@@ -1,0 +1,244 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimeSeriesRegistration(t *testing.T) {
+	ts := NewTimeSeries(time.Millisecond, 16)
+	a := ts.AddSeries("queue.depth", "jobs")
+	b := ts.AddSpanSeries("util.up", "busy-seconds")
+	if ts.NumSeries() != 2 {
+		t.Fatalf("NumSeries = %d", ts.NumSeries())
+	}
+	if ts.Name(a) != "queue.depth" || ts.Unit(a) != "jobs" || ts.IsSpan(a) {
+		t.Errorf("series a metadata wrong: %q %q span=%v", ts.Name(a), ts.Unit(a), ts.IsSpan(a))
+	}
+	if !ts.IsSpan(b) {
+		t.Error("span series not marked as span")
+	}
+	if id, ok := ts.Lookup("util.up"); !ok || id != b {
+		t.Errorf("Lookup(util.up) = %v, %v", id, ok)
+	}
+	if _, ok := ts.Lookup("nope"); ok {
+		t.Error("Lookup of unknown series succeeded")
+	}
+}
+
+func TestTimeSeriesRecordBuckets(t *testing.T) {
+	ts := NewTimeSeries(time.Millisecond, 16)
+	id := ts.AddSeries("v", "x")
+	ts.Record(id, 0, 1)
+	ts.Record(id, 500*time.Microsecond, 3)
+	ts.Record(id, 2500*time.Microsecond, 10)
+	ts.Record(id, -time.Second, 7) // clamps to bucket 0
+	if ts.Buckets() != 3 {
+		t.Fatalf("buckets = %d, want 3", ts.Buckets())
+	}
+	if c := ts.BucketCount(id, 0); c != 3 {
+		t.Errorf("bucket 0 count = %d, want 3", c)
+	}
+	if s := ts.BucketSum(id, 0); s != 11 {
+		t.Errorf("bucket 0 sum = %v, want 11", s)
+	}
+	if c, s := ts.BucketCount(id, 1), ts.BucketSum(id, 1); c != 0 || s != 0 {
+		t.Errorf("empty bucket 1: count=%d sum=%v", c, s)
+	}
+	if c, s := ts.BucketCount(id, 2), ts.BucketSum(id, 2); c != 1 || s != 10 {
+		t.Errorf("bucket 2: count=%d sum=%v", c, s)
+	}
+	if n := ts.Sketch(id).Count(); n != 4 {
+		t.Errorf("sketch count = %d, want 4", n)
+	}
+	ts.Record(id, time.Millisecond, math.NaN())
+	if ts.Sketch(id).Count() != 4 || ts.BucketCount(id, 1) != 0 {
+		t.Error("non-finite sample reached a bucket")
+	}
+}
+
+// TestTimeSeriesRecordSpan pins proportional weight spreading: a span
+// covering 2.5 buckets deposits weight by bucket overlap, a span ending
+// exactly on a boundary does not open the next bucket, and a zero-length
+// span lands entirely in its start bucket.
+func TestTimeSeriesRecordSpan(t *testing.T) {
+	tick := time.Millisecond
+	ts := NewTimeSeries(tick, 16)
+	id := ts.AddSpanSeries("busy", "s")
+
+	// [0.5ms, 3ms): covers half of bucket 0, all of 1 and 2.
+	ts.RecordSpan(id, tick/2, 3*tick, 2.5)
+	if ts.Buckets() != 3 {
+		t.Fatalf("buckets = %d, want 3 (boundary-ending span opened bucket 3)", ts.Buckets())
+	}
+	for b, want := range []float64{0.5, 1.0, 1.0} {
+		if got := ts.BucketSum(id, b); math.Abs(got-want) > 1e-12 {
+			t.Errorf("bucket %d weight = %v, want %v", b, got, want)
+		}
+		if c := ts.BucketCount(id, b); c != 1 {
+			t.Errorf("bucket %d span count = %d, want 1", b, c)
+		}
+	}
+	if n := ts.Sketch(id).Count(); n != 1 {
+		t.Errorf("sketch absorbed the span %d times", n)
+	}
+
+	// Zero-length span: all weight in the start bucket.
+	ts.RecordSpan(id, 5*tick, 5*tick, 7)
+	if got := ts.BucketSum(id, 5); got != 7 {
+		t.Errorf("zero-length span weight = %v, want 7", got)
+	}
+	// Reversed endpoints swap.
+	ts.RecordSpan(id, 8*tick, 7*tick, 4)
+	if got := ts.BucketSum(id, 7); got != 4 {
+		t.Errorf("reversed span weight = %v, want 4", got)
+	}
+	// Negative times clamp to zero.
+	before := ts.BucketSum(id, 0)
+	ts.RecordSpan(id, -2*tick, -tick, 9)
+	if got := ts.BucketSum(id, 0) - before; math.Abs(got-9) > 1e-12 {
+		t.Errorf("negative span deposited %v in bucket 0, want 9", got)
+	}
+}
+
+// TestTimeSeriesFold drives the recorder past its ring and checks the tick
+// doubles while per-series totals are conserved exactly (the folds use
+// compensated addition).
+func TestTimeSeriesFold(t *testing.T) {
+	ts := NewTimeSeries(time.Millisecond, 8)
+	id := ts.AddSeries("v", "x")
+	r := rand.New(rand.NewSource(3))
+	var total float64
+	var n int64
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		total += v
+		n++
+		ts.Record(id, time.Duration(i)*300*time.Microsecond, v)
+	}
+	// 1000 * 0.3ms = 300ms of run in 8 buckets: tick must have doubled to
+	// at least 300ms/8, staying a power-of-two multiple of 1ms.
+	if ts.Tick() < 300*time.Millisecond/8 || ts.Tick()%time.Millisecond != 0 {
+		t.Errorf("tick after folding = %v", ts.Tick())
+	}
+	if ts.Buckets() > 8 {
+		t.Errorf("buckets = %d, exceeds ring of 8", ts.Buckets())
+	}
+	var sum float64
+	var cnt int64
+	for b := 0; b < ts.Buckets(); b++ {
+		sum += ts.BucketSum(id, b)
+		cnt += ts.BucketCount(id, b)
+	}
+	if cnt != n {
+		t.Errorf("folded counts total %d, want %d", cnt, n)
+	}
+	if math.Abs(sum-total) > 1e-9 {
+		t.Errorf("folded sums total %v, want %v", sum, total)
+	}
+}
+
+// TestTimeSeriesDeterminism is the rule replay goldens rely on: identical
+// record streams produce byte-identical JSON documents.
+func TestTimeSeriesDeterminism(t *testing.T) {
+	build := func() *TimeSeries {
+		ts := NewTimeSeries(time.Millisecond, 8)
+		a := ts.AddSeries("a", "x")
+		b := ts.AddSpanSeries("b", "s")
+		r := rand.New(rand.NewSource(5))
+		for i := 0; i < 500; i++ {
+			at := time.Duration(i) * 777 * time.Microsecond
+			ts.Record(a, at, r.NormFloat64())
+			ts.RecordSpan(b, at, at+3*time.Millisecond, r.Float64())
+		}
+		return ts
+	}
+	var j1, j2 bytes.Buffer
+	if err := build().WriteJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&j2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Error("identical record streams produced different JSON documents")
+	}
+	if !bytes.HasSuffix(j1.Bytes(), []byte("\n")) {
+		t.Error("JSON document missing trailing newline")
+	}
+	doc := build().Snapshot()
+	if doc.Version != TimeSeriesDocVersion {
+		t.Errorf("snapshot version = %d, want %d", doc.Version, TimeSeriesDocVersion)
+	}
+	if doc.Buckets != len(doc.Series[0].Counts) || doc.Buckets != len(doc.Series[0].Sums) {
+		t.Errorf("snapshot bucket arrays disagree with Buckets=%d", doc.Buckets)
+	}
+}
+
+func TestTimeSeriesWriteProm(t *testing.T) {
+	ts := NewTimeSeries(time.Millisecond, 8)
+	id := ts.AddSeries("pred.hit", "hit")
+	for i := 0; i < 100; i++ {
+		ts.Record(id, time.Duration(i)*time.Millisecond, float64(i%2))
+	}
+	var buf bytes.Buffer
+	if err := ts.WriteProm(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE ibpower_pred_hit summary",
+		`ibpower_pred_hit{quantile="0.5"}`,
+		`ibpower_pred_hit{quantile="0.99"}`,
+		"ibpower_pred_hit_sum 50",
+		"ibpower_pred_hit_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Error("prom output contains NaN")
+	}
+}
+
+func TestNewTimeSeriesPanicsOnBadTick(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive tick")
+		}
+	}()
+	NewTimeSeries(0, 8)
+}
+
+// Allocation pins: Record and RecordSpan run inside the replay event loop
+// for every transfer and mode change, so they are hard 0 allocs/op
+// contracts (satellite of the telemetry PR; the replay-loop pin lives in
+// internal/replay).
+func TestTimeSeriesRecordAllocs(t *testing.T) {
+	ts := NewTimeSeries(time.Millisecond, 64)
+	id := ts.AddSeries("v", "x")
+	at := time.Duration(0)
+	if avg := testing.AllocsPerRun(1000, func() {
+		ts.Record(id, at, 1.5)
+		at += 17 * time.Microsecond
+	}); avg != 0 {
+		t.Errorf("TimeSeries.Record allocates %.1f/op, want 0", avg)
+	}
+}
+
+func TestTimeSeriesRecordSpanAllocs(t *testing.T) {
+	ts := NewTimeSeries(time.Millisecond, 64)
+	id := ts.AddSpanSeries("v", "s")
+	at := time.Duration(0)
+	if avg := testing.AllocsPerRun(1000, func() {
+		ts.RecordSpan(id, at, at+5*time.Millisecond, 0.25)
+		at += 23 * time.Microsecond
+	}); avg != 0 {
+		t.Errorf("TimeSeries.RecordSpan allocates %.1f/op, want 0", avg)
+	}
+}
